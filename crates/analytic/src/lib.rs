@@ -1,0 +1,24 @@
+//! # wt-analytic — analytical models (paper §2.2)
+//!
+//! The analytical toolbox the paper discusses as the *alternative* to
+//! simulation, built here for two reasons the paper itself gives:
+//!
+//! 1. **Validation** (§4.3): "simple simulation models can be validated
+//!    using analytical models" — experiment E5 checks the DES against
+//!    M/M/1, M/M/c and M/G/1 closed forms, and the availability simulator
+//!    against a birth–death Markov chain.
+//! 2. **Demonstrating the limits**: the same experiment shows the closed
+//!    forms drifting once failure/repair laws stop being exponential,
+//!    which is the paper's case for the wind tunnel.
+//!
+//! * [`queueing`] — M/M/1, M/M/c (Erlang C), M/G/1 (Pollaczek–Khinchine),
+//!   G/G/1 (Kingman), G/G/c (Allen–Cunneen), Erlang B.
+//! * [`markov`] — birth–death availability chains for an n-replica object
+//!   with serial or parallel repair, including exact mean time to data
+//!   loss via first-step analysis.
+
+pub mod markov;
+pub mod queueing;
+
+pub use markov::RepairableReplicas;
+pub use queueing::{allen_cunneen_ggc, erlang_b, erlang_c, kingman_gg1, Mg1, Mm1, Mmc};

@@ -1,0 +1,222 @@
+//! Birth–death Markov availability model for one n-replica object — the
+//! kind of analytical model the paper says works *only* under exponential
+//! assumptions (§2.2), built here to validate the simulator in that regime.
+//!
+//! State `k` = number of up replicas (`0..=n`). Each up replica fails at
+//! rate `λ`; down replicas are rebuilt at rate `μ` each — serially (one
+//! repair at a time: rate `μ` whenever `k < n`) or in parallel (rate
+//! `(n−k)·μ`).
+
+use serde::{Deserialize, Serialize};
+
+/// An n-replica object with exponential failure/repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairableReplicas {
+    /// Replication factor.
+    pub n: usize,
+    /// Per-replica failure rate, 1/s.
+    pub fail_rate: f64,
+    /// Per-repair-stream rebuild rate, 1/s.
+    pub repair_rate: f64,
+    /// Parallel repair (`(n−k)·μ`) vs. serial (`μ`).
+    pub parallel_repair: bool,
+}
+
+impl RepairableReplicas {
+    /// A model instance; all rates must be positive.
+    pub fn new(n: usize, fail_rate: f64, repair_rate: f64, parallel_repair: bool) -> Self {
+        assert!(n >= 1 && fail_rate > 0.0 && repair_rate > 0.0);
+        RepairableReplicas {
+            n,
+            fail_rate,
+            repair_rate,
+            parallel_repair,
+        }
+    }
+
+    /// Death rate out of state `k` (a replica fails).
+    fn down_rate(&self, k: usize) -> f64 {
+        k as f64 * self.fail_rate
+    }
+
+    /// Birth rate out of state `k` (a repair completes).
+    fn up_rate(&self, k: usize) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if self.parallel_repair {
+            (self.n - k) as f64 * self.repair_rate
+        } else {
+            self.repair_rate
+        }
+    }
+
+    /// Steady-state distribution over states `0..=n` (index = up count),
+    /// by the standard birth–death product form.
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.n;
+        // π_k ∝ Π_{j=k}^{n-1} up(j+... — build from the top down:
+        // balance: π_{k-1} · up(k-1) = π_k · down(k)
+        // ⇒ π_{k-1} = π_k · down(k) / up(k-1).
+        let mut pi = vec![0.0f64; n + 1];
+        pi[n] = 1.0;
+        for k in (1..=n).rev() {
+            let up = self.up_rate(k - 1);
+            assert!(up > 0.0);
+            pi[k - 1] = pi[k] * self.down_rate(k) / up;
+        }
+        let total: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= total;
+        }
+        pi
+    }
+
+    /// Long-run probability that at least `quorum` replicas are up.
+    pub fn availability(&self, quorum: usize) -> f64 {
+        self.steady_state()[quorum..].iter().sum()
+    }
+
+    /// Long-run probability of total data loss state (0 up) — the
+    /// "zero up-to-date copies" condition of §1.
+    pub fn p_all_down(&self) -> f64 {
+        self.steady_state()[0]
+    }
+
+    /// Exact mean time from all-up until first hitting state 0 (data
+    /// loss), via first-step analysis on the transient states `1..=n`.
+    ///
+    /// Solves `(D - Q) h = 1` where `h_k` is the expected hitting time
+    /// from state `k`; returns `h_n` in seconds.
+    pub fn mean_time_to_data_loss(&self) -> f64 {
+        let n = self.n;
+        // Unknowns h_1..h_n. For state k (1 ≤ k ≤ n):
+        // h_k = 1/r_k + (down_k/r_k) h_{k-1} + (up_k/r_k) h_{k+1}
+        // with h_0 = 0 and up_n = 0. Rearranged into a tridiagonal system:
+        // r_k h_k − down_k h_{k−1} − up_k h_{k+1} = 1.
+        let mut a = vec![0.0f64; n + 1]; // sub-diagonal (−down)
+        let mut b = vec![0.0f64; n + 1]; // diagonal (r)
+        let mut c = vec![0.0f64; n + 1]; // super-diagonal (−up)
+        let mut d = vec![0.0f64; n + 1]; // rhs
+        for k in 1..=n {
+            let down = self.down_rate(k);
+            let up = self.up_rate(k);
+            a[k] = -down;
+            b[k] = down + up;
+            c[k] = -up;
+            d[k] = 1.0;
+        }
+        // h_0 = 0 ⇒ drop the a[1] coupling.
+        a[1] = 0.0;
+        // Thomas algorithm over k = 1..=n.
+        for k in 2..=n {
+            let w = a[k] / b[k - 1];
+            b[k] -= w * c[k - 1];
+            d[k] -= w * d[k - 1];
+        }
+        let mut h = vec![0.0f64; n + 1];
+        h[n] = d[n] / b[n];
+        for k in (1..n).rev() {
+            h[k] = (d[k] - c[k] * h[k + 1]) / b[k];
+        }
+        h[n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_sums_to_one() {
+        let m = RepairableReplicas::new(3, 1e-6, 1e-3, true);
+        let pi = m.steady_state();
+        assert_eq!(pi.len(), 4);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn single_replica_matches_two_state_formula() {
+        // Availability of a 1-replica system = μ/(λ+μ).
+        let (l, mu) = (1e-5, 1e-3);
+        let m = RepairableReplicas::new(1, l, mu, true);
+        let want = mu / (l + mu);
+        assert!((m.availability(1) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_replication_higher_availability() {
+        let avail = |n| RepairableReplicas::new(n, 1e-5, 1e-4, true).availability(n / 2 + 1);
+        assert!(avail(3) > avail(1));
+        assert!(avail(5) > avail(3));
+    }
+
+    #[test]
+    fn parallel_repair_beats_serial() {
+        // §1: parallel repairs decrease the probability of unavailability.
+        let serial = RepairableReplicas::new(3, 1e-4, 1e-3, false);
+        let parallel = RepairableReplicas::new(3, 1e-4, 1e-3, true);
+        assert!(parallel.availability(2) > serial.availability(2));
+        assert!(parallel.p_all_down() < serial.p_all_down());
+        assert!(parallel.mean_time_to_data_loss() > serial.mean_time_to_data_loss());
+    }
+
+    #[test]
+    fn faster_repair_raises_availability() {
+        let slow = RepairableReplicas::new(3, 1e-4, 1e-4, true);
+        let fast = RepairableReplicas::new(3, 1e-4, 1e-2, true);
+        assert!(fast.availability(2) > slow.availability(2));
+    }
+
+    #[test]
+    fn n_minus_1_with_fast_repair_can_beat_n_with_slow() {
+        // The §1 worked example: n−1 replication + a better repair path can
+        // exceed the availability of n-way with sluggish repair.
+        let n5_slow = RepairableReplicas::new(5, 1e-4, 2e-4, false);
+        let n4_fast = RepairableReplicas::new(4, 1e-4, 1e-2, true);
+        assert!(
+            n4_fast.availability(3) > n5_slow.availability(3),
+            "n4-fast {} vs n5-slow {}",
+            n4_fast.availability(3),
+            n5_slow.availability(3)
+        );
+    }
+
+    #[test]
+    fn mttdl_single_replica_is_one_over_lambda() {
+        let m = RepairableReplicas::new(1, 1e-4, 1.0, true);
+        assert!((m.mean_time_to_data_loss() - 1e4).abs() / 1e4 < 1e-9);
+    }
+
+    #[test]
+    fn mttdl_two_replicas_closed_form() {
+        // For n=2 (parallel repair): MTTDL from state 2 =
+        // (3λ + μ) / (2λ²)  [standard result for RAID-1 with λ≪μ:
+        // ≈ μ/(2λ²)].
+        let (l, mu) = (1e-5, 1e-2);
+        let m = RepairableReplicas::new(2, l, mu, true);
+        let want = (3.0 * l + mu) / (2.0 * l * l);
+        let got = m.mean_time_to_data_loss();
+        assert!((got - want).abs() / want < 1e-9, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn mttdl_grows_steeply_with_n() {
+        let mttdl = |n| RepairableReplicas::new(n, 1e-5, 1e-2, true).mean_time_to_data_loss();
+        let m1 = mttdl(1);
+        let m2 = mttdl(2);
+        let m3 = mttdl(3);
+        assert!(m2 > 100.0 * m1, "m1={m1} m2={m2}");
+        assert!(m3 > 100.0 * m2, "m2={m2} m3={m3}");
+    }
+
+    #[test]
+    fn availability_monotone_in_quorum() {
+        let m = RepairableReplicas::new(5, 1e-4, 1e-3, true);
+        for q in 1..5 {
+            assert!(m.availability(q) >= m.availability(q + 1));
+        }
+        assert!((m.availability(0) - 1.0).abs() < 1e-12);
+    }
+}

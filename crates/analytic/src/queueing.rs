@@ -1,0 +1,369 @@
+//! Classic queueing formulas.
+//!
+//! Notation: arrival rate `λ`, service rate `μ`, servers `c`, utilization
+//! `ρ = λ/(cμ)`; `W` = mean time in system, `Wq` = mean wait in queue,
+//! `L`/`Lq` the corresponding mean counts (Little's law: `L = λW`).
+
+use wt_dist::Dist;
+
+/// The M/M/1 queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate, 1/s.
+    pub lambda: f64,
+    /// Service rate, 1/s.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// A stable M/M/1 queue (`λ < μ`).
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+        assert!(lambda < mu, "unstable queue: λ={lambda} ≥ μ={mu}");
+        Mm1 { lambda, mu }
+    }
+
+    /// Utilization ρ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean number in system, `L = ρ/(1−ρ)`.
+    pub fn l(&self) -> f64 {
+        let r = self.rho();
+        r / (1.0 - r)
+    }
+
+    /// Mean number in queue, `Lq = ρ²/(1−ρ)`.
+    pub fn lq(&self) -> f64 {
+        let r = self.rho();
+        r * r / (1.0 - r)
+    }
+
+    /// Mean time in system, `W = 1/(μ−λ)`.
+    pub fn w(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean wait in queue, `Wq = ρ/(μ−λ)`.
+    pub fn wq(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+
+    /// Steady-state probability of exactly `n` customers.
+    pub fn p_n(&self, n: u32) -> f64 {
+        let r = self.rho();
+        (1.0 - r) * r.powi(n as i32)
+    }
+
+    /// The `q`-quantile of time in system (exponential with rate `μ−λ`).
+    pub fn w_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q));
+        -(1.0 - q).ln() / (self.mu - self.lambda)
+    }
+}
+
+/// The M/M/c queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmc {
+    /// Arrival rate, 1/s.
+    pub lambda: f64,
+    /// Per-server service rate, 1/s.
+    pub mu: f64,
+    /// Servers.
+    pub c: u32,
+}
+
+impl Mmc {
+    /// A stable M/M/c queue (`λ < cμ`).
+    pub fn new(lambda: f64, mu: f64, c: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0 && c >= 1);
+        assert!(lambda < mu * f64::from(c), "unstable queue");
+        Mmc { lambda, mu, c }
+    }
+
+    /// Utilization per server.
+    pub fn rho(&self) -> f64 {
+        self.lambda / (self.mu * f64::from(self.c))
+    }
+
+    /// Offered load in Erlangs, `a = λ/μ`.
+    pub fn offered(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Erlang-C probability that an arrival waits.
+    pub fn p_wait(&self) -> f64 {
+        erlang_c(self.c, self.offered())
+    }
+
+    /// Mean wait in queue.
+    pub fn wq(&self) -> f64 {
+        self.p_wait() / (f64::from(self.c) * self.mu - self.lambda)
+    }
+
+    /// Mean time in system.
+    pub fn w(&self) -> f64 {
+        self.wq() + 1.0 / self.mu
+    }
+
+    /// Mean queue length.
+    pub fn lq(&self) -> f64 {
+        self.lambda * self.wq()
+    }
+
+    /// Mean number in system.
+    pub fn l(&self) -> f64 {
+        self.lambda * self.w()
+    }
+}
+
+/// The M/G/1 queue via Pollaczek–Khinchine.
+#[derive(Debug, Clone)]
+pub struct Mg1 {
+    /// Arrival rate, 1/s.
+    pub lambda: f64,
+    /// Service-time distribution, seconds.
+    pub service: Dist,
+}
+
+impl Mg1 {
+    /// A stable M/G/1 queue (`λ·E[S] < 1`).
+    pub fn new(lambda: f64, service: Dist) -> Self {
+        assert!(lambda > 0.0);
+        let rho = lambda * service.mean();
+        assert!(rho < 1.0, "unstable queue: ρ = {rho}");
+        Mg1 { lambda, service }
+    }
+
+    /// Utilization.
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.service.mean()
+    }
+
+    /// Mean wait in queue: `Wq = λ E[S²] / (2(1−ρ))`.
+    pub fn wq(&self) -> f64 {
+        let es = self.service.mean();
+        let es2 = self.service.variance() + es * es;
+        self.lambda * es2 / (2.0 * (1.0 - self.rho()))
+    }
+
+    /// Mean time in system.
+    pub fn w(&self) -> f64 {
+        self.wq() + self.service.mean()
+    }
+
+    /// Mean number in system (Little).
+    pub fn l(&self) -> f64 {
+        self.lambda * self.w()
+    }
+}
+
+/// Erlang-B blocking probability for `c` servers at `a` Erlangs offered,
+/// by the numerically stable recurrence.
+pub fn erlang_b(c: u32, a: f64) -> f64 {
+    assert!(a > 0.0);
+    let mut b = 1.0f64;
+    for k in 1..=c {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    b
+}
+
+/// Erlang-C probability of waiting for `c` servers at `a` Erlangs offered
+/// (requires `a < c` for stability).
+pub fn erlang_c(c: u32, a: f64) -> f64 {
+    assert!(a < f64::from(c), "Erlang C requires a < c");
+    let b = erlang_b(c, a);
+    let rho = a / f64::from(c);
+    b / (1.0 - rho + rho * b)
+}
+
+/// The staffing question inverted: the minimum number of servers for
+/// which the M/M/c mean queue wait stays at or below `max_wq` seconds.
+/// The paper's hardware-provisioning use case (§3) in closed form, used
+/// to sanity-check the simulator's answers.
+pub fn min_servers_for_wait(lambda: f64, mu: f64, max_wq: f64) -> u32 {
+    assert!(lambda > 0.0 && mu > 0.0 && max_wq >= 0.0);
+    let mut c = (lambda / mu).ceil().max(1.0) as u32;
+    loop {
+        if lambda < mu * f64::from(c) && Mmc::new(lambda, mu, c).wq() <= max_wq {
+            return c;
+        }
+        c += 1;
+        assert!(c < 100_000, "staffing search diverged");
+    }
+}
+
+/// Kingman's G/G/1 heavy-traffic approximation for the mean queue wait:
+/// `Wq ≈ (ρ/(1−ρ)) · ((ca² + cs²)/2) · E[S]`, with `ca²`/`cs²` the squared
+/// coefficients of variation of interarrival and service times.
+pub fn kingman_gg1(lambda: f64, ca2: f64, mean_service: f64, cs2: f64) -> f64 {
+    let rho = lambda * mean_service;
+    assert!(rho < 1.0, "unstable queue");
+    (rho / (1.0 - rho)) * ((ca2 + cs2) / 2.0) * mean_service
+}
+
+/// Allen–Cunneen G/G/c approximation: scales the M/M/c wait by the
+/// variability factor `(ca² + cs²)/2`.
+pub fn allen_cunneen_ggc(lambda: f64, c: u32, mean_service: f64, ca2: f64, cs2: f64) -> f64 {
+    let mu = 1.0 / mean_service;
+    let mmc = Mmc::new(lambda, mu, c);
+    mmc.wq() * (ca2 + cs2) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_example() {
+        // λ=8, μ=10: ρ=0.8, L=4, W=0.5, Wq=0.4, Lq=3.2.
+        let q = Mm1::new(8.0, 10.0);
+        assert!((q.rho() - 0.8).abs() < 1e-12);
+        assert!((q.l() - 4.0).abs() < 1e-12);
+        assert!((q.w() - 0.5).abs() < 1e-12);
+        assert!((q.wq() - 0.4).abs() < 1e-12);
+        assert!((q.lq() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_littles_law() {
+        let q = Mm1::new(3.0, 7.0);
+        assert!((q.l() - q.lambda * q.w()).abs() < 1e-12);
+        assert!((q.lq() - q.lambda * q.wq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_state_probabilities_sum() {
+        let q = Mm1::new(5.0, 8.0);
+        let total: f64 = (0..200).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((q.p_n(0) - (1.0 - q.rho())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_quantile() {
+        let q = Mm1::new(5.0, 10.0);
+        // Median of Exp(5) is ln2/5.
+        assert!((q.w_quantile(0.5) - 2f64.ln() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_mm1_rejected() {
+        let _ = Mm1::new(10.0, 10.0);
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1() {
+        let m1 = Mm1::new(4.0, 10.0);
+        let mc = Mmc::new(4.0, 10.0, 1);
+        assert!((mc.wq() - m1.wq()).abs() < 1e-12);
+        assert!((mc.w() - m1.w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_textbook_example() {
+        // Classic: λ=2/min, μ=1.5/min, c=2 → ρ=2/3, P(wait)=8/15? Let's use
+        // the standard result: a = 4/3, c = 2.
+        let q = Mmc::new(2.0, 1.5, 2);
+        // Erlang C for c=2, a=4/3: C = B/(1-ρ+ρB); B = a²/2 / (1+a+a²/2).
+        let a: f64 = 4.0 / 3.0;
+        let b = (a * a / 2.0) / (1.0 + a + a * a / 2.0);
+        let rho = a / 2.0;
+        let want = b / (1.0 - rho + rho * b);
+        assert!((q.p_wait() - want).abs() < 1e-12);
+        assert!(q.wq() > 0.0 && q.w() > q.wq());
+    }
+
+    #[test]
+    fn more_servers_less_wait() {
+        let w2 = Mmc::new(10.0, 6.0, 2).wq();
+        let w4 = Mmc::new(10.0, 6.0, 4).wq();
+        let w8 = Mmc::new(10.0, 6.0, 8).wq();
+        assert!(w2 > w4 && w4 > w8);
+    }
+
+    #[test]
+    fn mg1_with_exponential_service_equals_mm1() {
+        let q = Mg1::new(4.0, Dist::exponential(10.0));
+        let m = Mm1::new(4.0, 10.0);
+        assert!((q.wq() - m.wq()).abs() < 1e-10);
+        assert!((q.w() - m.w()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mg1_deterministic_service_halves_wait() {
+        // M/D/1 waits are half of M/M/1 at the same rates.
+        let md1 = Mg1::new(4.0, Dist::deterministic(0.1));
+        let mm1 = Mm1::new(4.0, 10.0);
+        assert!((md1.wq() - mm1.wq() / 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mg1_heavy_tail_service_explodes_wait() {
+        // Same mean service, higher variance → longer waits (the reason
+        // exponential assumptions underestimate, §2.2).
+        let light = Mg1::new(4.0, Dist::deterministic(0.1));
+        let heavy = Mg1::new(4.0, Dist::lognormal_mean_cv(0.1, 4.0));
+        assert!(heavy.wq() > 5.0 * light.wq());
+    }
+
+    #[test]
+    fn erlang_b_recurrence_known_values() {
+        // B(1, a) = a/(1+a).
+        assert!((erlang_b(1, 2.0) - 2.0 / 3.0).abs() < 1e-12);
+        // More servers → less blocking.
+        assert!(erlang_b(5, 2.0) < erlang_b(2, 2.0));
+        // Asymptotically no blocking.
+        assert!(erlang_b(50, 2.0) < 1e-20);
+    }
+
+    #[test]
+    fn erlang_c_bounds() {
+        let c = erlang_c(4, 3.0);
+        assert!((0.0..1.0).contains(&c));
+        // Heavier load → more waiting.
+        assert!(erlang_c(4, 3.9) > erlang_c(4, 2.0));
+    }
+
+    #[test]
+    fn staffing_finds_minimal_servers() {
+        // lambda=10, mu=4: need at least 3 servers for stability.
+        let c = min_servers_for_wait(10.0, 4.0, 0.05);
+        assert!(c >= 3);
+        // It is minimal: one fewer violates either stability or the bound.
+        if c > 3 {
+            let fewer = c - 1;
+            let unstable = 10.0 >= 4.0 * f64::from(fewer);
+            let too_slow = !unstable && Mmc::new(10.0, 4.0, fewer).wq() > 0.05;
+            assert!(unstable || too_slow);
+        }
+        assert!(Mmc::new(10.0, 4.0, c).wq() <= 0.05);
+        // A lax bound needs only stability.
+        assert_eq!(min_servers_for_wait(10.0, 4.0, 1e9), 3);
+    }
+
+    #[test]
+    fn kingman_matches_mm1_for_poisson_exponential() {
+        // ca² = cs² = 1 → Kingman is exact for M/M/1.
+        let mm1 = Mm1::new(8.0, 10.0);
+        let approx = kingman_gg1(8.0, 1.0, 0.1, 1.0);
+        assert!((approx - mm1.wq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kingman_grows_with_variability() {
+        let low = kingman_gg1(5.0, 0.5, 0.1, 0.5);
+        let high = kingman_gg1(5.0, 4.0, 0.1, 4.0);
+        assert!((high / low - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allen_cunneen_reduces_to_mmc() {
+        let mmc = Mmc::new(10.0, 4.0, 4);
+        let ac = allen_cunneen_ggc(10.0, 4, 0.25, 1.0, 1.0);
+        assert!((ac - mmc.wq()).abs() < 1e-12);
+    }
+}

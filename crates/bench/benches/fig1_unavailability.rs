@@ -1,0 +1,55 @@
+//! Figure 1 regeneration cost, plus the DESIGN.md §6 placement ablation:
+//! how the unavailability engine scales with placement policy and
+//! replication factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wt_cluster::UnavailabilityExperiment;
+use wt_des::rng::Stream;
+use wt_sw::{Placement, Placer};
+
+fn bench_fig1_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_point");
+    for placement in [Placement::Random, Placement::RoundRobin] {
+        let exp = UnavailabilityExperiment {
+            trials: 200,
+            ..UnavailabilityExperiment::figure1(30, 10_000, 3, placement, 1)
+        };
+        g.bench_function(format!("N30_n3_{}_f4", placement.label()), |b| {
+            b.iter(|| black_box(exp.run_at(4)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for placement in [
+        Placement::Random,
+        Placement::RoundRobin,
+        Placement::Copyset { scatter_width: 4 },
+    ] {
+        g.bench_function(format!("place_10k_objects_{}", placement.label()), |b| {
+            b.iter(|| {
+                let mut placer = Placer::new(placement, 64, 3, Stream::from_seed(2));
+                let mut acc = 0usize;
+                for obj in 0..10_000u64 {
+                    acc += placer.place(obj)[0];
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig1_point, bench_placement
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Erasure-coding benchmarks: the DESIGN.md §6 GF(256) multiply ablation
+//! (log/antilog tables vs. shift-and-xor) and Reed–Solomon encode/decode
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wt_des::rng::Stream;
+use wt_sw::erasure::{ErasureCode, StripeSpec};
+use wt_sw::gf256;
+
+fn bench_gf_mul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256_mul");
+    let pairs: Vec<(u8, u8)> = {
+        let mut rng = Stream::from_seed(3);
+        (0..4096)
+            .map(|_| (rng.below(256) as u8, rng.below(256) as u8))
+            .collect()
+    };
+    g.bench_function("table_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in &pairs {
+                acc ^= gf256::mul(x, y);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("shift_xor_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for &(x, y) in &pairs {
+                acc ^= gf256::mul_notable(x, y);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    for (k, m) in [(6usize, 3usize), (10, 4)] {
+        let spec = StripeSpec::new(k, m);
+        let code = ErasureCode::new(spec);
+        let data: Vec<u8> = {
+            let mut rng = Stream::from_seed(5);
+            (0..k * 64 * 1024).map(|_| rng.below(256) as u8).collect()
+        };
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_function(format!("encode_rs_{k}_{m}_64k_shards"), |b| {
+            b.iter(|| black_box(code.encode(&data)));
+        });
+        let shards = code.encode(&data);
+        g.bench_function(format!("decode_rs_{k}_{m}_with_{m}_losses"), |b| {
+            let mut damaged: Vec<Option<bytes::Bytes>> = shards.iter().cloned().map(Some).collect();
+            for i in 0..m {
+                damaged[i * 2] = None;
+            }
+            b.iter(|| black_box(code.decode(&damaged).expect("decodes")));
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gf_mul, bench_rs
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! WTQL front-end benchmarks: lexing+parsing and plan construction with
+//! dominance metadata.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wt_wtql::{parse, Plan};
+
+const QUERY: &str = r#"
+    EXPLORE availability, tco_usd_per_year
+    SWEEP replication IN [2, 3, 4, 5],
+          nic IN ["1g", "10g", "40g"],
+          placement IN ["R", "RR", "CS"],
+          repair_parallel IN [1, 4, 16, 64]
+    WHERE replication >= 2
+    SUBJECT TO availability >= 0.9999, objects_lost <= 0
+    MINIMIZE tco_usd_per_year
+    OPTIONS threads = 4, probe_fraction = 0.1
+"#;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_full_query", |b| {
+        b.iter(|| black_box(parse(QUERY).expect("parses")));
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let query = parse(QUERY).expect("parses");
+    c.bench_function("plan_144_config_grid", |b| {
+        b.iter(|| black_box(Plan::build(&query).expect("plans")));
+    });
+    let plan = Plan::build(&query).expect("plans");
+    c.bench_function("dominance_check_all_pairs", |b| {
+        b.iter(|| {
+            let mut dominated = 0usize;
+            let failed = &plan.configs[0];
+            for c in &plan.configs {
+                if plan.dominated_by_failure(c, failed) {
+                    dominated += 1;
+                }
+            }
+            black_box(dominated)
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parse, bench_plan
+}
+criterion_main!(benches);

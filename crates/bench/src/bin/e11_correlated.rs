@@ -1,0 +1,120 @@
+//! **E11 — correlated failures (§2.1)**: "behaviors that happen at a
+//! larger scale can't be easily observed at a smaller scale; e.g. …
+//! correlated hardware failures". A top-of-rack switch outage takes a
+//! whole rack offline at once; whether that breaks customer quorums is
+//! decided by the *placement policy* — a hardware/software interaction
+//! that only an integrated simulation exposes.
+
+use wt_bench::{banner, Table};
+use wt_cluster::availability::SwitchFailureModel;
+use wt_cluster::{AvailabilityModel, RebuildModel};
+use wt_des::time::SimDuration;
+use wt_dist::Dist;
+use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+
+const DAY: f64 = 86_400.0;
+const YEAR: f64 = 365.0 * DAY;
+
+fn model(placement: Placement, with_switch_failures: bool) -> AvailabilityModel {
+    AvailabilityModel {
+        n_nodes: 60,
+        redundancy: RedundancyScheme::replication(3),
+        placement,
+        objects: 2_000,
+        object_bytes: 8 << 30,
+        node_ttf: Dist::weibull_mean(0.9, 5.0 * YEAR),
+        node_replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
+        rebuild: RebuildModel::Bandwidth {
+            link_gbps: 10.0,
+            share: 0.5,
+        },
+        repair: RepairPolicy {
+            max_parallel: 16,
+            bandwidth_share: 0.5,
+            detection_delay_s: 300.0,
+        },
+        switches: with_switch_failures.then(|| SwitchFailureModel {
+            nodes_per_rack: 10,
+            ttf: Dist::exponential_mean(60.0 * DAY),
+            // A 1h-mean switch swap: short enough that simultaneous
+            // double-outages (the only thing that hurts RackAware) are
+            // rare, while every single outage still hits Random's
+            // rack-colocated quorums.
+            repair: Dist::lognormal_mean_cv(3600.0, 1.0),
+        }),
+        disks: None,
+    }
+}
+
+fn run(m: &AvailabilityModel) -> (f64, u64, u64) {
+    let reps = 3;
+    let mut avail = 0.0;
+    let mut events = 0;
+    let mut switch_failures = 0;
+    for seed in 0..reps {
+        let r = m.run(seed, SimDuration::from_years(1.0));
+        avail += r.availability / reps as f64;
+        events += r.unavailability_events;
+        switch_failures += r.switch_failures;
+    }
+    (avail, events, switch_failures)
+}
+
+fn main() {
+    banner(
+        "E11 — correlated rack failures vs placement policy",
+        "with independent node failures only, Random and RackAware placement \
+         are nearly indistinguishable; once correlated switch outages are \
+         modeled, Random placement suffers orders of magnitude more quorum \
+         losses — the class of effect the paper says small prototypes miss",
+    );
+
+    let arms: Vec<(&str, Placement, bool)> = vec![
+        ("Random, node failures only", Placement::Random, false),
+        (
+            "RackAware, node failures only",
+            Placement::RackAware { nodes_per_rack: 10 },
+            false,
+        ),
+        ("Random, + switch outages", Placement::Random, true),
+        (
+            "RackAware, + switch outages",
+            Placement::RackAware { nodes_per_rack: 10 },
+            true,
+        ),
+    ];
+
+    let mut table = Table::new(&["arm", "availability", "unavail events", "switch outages"]);
+    let mut results = Vec::new();
+    for (name, placement, switches) in arms {
+        let (avail, events, sw) = run(&model(placement, switches));
+        table.row(vec![
+            name.to_string(),
+            format!("{avail:.7}"),
+            events.to_string(),
+            sw.to_string(),
+        ]);
+        results.push((name, avail, events));
+    }
+    table.print();
+
+    println!();
+    let events = |n: &str| results.iter().find(|(k, _, _)| *k == n).expect("arm").2;
+    let without = events("Random, node failures only").max(1);
+    let ra_without = events("RackAware, node failures only").max(1);
+    println!(
+        "check: without correlation both placements are near-perfect ({without} vs {ra_without} episodes)"
+    );
+    let with = events("Random, + switch outages");
+    let ra_with = events("RackAware, + switch outages");
+    println!(
+        "check: correlation separates them: Random {} vs RackAware {} -> {}x",
+        with,
+        ra_with,
+        with / ra_with.max(1)
+    );
+    println!(
+        "check: a small prototype without rack-scale correlation would have \
+         called the two placements equivalent — the wind tunnel does not."
+    );
+}

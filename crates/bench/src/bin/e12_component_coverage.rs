@@ -1,0 +1,121 @@
+//! **E12 — model coverage across the component spectrum (§4.5)**: "the
+//! entire space of hardware components … has still not been covered".
+//! What does the availability estimate *miss* when the failure model stops
+//! at whole nodes? Same cluster, three failure models of increasing
+//! coverage: nodes only, nodes + per-disk failures, nodes + disks +
+//! ToR switches.
+
+use wt_bench::{banner, Table};
+use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
+use wt_cluster::{AvailabilityModel, RebuildModel};
+use wt_des::time::SimDuration;
+use wt_dist::Dist;
+use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+
+const DAY: f64 = 86_400.0;
+const YEAR: f64 = 365.0 * DAY;
+
+fn model(disks: bool, switches: bool) -> AvailabilityModel {
+    AvailabilityModel {
+        n_nodes: 30,
+        redundancy: RedundancyScheme::replication(3),
+        placement: Placement::Random,
+        objects: 1_000,
+        object_bytes: 32 << 30,
+        node_ttf: Dist::weibull_mean(0.9, 0.5 * YEAR),
+        node_replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
+        // A 1G repair network: the repair window after a node failure is
+        // hours long, so even independent double failures overlap
+        // occasionally — the graduation the experiment needs.
+        rebuild: RebuildModel::Bandwidth {
+            link_gbps: 1.0,
+            share: 0.5,
+        },
+        repair: RepairPolicy {
+            max_parallel: 16,
+            bandwidth_share: 0.5,
+            detection_delay_s: 3_600.0,
+        },
+        switches: switches.then(|| SwitchFailureModel {
+            nodes_per_rack: 10,
+            ttf: Dist::exponential_mean(180.0 * DAY),
+            repair: Dist::lognormal_mean_cv(2.0 * 3600.0, 1.0),
+        }),
+        disks: disks.then(|| DiskFailureModel {
+            per_node: 12,
+            // Per-disk: Weibull with ~3%/yr ARR (Schroeder–Gibson) — with
+            // 360 disks that is ~11 disk losses/yr on top of ~15 node
+            // events.
+            ttf: Dist::weibull_mean(0.8, 15.0 * YEAR),
+            replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.5),
+        }),
+    }
+}
+
+fn main() {
+    banner(
+        "E12 — what the availability estimate misses per modeled component",
+        "each omitted component class silently inflates the availability \
+         estimate; the gap between 'nodes only' and full coverage is the \
+         modeling error a naive simulator ships to its users",
+    );
+
+    let arms: Vec<(&str, AvailabilityModel)> = vec![
+        ("nodes only", model(false, false)),
+        ("nodes + disks", model(true, false)),
+        ("nodes + disks + switches", model(true, true)),
+    ];
+
+    let mut table = Table::new(&[
+        "failure model",
+        "availability",
+        "unavail events",
+        "node fails",
+        "disk fails",
+        "switch fails",
+        "rebuilds",
+    ]);
+    let mut unavail = Vec::new();
+    for (name, m) in &arms {
+        let reps = 4;
+        let mut avail = 0.0;
+        let (mut ev, mut nf, mut df, mut sf, mut rb) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for seed in 0..reps {
+            let r = m.run(seed, SimDuration::from_years(1.0));
+            avail += r.availability / reps as f64;
+            ev += r.unavailability_events;
+            nf += r.node_failures;
+            df += r.disk_failures;
+            sf += r.switch_failures;
+            rb += r.rebuilds_completed;
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{avail:.7}"),
+            ev.to_string(),
+            nf.to_string(),
+            df.to_string(),
+            sf.to_string(),
+            rb.to_string(),
+        ]);
+        unavail.push((name.to_string(), 1.0 - avail, ev));
+    }
+    table.print();
+
+    println!();
+    let base = unavail[0].1.max(1e-12);
+    for (name, u, _) in &unavail[1..] {
+        println!(
+            "check: '{}' reveals {:.1}x the unavailability of 'nodes only' ({:.2e} vs {:.2e})",
+            name,
+            u / base,
+            u,
+            base
+        );
+    }
+    println!(
+        "takeaway: every omitted component class makes the design look \
+         better than it is — the paper's call for failure data across the \
+         whole component spectrum, quantified."
+    );
+}

@@ -1,0 +1,119 @@
+//! **E3 — performance SLAs (§3)**: what happens to a tenant's latency
+//! when (a) a second workload moves in, and (b) cluster events — node
+//! failures and the repair traffic they trigger — hit the same hardware.
+//!
+//! The paper's point: prediction models that ignore cluster events miss
+//! the tail; "holistic simulation can capture the impact of these events
+//! on the performance SLAs".
+
+use wt_bench::{banner, fmt_secs, Table};
+use wt_cluster::PerfModel;
+use wt_dist::Dist;
+use wt_hw::{catalog, TopologySpec};
+use wt_sw::{Placement, RedundancyScheme};
+use wt_workload::TenantWorkload;
+
+fn topo() -> TopologySpec {
+    TopologySpec {
+        racks: 2,
+        nodes_per_rack: 5,
+        node: catalog::node_storage_server(catalog::ssd_sata_1t(), 4, catalog::nic_10g()),
+        tor: catalog::switch_tor_48x10g(),
+        agg: catalog::switch_agg_32x40g(),
+        oversubscription: 4.0,
+    }
+}
+
+fn model(tenants: Vec<TenantWorkload>) -> PerfModel {
+    PerfModel {
+        topology: topo(),
+        redundancy: RedundancyScheme::replication(3),
+        placement: Placement::Random,
+        tenants,
+        limpware: None,
+        inject_failures: false,
+        node_ttf: None,
+        horizon_s: 180.0,
+    }
+}
+
+fn main() {
+    banner(
+        "E3 — tenant latency under co-location and cluster events",
+        "co-locating an analytics tenant inflates the OLTP tail; node \
+         failures + repair traffic inflate it further — effects a \
+         failure-blind prediction model cannot see",
+    );
+
+    let oltp = || TenantWorkload::oltp("shop", 300.0, 100_000);
+
+    let arms: Vec<(&str, PerfModel)> = vec![
+        ("shop alone", model(vec![oltp()])),
+        (
+            "shop + analytics",
+            model(vec![
+                oltp(),
+                TenantWorkload::analytics("reports", 8.0, 1_000),
+            ]),
+        ),
+        ("shop + failures", {
+            let mut m = model(vec![oltp()]);
+            m.inject_failures = true;
+            m.node_ttf = Some(Dist::exponential_mean(60.0));
+            m
+        }),
+        ("shop + analytics + failures", {
+            let mut m = model(vec![
+                oltp(),
+                TenantWorkload::analytics("reports", 8.0, 1_000),
+            ]);
+            m.inject_failures = true;
+            m.node_ttf = Some(Dist::exponential_mean(60.0));
+            m
+        }),
+    ];
+
+    let mut table = Table::new(&[
+        "arm",
+        "p50",
+        "p95",
+        "p99",
+        "failed",
+        "node failures",
+        "SLA p95<=50ms",
+    ]);
+    let mut p99s = Vec::new();
+    for (name, m) in &arms {
+        let r = m.run(99);
+        let shop = r.tenant("shop").expect("shop tenant present");
+        table.row(vec![
+            name.to_string(),
+            fmt_secs(shop.p50_s),
+            fmt_secs(shop.p95_s),
+            fmt_secs(shop.p99_s),
+            shop.failed.to_string(),
+            r.node_failures.to_string(),
+            match shop.sla_met {
+                Some(true) => "met".into(),
+                Some(false) => "VIOLATED".into(),
+                None => "-".into(),
+            },
+        ]);
+        p99s.push((name.to_string(), shop.p99_s));
+    }
+    table.print();
+
+    println!();
+    let p99 = |n: &str| p99s.iter().find(|(k, _)| k == n).expect("arm").1;
+    println!(
+        "check: co-location inflates p99: {} -> {} ({}x)",
+        fmt_secs(p99("shop alone")),
+        fmt_secs(p99("shop + analytics")),
+        (p99("shop + analytics") / p99("shop alone")).round()
+    );
+    println!(
+        "check: cluster events inflate p99 beyond workload-only prediction: {} -> {}",
+        fmt_secs(p99("shop + analytics")),
+        fmt_secs(p99("shop + analytics + failures")),
+    );
+}

@@ -1,0 +1,80 @@
+//! **E4 — hardware provisioning (§3)**: "Should I invest in storage or
+//! memory in order to satisfy the SLAs of 95% of my customers and
+//! minimize the total operating cost?" — answered as a WTQL query.
+
+use windtunnel::prelude::*;
+use wt_bench::{banner, fmt_secs, Table};
+use wt_wtql::{parse, run_query, ExecOptions};
+
+fn main() {
+    banner(
+        "E4 — memory vs storage provisioning as a declarative query",
+        "HDD+plenty-of-DRAM and SSD+little-DRAM both meet the p95 SLA; the \
+         tunnel picks whichever is cheaper per year — an answer that flips \
+         with workload and prices, which is why it has to be *queried*",
+    );
+
+    let query_text = r#"
+        EXPLORE shop_p95_s, tco_usd_per_year
+        SWEEP disk IN ["hdd", "ssd"],
+              mem_gb IN [32, 128, 512]
+        SUBJECT TO shop_p95_s <= 0.010
+        MINIMIZE tco_usd_per_year
+    "#;
+    println!("query:\n{query_text}");
+
+    let base = ScenarioBuilder::new("provisioning-base")
+        .racks(1)
+        .nodes_per_rack(10)
+        .disks_per_node(8)
+        .tenant(TenantWorkload::oltp("shop", 400.0, 100_000))
+        .horizon_years(180.0 / (365.25 * 86_400.0)) // 180 simulated seconds
+        .seed(4)
+        .build();
+
+    let query = parse(query_text).expect("query parses");
+    let tunnel = WindTunnel::new();
+    let out = run_query(&query, &base, &tunnel, &ExecOptions::default()).expect("query runs");
+
+    let mut table = Table::new(&["disk", "mem GB", "p95", "TCO $/yr", "meets SLA"]);
+    for row in &out.rows {
+        let disk = row.assignment[0].1.to_string();
+        let mem = row.assignment[1].1.to_string();
+        table.row(vec![
+            disk,
+            mem,
+            row.metrics
+                .get("shop_p95_s")
+                .map(|v| fmt_secs(*v))
+                .unwrap_or_else(|| "-".into()),
+            row.metrics
+                .get("tco_usd_per_year")
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            if row.passes { "yes" } else { "no" }.into(),
+        ]);
+    }
+    table.print();
+
+    println!();
+    match out.best_row() {
+        Some(best) => {
+            println!(
+                "answer: cheapest SLA-meeting configuration = {} at ${:.0}/yr (p95 {})",
+                best.assignment
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                best.metrics["tco_usd_per_year"],
+                fmt_secs(best.metrics["shop_p95_s"]),
+            );
+        }
+        None => println!("answer: no configuration meets the SLA — provision more hardware"),
+    }
+    println!(
+        "runs executed: {}, recorded in store: {}",
+        out.executed,
+        tunnel.store().len()
+    );
+}

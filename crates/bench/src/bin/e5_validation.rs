@@ -1,0 +1,135 @@
+//! **E5 — validating the simulator against analytical models (§4.3 /
+//! §2.2)**: where closed forms exist, the DES must match them; where the
+//! paper says closed forms break (non-exponential laws), show the
+//! exponential-assuming model drifting while the simulator keeps going.
+
+use wt_analytic::{Mg1, Mm1, Mmc, RepairableReplicas};
+use wt_bench::queuesim::QueueSim;
+use wt_bench::{banner, Table};
+use wt_cluster::{AvailabilityModel, RebuildModel};
+use wt_des::time::SimDuration;
+use wt_dist::Dist;
+use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+
+const DAY: f64 = 86_400.0;
+
+fn main() {
+    banner(
+        "E5 — simulator vs analytical models",
+        "DES matches M/M/1, M/M/c, M/G/1 and the exponential Markov chain \
+         to within Monte-Carlo noise; with Weibull failures at the same \
+         mean, the exponential Markov prediction is biased — the paper's \
+         case for simulation",
+    );
+
+    // ---- Queueing validation -------------------------------------------
+    let mut table = Table::new(&["model", "sim Wq", "formula Wq", "rel err"]);
+    let runs: Vec<(&str, QueueSim, f64)> = vec![
+        (
+            "M/M/1 (rho=0.8)",
+            QueueSim {
+                interarrival: Dist::exponential(8.0),
+                service: Dist::exponential(10.0),
+                servers: 1,
+            },
+            Mm1::new(8.0, 10.0).wq(),
+        ),
+        (
+            "M/M/4 (rho=0.625)",
+            QueueSim {
+                interarrival: Dist::exponential(10.0),
+                service: Dist::exponential(4.0),
+                servers: 4,
+            },
+            Mmc::new(10.0, 4.0, 4).wq(),
+        ),
+        (
+            "M/G/1 lognormal cv=1.5",
+            QueueSim {
+                interarrival: Dist::exponential(8.0),
+                service: Dist::lognormal_mean_cv(0.08, 1.5),
+                servers: 1,
+            },
+            Mg1::new(8.0, Dist::lognormal_mean_cv(0.08, 1.5)).wq(),
+        ),
+        (
+            "M/D/1 (P-K, zero var)",
+            QueueSim {
+                interarrival: Dist::exponential(8.0),
+                service: Dist::deterministic(0.1),
+                servers: 1,
+            },
+            Mg1::new(8.0, Dist::deterministic(0.1)).wq(),
+        ),
+    ];
+    for (name, sim, want) in runs {
+        let stats = sim.run(300_000, 5);
+        table.row(vec![
+            name.into(),
+            format!("{:.5}", stats.wq),
+            format!("{want:.5}"),
+            format!("{:.1}%", 100.0 * (stats.wq - want).abs() / want),
+        ]);
+    }
+    table.print();
+
+    // ---- Availability validation ---------------------------------------
+    println!();
+    const LAMBDA: f64 = 1.0 / (30.0 * DAY);
+    const MU: f64 = 1.0 / DAY;
+    let mk = |ttf: Dist| AvailabilityModel {
+        n_nodes: 10,
+        redundancy: RedundancyScheme::replication(5),
+        placement: Placement::Random,
+        objects: 1,
+        object_bytes: 1,
+        node_ttf: ttf,
+        node_replace: Dist::deterministic(1.0),
+        rebuild: RebuildModel::Timed(Dist::exponential(MU)),
+        repair: RepairPolicy {
+            max_parallel: 1024,
+            bandwidth_share: 1.0,
+            detection_delay_s: 0.0,
+        },
+        switches: None,
+        disks: None,
+    };
+    let average = |m: &AvailabilityModel, reps: u64| {
+        (0..reps)
+            .map(|s| m.run(s, SimDuration::from_years(40.0)).availability)
+            .sum::<f64>()
+            / reps as f64
+    };
+    let markov = RepairableReplicas::new(5, LAMBDA, MU, true).availability(3);
+    let sim_exp = average(&mk(Dist::exponential(LAMBDA)), 8);
+    let sim_weib = average(&mk(Dist::weibull_mean(0.7, 30.0 * DAY)), 8);
+
+    let mut table = Table::new(&["model", "unavailability (1-A)"]);
+    table.row(vec![
+        "Markov chain (exp)".into(),
+        format!("{:.3e}", 1.0 - markov),
+    ]);
+    table.row(vec![
+        "DES, exponential TTF".into(),
+        format!("{:.3e}", 1.0 - sim_exp),
+    ]);
+    table.row(vec![
+        "DES, Weibull(0.7) TTF same mean".into(),
+        format!("{:.3e}", 1.0 - sim_weib),
+    ]);
+    table.print();
+
+    println!();
+    println!(
+        "check: DES(exp) within 50% of Markov: {}",
+        ((1.0 - sim_exp) - (1.0 - markov)).abs() < 0.5 * (1.0 - markov)
+    );
+    println!(
+        "check: Weibull regime diverges from the exponential prediction: {}",
+        ((1.0 - sim_weib) - (1.0 - markov)).abs() > 0.25 * (1.0 - markov)
+    );
+    println!(
+        "bias if one trusted the exponential model under Weibull reality: {:.1}x",
+        (1.0 - sim_weib) / (1.0 - markov)
+    );
+}

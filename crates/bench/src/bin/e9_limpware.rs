@@ -1,0 +1,88 @@
+//! **E9 — limpware (§4.5, ref \[5\])**: a component that *degrades* is
+//! worse than one that *dies*, because the system keeps routing work to
+//! it. Compare healthy vs fail-stop vs limping-NIC tails.
+
+use wt_bench::{banner, fmt_secs, Table};
+use wt_cluster::PerfModel;
+use wt_dist::Dist;
+use wt_hw::{catalog, LimpwareSpec, TopologySpec};
+use wt_sw::{Placement, RedundancyScheme};
+use wt_workload::TenantWorkload;
+
+fn model() -> PerfModel {
+    PerfModel {
+        topology: TopologySpec {
+            racks: 2,
+            nodes_per_rack: 5,
+            node: catalog::node_storage_server(catalog::ssd_sata_1t(), 4, catalog::nic_10g()),
+            tor: catalog::switch_tor_48x10g(),
+            agg: catalog::switch_agg_32x40g(),
+            oversubscription: 4.0,
+        },
+        redundancy: RedundancyScheme::replication(3),
+        placement: Placement::Random,
+        tenants: vec![TenantWorkload::oltp("shop", 400.0, 100_000)],
+        limpware: None,
+        inject_failures: false,
+        node_ttf: None,
+        horizon_s: 180.0,
+    }
+}
+
+fn main() {
+    banner(
+        "E9 — limpware vs fail-stop",
+        "a NIC running 100x slow (but 'up') hurts tail latency more than a \
+         cleanly failed node, because replica selection keeps using it — \
+         the paper's argument for modeling performance-degradation faults",
+    );
+
+    let arms: Vec<(&str, PerfModel)> = vec![
+        ("healthy", model()),
+        ("fail-stop (1 node down)", {
+            let mut m = model();
+            m.inject_failures = true;
+            // One early, long-lasting failure: node TTF ~5s once, repair slow.
+            m.node_ttf = Some(Dist::pareto(5.0, 3.0));
+            m.topology.node.repair = Dist::deterministic(1e6);
+            m
+        }),
+        ("limpware ~30% NICs ~100x slow", {
+            let mut m = model();
+            m.limpware = Some(LimpwareSpec::degraded_nic(0.30));
+            m
+        }),
+    ];
+
+    let mut table = Table::new(&["arm", "p50", "p95", "p99", "mean", "failed"]);
+    let mut tails = Vec::new();
+    for (name, m) in &arms {
+        let r = m.run(9);
+        let t = &r.tenants[0];
+        table.row(vec![
+            name.to_string(),
+            fmt_secs(t.p50_s),
+            fmt_secs(t.p95_s),
+            fmt_secs(t.p99_s),
+            fmt_secs(t.mean_s),
+            t.failed.to_string(),
+        ]);
+        tails.push((name.to_string(), t.p99_s));
+    }
+    table.print();
+
+    println!();
+    let p99 = |n: &str| tails.iter().find(|(k, _)| k.starts_with(n)).expect("arm").1;
+    println!(
+        "check: limpware p99 ({}) > fail-stop p99 ({}) -> {}",
+        fmt_secs(p99("limpware")),
+        fmt_secs(p99("fail-stop")),
+        p99("limpware") > p99("fail-stop")
+    );
+    println!(
+        "check: limpware p99 ({}) >> healthy p99 ({}) -> {}",
+        fmt_secs(p99("limpware")),
+        fmt_secs(p99("healthy")),
+        p99("limpware") > 2.0 * p99("healthy")
+    );
+}

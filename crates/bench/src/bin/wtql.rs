@@ -1,0 +1,190 @@
+//! `wtql` — run a WTQL what-if query against the wind tunnel from the
+//! command line.
+//!
+//! ```text
+//! wtql <query.wtql | -> [--base scenario.json] [--explain] [--csv out.csv]
+//!      [--threads N]
+//! ```
+//!
+//! * the query is read from the file (or stdin with `-`),
+//! * `--base` loads a serialized `windtunnel::Scenario` as the fixed
+//!   part of the configuration (defaults: 30-node HDD cluster, 1,000×4 GB
+//!   objects, 3 simulated months),
+//! * `--explain` prints the optimizer plan and exits without simulating,
+//! * `--csv` exports every recorded run for external plotting.
+
+use std::io::Read as _;
+use windtunnel::prelude::*;
+use wt_bench::Table;
+use wt_wtql::{parse, run_query, ExecOptions, Plan};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wtql <query.wtql | -> [--base scenario.json] [--explain] \
+         [--csv out.csv] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn default_base() -> Scenario {
+    ScenarioBuilder::new("wtql-base")
+        .racks(3)
+        .nodes_per_rack(10)
+        .objects(1_000)
+        .object_gb(4.0)
+        .horizon_years(0.25)
+        .seed(42)
+        .build()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut query_path: Option<String> = None;
+    let mut base_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut explain_only = false;
+    let mut threads = 1usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--base" => base_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--explain" => explain_only = true,
+            _ if query_path.is_none() => query_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let query_path = query_path.unwrap_or_else(|| usage());
+
+    let text = if query_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&query_path)
+            .unwrap_or_else(|e| panic!("cannot read {query_path}: {e}"))
+    };
+
+    let query = match parse(&text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let plan = match Plan::build(&query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", plan.explain(&query));
+    if explain_only {
+        return;
+    }
+
+    let base = match &base_path {
+        Some(p) => {
+            let json = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{p}: bad scenario: {e}"))
+        }
+        None => default_base(),
+    };
+
+    let mut opts = ExecOptions::from_query(&query);
+    if threads > 1 {
+        opts.threads = threads;
+    }
+    let tunnel = WindTunnel::new();
+    let t0 = std::time::Instant::now();
+    let outcome = match run_query(&query, &base, &tunnel, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = t0.elapsed();
+
+    // Results table: swept axes, then explored metrics, then the verdict.
+    let axis_names: Vec<String> = query.sweeps.iter().map(|a| a.param.clone()).collect();
+    let mut headers: Vec<&str> = axis_names.iter().map(String::as_str).collect();
+    let metric_names = query.explore.clone();
+    headers.extend(metric_names.iter().map(String::as_str));
+    headers.push("status");
+    let mut table = Table::new(&headers);
+    for row in &outcome.rows {
+        let mut cells: Vec<String> = row.assignment.iter().map(|(_, v)| v.to_string()).collect();
+        for m in &metric_names {
+            cells.push(
+                row.metrics
+                    .get(m)
+                    .map(|v| format!("{v:.6}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        cells.push(
+            if row.pruned {
+                "pruned"
+            } else if row.aborted {
+                "aborted"
+            } else if row.passes {
+                "PASS"
+            } else if query.constraints.is_empty() {
+                "done"
+            } else {
+                "fail"
+            }
+            .into(),
+        );
+        table.row(cells);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "executed {} | pruned {} | aborted {} | {} sim events | {:.2}s wall",
+        outcome.executed,
+        outcome.pruned,
+        outcome.aborted,
+        outcome.total_sim_events,
+        wall.as_secs_f64()
+    );
+    if let Some(best) = outcome.best_row() {
+        let desc: Vec<String> = best
+            .assignment
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!("best: {}", desc.join(", "));
+    } else if query.objective.is_some() {
+        println!("best: none (no configuration satisfied the constraints)");
+    }
+
+    if let Some(path) = csv_path {
+        let csv = tunnel.store().with(|s| {
+            let mut out = String::new();
+            for exp in ["availability", "perf"] {
+                let part = s.export_csv(exp);
+                if part.lines().count() > 1 {
+                    out.push_str(&part);
+                }
+            }
+            out
+        });
+        std::fs::write(&path, csv).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("recorded runs exported to {path}");
+    }
+}

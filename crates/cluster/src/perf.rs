@@ -1,0 +1,847 @@
+//! Request-level performance simulation (performance SLAs, §3).
+//!
+//! Tenants generate open-loop request streams against objects placed on
+//! the topology. A read queues at the serving node's disk array, then
+//! streams back through its NIC; a write first pushes its copies out of
+//! the client NIC, then commits on the write set's disks. Node failures
+//! (optional) remove replicas from service *and* inject repair traffic
+//! through surviving NICs — the cluster-event/performance coupling the
+//! paper says pure prediction models miss. Limpware scales individual
+//! components' service rates.
+//!
+//! Fidelity notes (DESIGN.md): disks are modeled as a per-node c-server
+//! FIFO (c = disk count) using the catalog's latency/IOPS/bandwidth
+//! envelope; NICs as a 1-server FIFO at line rate capped by the path
+//! bottleneck; switch queueing is folded into the path bandwidth cap.
+//! Placement granularity is a fixed pool of partitions per tenant (like
+//! tablets), not individual keys. Memory acts as a buffer cache: a point
+//! read hits DRAM with probability `cluster_mem / dataset_bytes` and skips
+//! the disk stage — the first-order effect behind the paper's "invest in
+//! storage or memory?" provisioning question (§3).
+
+use crate::results::{PerfResult, TenantPerf};
+use std::collections::HashMap;
+use wt_des::prelude::*;
+use wt_des::rng::RngFactory;
+use wt_des::ServerPool;
+use wt_dist::Dist;
+use wt_hw::limpware::{LimpState, LimpTarget};
+use wt_hw::{LimpwareSpec, NodeId, Topology, TopologySpec};
+use wt_sw::{Placement, Placer, RedundancyScheme};
+use wt_workload::{TenantWorkload, Zipf};
+
+/// Partitions per tenant: the placement granularity.
+const PARTITIONS: u64 = 128;
+
+/// Marker tenant index for background repair transfers.
+const REPAIR_TENANT: usize = usize::MAX;
+
+/// Configuration for one performance run.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// Hardware build-out.
+    pub topology: TopologySpec,
+    /// Redundancy scheme (reads hit one target, writes the write quorum).
+    pub redundancy: RedundancyScheme,
+    /// Partition placement policy.
+    pub placement: Placement,
+    /// Tenant workloads.
+    pub tenants: Vec<TenantWorkload>,
+    /// Optional limpware injection.
+    pub limpware: Option<LimpwareSpec>,
+    /// Inject node failures (and repair traffic) during the run.
+    pub inject_failures: bool,
+    /// Node TTF override; defaults to the topology's node spec.
+    pub node_ttf: Option<Dist>,
+    /// Simulated duration, seconds.
+    pub horizon_s: f64,
+}
+
+impl PerfModel {
+    /// Runs the simulation and summarizes per-tenant latency.
+    pub fn run(&self, seed: u64) -> PerfResult {
+        assert!(
+            !self.tenants.is_empty(),
+            "perf run needs at least one tenant"
+        );
+        let mut sim = Simulation::new(PerfState::new(self, seed), seed);
+        // First arrival per tenant.
+        for t in 0..self.tenants.len() {
+            let gap = sim.model_mut().next_arrival_gap(t);
+            sim.schedule_in(gap, Ev::Arrival { tenant: t });
+        }
+        // First failure per node, if enabled.
+        if self.inject_failures {
+            let ttf_dist = self
+                .node_ttf
+                .clone()
+                .unwrap_or_else(|| self.topology.node.ttf.clone());
+            let factory = RngFactory::new(seed);
+            let mut rng = factory.stream("perf-failures");
+            for node in 0..self.topology.node_count() {
+                let ttf = SimDuration::from_secs(ttf_dist.sample(&mut rng));
+                sim.schedule_in(ttf, Ev::NodeFail { node });
+            }
+        }
+        let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
+        sim.run_until(end);
+        sim.into_model().finish(end)
+    }
+}
+
+/// Event alphabet of the performance simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Tenant issues its next request.
+    Arrival { tenant: usize },
+    /// A disk service completed at `node` for request `rid`.
+    DiskDone { node: usize, rid: u64 },
+    /// A NIC transfer completed at `node` for request `rid`.
+    NicDone { node: usize, rid: u64 },
+    /// Node failure (removes replicas from service, spawns repair traffic).
+    NodeFail { node: usize },
+    /// Node returns to service.
+    NodeBack { node: usize },
+}
+
+/// Per-request runtime state.
+struct Req {
+    tenant: usize,
+    /// Bytes moved in the NIC stage (w× payload for write fan-out).
+    nic_bytes: u64,
+    /// Bytes hitting each disk (payload, or shard for erasure).
+    disk_bytes: u64,
+    write: bool,
+    sequential: bool,
+    /// Far end of the NIC stage (the reading client for reads, the first
+    /// write target for writes).
+    nic_dst: usize,
+    /// Write set (empty for reads).
+    targets: Vec<usize>,
+    /// Remaining disk completions.
+    pending_disks: usize,
+    start: SimTime,
+}
+
+struct PerfState {
+    cfg: PerfModel,
+    topo: Topology,
+    node_up: Vec<bool>,
+    /// partitions[tenant][partition] = holder nodes.
+    partitions: Vec<Vec<Vec<usize>>>,
+    zipfs: Vec<Zipf>,
+    disk_pools: Vec<ServerPool<u64>>,
+    nic_pools: Vec<ServerPool<u64>>,
+    disk_limp: LimpState,
+    nic_limp: LimpState,
+    reqs: HashMap<u64, Req>,
+    next_rid: u64,
+    latencies: Vec<Histogram>,
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    node_failures: u64,
+    /// Probability a point read is served from the cluster-wide buffer
+    /// cache (skipping the disk stage).
+    cache_hit_p: f64,
+    rng: wt_des::rng::Stream,
+}
+
+impl PerfState {
+    fn new(cfg: &PerfModel, seed: u64) -> Self {
+        let topo = cfg.topology.build();
+        let n = topo.node_count();
+        let factory = RngFactory::new(seed);
+        let width = cfg.redundancy.width();
+
+        let mut partitions = Vec::with_capacity(cfg.tenants.len());
+        for (t, _) in cfg.tenants.iter().enumerate() {
+            let mut placer = Placer::new(
+                cfg.placement,
+                n,
+                width,
+                factory.numbered("perf-placement", t as u64),
+            );
+            partitions.push((0..PARTITIONS).map(|p| placer.place(p)).collect::<Vec<_>>());
+        }
+        let zipfs = cfg.tenants.iter().map(|t| t.mix.make_zipf()).collect();
+
+        let mut limp_rng = factory.stream("limpware");
+        let (disk_limp, nic_limp) = match &cfg.limpware {
+            Some(spec) => match spec.target {
+                LimpTarget::Disk => (
+                    LimpState::roll_all(spec, n, &mut limp_rng),
+                    LimpState::healthy(n),
+                ),
+                LimpTarget::Nic => (
+                    LimpState::healthy(n),
+                    LimpState::roll_all(spec, n, &mut limp_rng),
+                ),
+            },
+            None => (LimpState::healthy(n), LimpState::healthy(n)),
+        };
+
+        let disks_per_node = cfg.topology.node.disks.len().max(1);
+        // Buffer cache: cluster DRAM over the tenants' logical dataset.
+        let dataset_bytes: f64 = cfg.tenants.iter().map(|t| t.dataset_bytes as f64).sum();
+        let mem_bytes = cfg.topology.node.mem.capacity_gb * 1e9 * n as f64;
+        let cache_hit_p = if dataset_bytes > 0.0 {
+            (mem_bytes / dataset_bytes).min(1.0)
+        } else {
+            0.0
+        };
+        PerfState {
+            cfg: cfg.clone(),
+            topo,
+            node_up: vec![true; n],
+            partitions,
+            zipfs,
+            disk_pools: (0..n)
+                .map(|_| ServerPool::new(disks_per_node, SimTime::ZERO))
+                .collect(),
+            nic_pools: (0..n).map(|_| ServerPool::new(1, SimTime::ZERO)).collect(),
+            disk_limp,
+            nic_limp,
+            reqs: HashMap::new(),
+            next_rid: 0,
+            latencies: (0..cfg.tenants.len()).map(|_| Histogram::new()).collect(),
+            completed: vec![0; cfg.tenants.len()],
+            failed: vec![0; cfg.tenants.len()],
+            node_failures: 0,
+            cache_hit_p,
+            rng: factory.stream("perf-dynamics"),
+        }
+    }
+
+    fn next_arrival_gap(&mut self, tenant: usize) -> SimDuration {
+        SimDuration::from_secs(self.cfg.tenants[tenant].arrivals.next_gap(&mut self.rng))
+    }
+
+    /// Disk service time at `node` for one disk job of `rid`.
+    fn disk_service(&self, node: usize, rid: u64) -> SimDuration {
+        let r = &self.reqs[&rid];
+        let disk = &self.cfg.topology.node.disks[0];
+        let t =
+            disk.service_time(r.disk_bytes, r.sequential, r.write) * self.disk_limp.factor(node);
+        SimDuration::from_secs(t)
+    }
+
+    /// NIC transfer time at `src` for `rid` (toward the request's NIC
+    /// destination). A limping NIC scales the *whole* service — the
+    /// canonical limplock case is a link renegotiated to a lower speed,
+    /// which inflates per-packet handling as well as throughput.
+    fn nic_service(&self, src: usize, rid: u64) -> SimDuration {
+        let r = &self.reqs[&rid];
+        let path = self.topo.path(NodeId(src as u32), NodeId(r.nic_dst as u32));
+        let nic = &self.cfg.topology.node.nic;
+        let gbps = nic.bandwidth_gbps.min(path.bottleneck_gbps);
+        let t = (nic.latency_s + path.latency_s + r.nic_bytes as f64 * 8.0 / (gbps * 1e9))
+            * self.nic_limp.factor(src);
+        SimDuration::from_secs(t)
+    }
+
+    /// Live holders of (tenant, key).
+    fn holders(&self, tenant: usize, key: u64) -> Vec<usize> {
+        let part = (key % PARTITIONS) as usize;
+        self.partitions[tenant][part]
+            .iter()
+            .copied()
+            .filter(|&n| self.node_up[n])
+            .collect()
+    }
+
+    /// Prefer a holder in the client's rack, else any live holder.
+    fn choose_serving(&mut self, client: usize, holders: &[usize]) -> usize {
+        let local: Vec<usize> = holders
+            .iter()
+            .copied()
+            .filter(|&h| self.topo.same_rack(NodeId(client as u32), NodeId(h as u32)))
+            .collect();
+        let pool = if local.is_empty() { holders } else { &local };
+        pool[self.rng.index(pool.len())]
+    }
+
+    /// Enqueues a disk job; schedules completion if it starts immediately.
+    fn submit_disk(&mut self, node: usize, rid: u64, ctx: &mut Ctx<'_, Ev>) {
+        if let Some(started) = self.disk_pools[node].arrive(ctx.now(), rid) {
+            let dur = self.disk_service(node, started);
+            ctx.schedule_in(dur, Ev::DiskDone { node, rid: started });
+        }
+    }
+
+    /// Enqueues a NIC job at `src`; schedules completion if it starts now.
+    fn submit_nic(&mut self, src: usize, rid: u64, ctx: &mut Ctx<'_, Ev>) {
+        if let Some(started) = self.nic_pools[src].arrive(ctx.now(), rid) {
+            let dur = self.nic_service(src, started);
+            ctx.schedule_in(
+                dur,
+                Ev::NicDone {
+                    node: src,
+                    rid: started,
+                },
+            );
+        }
+    }
+
+    fn complete(&mut self, rid: u64, now: SimTime) {
+        if let Some(req) = self.reqs.remove(&rid) {
+            if req.tenant == REPAIR_TENANT {
+                return;
+            }
+            let latency = now.since(req.start).as_secs();
+            self.latencies[req.tenant].record(latency);
+            self.completed[req.tenant] += 1;
+        }
+    }
+
+    fn finish(self, end: SimTime) -> PerfResult {
+        let horizon_s = end.since(SimTime::ZERO).as_secs();
+        let tenants = self
+            .cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let h = &self.latencies[i];
+                let (q, _) = t.latency_sla.unwrap_or((0.95, f64::INFINITY));
+                let at_quantile = h.quantile(q);
+                TenantPerf {
+                    name: t.name.clone(),
+                    completed: self.completed[i],
+                    failed: self.failed[i],
+                    mean_s: h.mean(),
+                    p50_s: h.p50(),
+                    p95_s: h.p95(),
+                    p99_s: h.p99(),
+                    throughput: self.completed[i] as f64 / horizon_s,
+                    sla_met: t.latency_sla.map(|_| t.sla_met(at_quantile)),
+                }
+            })
+            .collect();
+        let n = self.node_up.len() as f64;
+        PerfResult {
+            tenants,
+            node_failures: self.node_failures,
+            mean_disk_utilization: self
+                .disk_pools
+                .iter()
+                .map(|p| p.utilization(end))
+                .sum::<f64>()
+                / n,
+            mean_nic_utilization: self
+                .nic_pools
+                .iter()
+                .map(|p| p.utilization(end))
+                .sum::<f64>()
+                / n,
+            horizon_s,
+        }
+    }
+
+    fn handle_arrival(&mut self, tenant: usize, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let zipf = &self.zipfs[tenant];
+        let request = self.cfg.tenants[tenant]
+            .mix
+            .draw_request(tenant, zipf, &mut self.rng);
+        let client = self.rng.index(self.topo.node_count());
+        let holders = self.holders(tenant, request.key);
+
+        let rid = self.next_rid;
+        self.next_rid += 1;
+
+        if request.write {
+            let (w, per_disk) = match self.cfg.redundancy {
+                RedundancyScheme::Replication(q) => (q.w, request.bytes),
+                RedundancyScheme::Erasure(s) => (s.total(), (request.bytes / s.k as u64).max(1)),
+            };
+            if holders.len() < w {
+                self.failed[tenant] += 1;
+                return;
+            }
+            let targets: Vec<usize> = holders[..w].to_vec();
+            let nic_dst = targets[0];
+            self.reqs.insert(
+                rid,
+                Req {
+                    tenant,
+                    nic_bytes: per_disk * w as u64,
+                    disk_bytes: per_disk,
+                    write: true,
+                    sequential: request.sequential,
+                    nic_dst,
+                    targets,
+                    pending_disks: w,
+                    start: now,
+                },
+            );
+            // Push all copies out the client NIC, then commit on disks.
+            self.submit_nic(client, rid, ctx);
+        } else {
+            // Reads: replication serves from one replica; erasure coding
+            // must gather k shards from k distinct holders (degraded or
+            // not), then stream the reassembled object to the client.
+            let (read_targets, per_disk): (Vec<usize>, u64) = match self.cfg.redundancy {
+                RedundancyScheme::Replication(_) => {
+                    if holders.is_empty() {
+                        self.failed[tenant] += 1;
+                        return;
+                    }
+                    (vec![self.choose_serving(client, &holders)], request.bytes)
+                }
+                RedundancyScheme::Erasure(spec) => {
+                    if holders.len() < spec.k {
+                        self.failed[tenant] += 1;
+                        return;
+                    }
+                    (
+                        holders[..spec.k].to_vec(),
+                        (request.bytes / spec.k as u64).max(1),
+                    )
+                }
+            };
+            let serving = read_targets[0];
+            let fan = read_targets.len();
+            self.reqs.insert(
+                rid,
+                Req {
+                    tenant,
+                    nic_bytes: request.bytes,
+                    disk_bytes: per_disk,
+                    write: false,
+                    sequential: request.sequential,
+                    nic_dst: client,
+                    targets: Vec::new(),
+                    pending_disks: fan,
+                    start: now,
+                },
+            );
+            // Point reads may be served from the buffer cache (no disk I/O).
+            if !request.sequential && self.rng.chance(self.cache_hit_p) {
+                self.submit_nic(serving, rid, ctx);
+            } else {
+                for target in read_targets {
+                    self.submit_disk(target, rid, ctx);
+                }
+            }
+        }
+    }
+
+    /// Spawns background repair streams after a node failure.
+    fn spawn_repair_traffic(&mut self, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
+        let total_bytes: u64 = self
+            .cfg
+            .tenants
+            .iter()
+            .map(|t| t.object_bytes * PARTITIONS)
+            .sum::<u64>()
+            .saturating_mul(self.cfg.redundancy.width() as u64)
+            / self.topo.node_count().max(1) as u64;
+        let streams = self.cfg.tenants.len().max(1) * 4;
+        let per_stream = (total_bytes / streams as u64).max(1);
+        let candidates: Vec<usize> = (0..self.topo.node_count())
+            .filter(|&n| self.node_up[n])
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        for _ in 0..streams {
+            let src = candidates[self.rng.index(candidates.len())];
+            let dst = candidates[self.rng.index(candidates.len())];
+            let rid = self.next_rid;
+            self.next_rid += 1;
+            self.reqs.insert(
+                rid,
+                Req {
+                    tenant: REPAIR_TENANT,
+                    nic_bytes: per_stream,
+                    disk_bytes: per_stream,
+                    write: false,
+                    sequential: true,
+                    nic_dst: dst,
+                    targets: Vec::new(),
+                    pending_disks: 0,
+                    start: now,
+                },
+            );
+            self.submit_nic(src, rid, ctx);
+        }
+    }
+}
+
+impl Model for PerfState {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        match ev {
+            Ev::Arrival { tenant } => {
+                // Schedule the next arrival first (open loop).
+                let gap = self.next_arrival_gap(tenant);
+                ctx.schedule_in(gap, Ev::Arrival { tenant });
+                self.handle_arrival(tenant, now, ctx);
+            }
+
+            Ev::DiskDone { node, rid } => {
+                // Free the disk and start the next queued job.
+                if let Some(next) = self.disk_pools[node].depart(now) {
+                    let dur = self.disk_service(node, next);
+                    ctx.schedule_in(dur, Ev::DiskDone { node, rid: next });
+                }
+                let Some(req) = self.reqs.get_mut(&rid) else {
+                    return;
+                };
+                req.pending_disks = req.pending_disks.saturating_sub(1);
+                if req.pending_disks == 0 {
+                    if req.write {
+                        self.complete(rid, now);
+                    } else {
+                        // Read: all shards gathered; stream the object back
+                        // through this node's NIC.
+                        self.submit_nic(node, rid, ctx);
+                    }
+                }
+            }
+
+            Ev::NicDone { node, rid } => {
+                if let Some(next) = self.nic_pools[node].depart(now) {
+                    let dur = self.nic_service(node, next);
+                    ctx.schedule_in(dur, Ev::NicDone { node, rid: next });
+                }
+                let Some(req) = self.reqs.get(&rid) else {
+                    return;
+                };
+                if req.tenant == REPAIR_TENANT {
+                    self.reqs.remove(&rid);
+                    return;
+                }
+                if req.write {
+                    // Fan-out done; commit on each target disk.
+                    let targets = req.targets.clone();
+                    for target in targets {
+                        self.submit_disk(target, rid, ctx);
+                    }
+                } else {
+                    self.complete(rid, now);
+                }
+            }
+
+            Ev::NodeFail { node } => {
+                if !self.node_up[node] {
+                    return;
+                }
+                self.node_up[node] = false;
+                self.node_failures += 1;
+                self.spawn_repair_traffic(now, ctx);
+                let back = self.cfg.topology.node.repair.sample(&mut self.rng);
+                ctx.schedule_in(SimDuration::from_secs(back), Ev::NodeBack { node });
+            }
+
+            Ev::NodeBack { node } => {
+                self.node_up[node] = true;
+                let ttf_dist = self
+                    .cfg
+                    .node_ttf
+                    .clone()
+                    .unwrap_or_else(|| self.cfg.topology.node.ttf.clone());
+                let ttf = ttf_dist.sample(&mut self.rng);
+                ctx.schedule_in(SimDuration::from_secs(ttf), Ev::NodeFail { node });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wt_hw::catalog;
+
+    fn topo(disk: wt_hw::DiskSpec, nic: wt_hw::NicSpec) -> TopologySpec {
+        TopologySpec {
+            racks: 2,
+            nodes_per_rack: 5,
+            node: catalog::node_storage_server(disk, 4, nic),
+            tor: catalog::switch_tor_48x10g(),
+            agg: catalog::switch_agg_32x40g(),
+            oversubscription: 4.0,
+        }
+    }
+
+    fn base(tenants: Vec<TenantWorkload>) -> PerfModel {
+        PerfModel {
+            topology: topo(catalog::ssd_sata_1t(), catalog::nic_10g()),
+            redundancy: RedundancyScheme::replication(3),
+            placement: Placement::Random,
+            tenants,
+            limpware: None,
+            inject_failures: false,
+            node_ttf: None,
+            horizon_s: 120.0,
+        }
+    }
+
+    #[test]
+    fn light_load_fast_reads() {
+        let m = base(vec![TenantWorkload::oltp("shop", 50.0, 10_000)]);
+        let r = m.run(1);
+        let t = &r.tenants[0];
+        assert!(t.completed > 3_000, "completed {}", t.completed);
+        assert_eq!(t.failed, 0);
+        // SSD point reads over 10G: well under 10 ms at p95.
+        assert!(t.p95_s < 0.010, "p95 {}", t.p95_s);
+        assert_eq!(t.sla_met, Some(true));
+        assert!((t.throughput - 50.0).abs() < 5.0, "tput {}", t.throughput);
+    }
+
+    #[test]
+    fn overload_blows_latency() {
+        // HDD at high IOPS demand: queues explode vs the same load on SSD.
+        let hdd = PerfModel {
+            topology: topo(catalog::hdd_7200_4t(), catalog::nic_10g()),
+            ..base(vec![TenantWorkload::oltp("shop", 2_000.0, 10_000)])
+        };
+        let ssd = base(vec![TenantWorkload::oltp("shop", 2_000.0, 10_000)]);
+        let rh = hdd.run(2);
+        let rs = ssd.run(2);
+        assert!(
+            rh.tenants[0].p95_s > 10.0 * rs.tenants[0].p95_s,
+            "hdd p95 {} vs ssd p95 {}",
+            rh.tenants[0].p95_s,
+            rs.tenants[0].p95_s
+        );
+        assert!(rh.mean_disk_utilization > rs.mean_disk_utilization);
+    }
+
+    #[test]
+    fn colocation_raises_tail_latency() {
+        // §3: adding a scan-heavy tenant hurts the OLTP tenant's p95.
+        let alone = base(vec![TenantWorkload::oltp("shop", 200.0, 10_000)]);
+        let shared = base(vec![
+            TenantWorkload::oltp("shop", 200.0, 10_000),
+            TenantWorkload::analytics("reports", 8.0, 1_000),
+        ]);
+        let ra = alone.run(3);
+        let rs = shared.run(3);
+        let (alone_t, shared_t) = (ra.tenant("shop").unwrap(), rs.tenant("shop").unwrap());
+        // A shop read occasionally queues behind a 64 MB scan: the mean
+        // moves by the collision probability × scan residence, and the p99
+        // jumps to scan-transfer scale.
+        assert!(
+            shared_t.mean_s > 2.0 * alone_t.mean_s,
+            "co-location should hurt the mean: alone {} vs shared {}",
+            alone_t.mean_s,
+            shared_t.mean_s
+        );
+        assert!(
+            shared_t.p99_s > 5.0 * alone_t.p99_s,
+            "co-location should blow the tail: alone {} vs shared {}",
+            alone_t.p99_s,
+            shared_t.p99_s
+        );
+    }
+
+    #[test]
+    fn limpware_nic_hurts_tails() {
+        let healthy = base(vec![TenantWorkload::oltp("shop", 200.0, 10_000)]);
+        let mut limping = base(vec![TenantWorkload::oltp("shop", 200.0, 10_000)]);
+        limping.limpware = Some(LimpwareSpec::degraded_nic(0.3));
+        let rh = healthy.run(4);
+        let rl = limping.run(4);
+        // Reads served through a limping NIC take ~100× on the wire; with
+        // ~30% of nodes limping both the mean and the tail move visibly.
+        assert!(
+            rl.tenants[0].mean_s > 1.5 * rh.tenants[0].mean_s,
+            "limping mean {} should exceed healthy {}",
+            rl.tenants[0].mean_s,
+            rh.tenants[0].mean_s
+        );
+        assert!(
+            rl.tenants[0].p99_s > rh.tenants[0].p99_s,
+            "limping p99 {} should exceed healthy {}",
+            rl.tenants[0].p99_s,
+            rh.tenants[0].p99_s
+        );
+    }
+
+    #[test]
+    fn failures_inject_repair_traffic_and_hurt_latency() {
+        let calm = base(vec![TenantWorkload::oltp("shop", 300.0, 10_000)]);
+        let mut stormy = base(vec![TenantWorkload::oltp("shop", 300.0, 10_000)]);
+        stormy.inject_failures = true;
+        // Very short node lifetime so failures definitely occur in 120 s.
+        stormy.node_ttf = Some(Dist::exponential_mean(30.0));
+        let rc = calm.run(5);
+        let rs = stormy.run(5);
+        assert_eq!(rc.node_failures, 0);
+        assert!(rs.node_failures > 0, "no failures injected");
+        assert!(
+            rs.tenants[0].p99_s >= rc.tenants[0].p99_s,
+            "failures should not improve tails: {} vs {}",
+            rs.tenants[0].p99_s,
+            rc.tenants[0].p99_s
+        );
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let mut m = base(vec![TenantWorkload::oltp("shop", 100.0, 10_000)]);
+        m.tenants[0].mix.write_weight = 1.0;
+        m.tenants[0].mix.read_weight = 0.0;
+        let writes = m.run(6);
+        let mut m2 = base(vec![TenantWorkload::oltp("shop", 100.0, 10_000)]);
+        m2.tenants[0].mix.write_weight = 0.0;
+        m2.tenants[0].mix.read_weight = 1.0;
+        let reads = m2.run(6);
+        assert!(
+            writes.tenants[0].mean_s > reads.tenants[0].mean_s,
+            "writes {} should cost more than reads {}",
+            writes.tenants[0].mean_s,
+            reads.tenants[0].mean_s
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = base(vec![TenantWorkload::oltp("shop", 100.0, 1_000)]);
+        let a = m.run(7);
+        let b = m.run(7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn erasure_reads_fan_to_k_shards() {
+        // rs(4,2) reads gather 4 shards: roughly 4x the disk operations of
+        // a replicated read (each smaller), visible as higher disk
+        // utilization at equal request rate; and zero failures while >= k
+        // shards are reachable.
+        let mk = |red: RedundancyScheme| {
+            let mut m = base(vec![TenantWorkload::oltp("shop", 300.0, 10_000)]);
+            m.tenants[0].mix.write_weight = 0.0;
+            m.tenants[0].mix.read_weight = 1.0;
+            m.redundancy = red;
+            m
+        };
+        let rep = mk(RedundancyScheme::replication(3)).run(11);
+        let rs = mk(RedundancyScheme::erasure(4, 2)).run(11);
+        assert_eq!(rs.tenants[0].failed, 0);
+        assert!(rs.tenants[0].completed > 10_000);
+        assert!(
+            rs.mean_disk_utilization > 2.0 * rep.mean_disk_utilization,
+            "rs disk util {} vs rep {}",
+            rs.mean_disk_utilization,
+            rep.mean_disk_utilization
+        );
+        // Reassembly also makes the read slower end-to-end.
+        assert!(rs.tenants[0].mean_s >= rep.tenants[0].mean_s);
+    }
+
+    #[test]
+    fn more_memory_lowers_latency_on_hdd() {
+        // The E4 provisioning axis: DRAM absorbs point reads that would
+        // otherwise pay an HDD seek.
+        let mk = |mem_gb: f64| {
+            let mut node =
+                catalog::node_with_memory(catalog::hdd_7200_4t(), 4, catalog::nic_10g(), mem_gb);
+            node.ttf =
+                catalog::node_storage_server(catalog::hdd_7200_4t(), 4, catalog::nic_10g()).ttf;
+            PerfModel {
+                topology: TopologySpec {
+                    racks: 2,
+                    nodes_per_rack: 5,
+                    node,
+                    tor: catalog::switch_tor_48x10g(),
+                    agg: catalog::switch_agg_32x40g(),
+                    oversubscription: 4.0,
+                },
+                redundancy: RedundancyScheme::replication(3),
+                placement: Placement::Random,
+                tenants: vec![TenantWorkload::oltp("shop", 300.0, 100_000)],
+                limpware: None,
+                inject_failures: false,
+                node_ttf: None,
+                horizon_s: 60.0,
+            }
+        };
+        let small = mk(16.0).run(8); // 160 GB cache vs 2 TB data: ~8% hits
+        let big = mk(200.0).run(8); // 2 TB cache: ~100% hits
+        assert!(
+            big.tenants[0].mean_s < 0.5 * small.tenants[0].mean_s,
+            "more DRAM should slash HDD read latency: {} vs {}",
+            big.tenants[0].mean_s,
+            small.tenants[0].mean_s
+        );
+        assert!(big.mean_disk_utilization < small.mean_disk_utilization);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use wt_hw::catalog;
+
+    fn model(
+        rate: f64,
+        keys: u64,
+        replication: usize,
+        racks: usize,
+        per_rack: usize,
+        horizon_s: f64,
+    ) -> PerfModel {
+        PerfModel {
+            topology: TopologySpec {
+                racks,
+                nodes_per_rack: per_rack,
+                node: catalog::node_storage_server(catalog::ssd_sata_1t(), 2, catalog::nic_10g()),
+                tor: catalog::switch_tor_48x10g(),
+                agg: catalog::switch_agg_32x40g(),
+                oversubscription: 4.0,
+            },
+            redundancy: RedundancyScheme::replication(replication),
+            placement: Placement::Random,
+            tenants: vec![TenantWorkload::oltp("t", rate, keys)],
+            limpware: None,
+            inject_failures: false,
+            node_ttf: None,
+            horizon_s,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Engine invariants across random (sane) configurations: latency
+        /// percentiles are ordered and non-negative, completions are
+        /// plausible for the offered load, and identical seeds replay
+        /// identically.
+        #[test]
+        fn perf_engine_invariants(
+            rate in 10.0f64..300.0,
+            keys in 100u64..50_000,
+            replication in 1usize..4,
+            racks in 1usize..3,
+            per_rack in 3usize..8,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(replication <= racks * per_rack);
+            let m = model(rate, keys, replication, racks, per_rack, 30.0);
+            let r = m.run(seed);
+            let t = &r.tenants[0];
+            prop_assert!(t.p50_s >= 0.0);
+            prop_assert!(t.p50_s <= t.p95_s + 1e-12);
+            prop_assert!(t.p95_s <= t.p99_s + 1e-12);
+            prop_assert!(t.mean_s >= 0.0 && t.mean_s.is_finite());
+            // Open-loop at light utilization: completed + failed + in-flight
+            // tracks the arrivals; allow wide slack for Poisson noise.
+            let expected = rate * 30.0;
+            prop_assert!(
+                (t.completed + t.failed) as f64 > expected * 0.7,
+                "completed {} + failed {} vs expected ~{}",
+                t.completed, t.failed, expected
+            );
+            prop_assert!((0.0..=1.0).contains(&r.mean_disk_utilization));
+            prop_assert!((0.0..=1.0).contains(&r.mean_nic_utilization));
+            // Determinism.
+            let r2 = m.run(seed);
+            prop_assert_eq!(r, r2);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The Figure 1 experiment: probability of data unavailability vs. number
+//! of node failures.
+//!
+//! The paper's setup (§4.6): a cloud service storing one object per
+//! customer (10,000 customers), replicated `n ∈ {3, 5}` ways over
+//! `N ∈ {10, 30}` nodes by a Random (R) or RoundRobin (RR) placement
+//! policy, under a quorum protocol — a customer "is not able to operate on
+//! the data" when a majority of their replicas is down. For each failure
+//! count `f` the experiment estimates, by Monte-Carlo over failure sets
+//! (and placement randomness), the probability that *at least one*
+//! customer is unavailable.
+//!
+//! Replica sets are deduplicated into bitmasks, so each trial costs one
+//! popcount per *distinct* set rather than per customer — RoundRobin has
+//! only `N` distinct sets, which is also the structural reason its curve
+//! differs from Random's.
+
+use crate::results::UnavailabilityPoint;
+use wt_des::rng::{RngFactory, Stream};
+use wt_sw::{Placement, Placer, RedundancyScheme};
+
+/// Configuration of one Figure 1 curve (one placement × replication ×
+/// cluster size combination).
+#[derive(Debug, Clone)]
+pub struct UnavailabilityExperiment {
+    /// Cluster size `N` (≤ 64 so failure sets fit a bitmask).
+    pub n_nodes: usize,
+    /// Number of customers (the paper uses 10,000).
+    pub users: u64,
+    /// Redundancy scheme (the paper uses majority-quorum replication).
+    pub redundancy: RedundancyScheme,
+    /// Placement policy.
+    pub placement: Placement,
+    /// Monte-Carlo trials per failure count.
+    pub trials: u32,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl UnavailabilityExperiment {
+    /// The paper's configuration: majority quorum over `n` replicas.
+    pub fn figure1(n_nodes: usize, users: u64, n: usize, placement: Placement, seed: u64) -> Self {
+        UnavailabilityExperiment {
+            n_nodes,
+            users,
+            redundancy: RedundancyScheme::replication(n),
+            placement,
+            trials: 2_000,
+            seed,
+        }
+    }
+
+    /// Distinct replica sets as bitmasks, with per-set customer counts.
+    fn replica_masks(&self) -> Vec<(u64, u64)> {
+        assert!(self.n_nodes <= 64, "bitmask engine caps N at 64");
+        let factory = RngFactory::new(self.seed);
+        let mut placer = Placer::new(
+            self.placement,
+            self.n_nodes,
+            self.redundancy.width(),
+            factory.stream("placement"),
+        );
+        let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for user in 0..self.users {
+            let mut mask = 0u64;
+            for node in placer.place(user) {
+                mask |= 1 << node;
+            }
+            *counts.entry(mask).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Estimates one curve point: `failures` nodes down simultaneously.
+    pub fn run_at(&self, failures: usize) -> UnavailabilityPoint {
+        assert!(failures <= self.n_nodes);
+        let sets = self.replica_masks();
+        let factory = RngFactory::new(self.seed);
+        let mut rng: Stream = factory.numbered("failure-sets", failures as u64);
+        let width = self.redundancy.width();
+
+        let mut hit_trials = 0u64;
+        let mut affected_total = 0f64;
+        for _ in 0..self.trials {
+            let failed = self.sample_failure_mask(failures, &mut rng);
+            let mut affected_users = 0u64;
+            for &(mask, users) in &sets {
+                let up = (mask & !failed).count_ones() as usize;
+                debug_assert!(up <= width);
+                if !self.redundancy.operable(up) {
+                    affected_users += users;
+                }
+            }
+            if affected_users > 0 {
+                hit_trials += 1;
+            }
+            affected_total += affected_users as f64 / self.users as f64;
+        }
+        UnavailabilityPoint {
+            failures,
+            p_unavailable: hit_trials as f64 / self.trials as f64,
+            mean_affected_fraction: affected_total / self.trials as f64,
+        }
+    }
+
+    /// The whole curve: `f = 0..=N`.
+    pub fn run(&self) -> Vec<UnavailabilityPoint> {
+        (0..=self.n_nodes).map(|f| self.run_at(f)).collect()
+    }
+
+    fn sample_failure_mask(&self, failures: usize, rng: &mut Stream) -> u64 {
+        let mut mask = 0u64;
+        for node in rng.sample_indices(self.n_nodes, failures) {
+            mask |= 1 << node;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(n_nodes: usize, n: usize, placement: Placement) -> UnavailabilityExperiment {
+        UnavailabilityExperiment {
+            trials: 400,
+            ..UnavailabilityExperiment::figure1(n_nodes, 1_000, n, placement, 42)
+        }
+    }
+
+    #[test]
+    fn zero_failures_zero_probability() {
+        let p = exp(10, 3, Placement::Random).run_at(0);
+        assert_eq!(p.p_unavailable, 0.0);
+        assert_eq!(p.mean_affected_fraction, 0.0);
+    }
+
+    #[test]
+    fn all_failed_certain_unavailability() {
+        let p = exp(10, 3, Placement::Random).run_at(10);
+        assert_eq!(p.p_unavailable, 1.0);
+        assert_eq!(p.mean_affected_fraction, 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_failures() {
+        let curve = exp(10, 3, Placement::RoundRobin).run();
+        assert_eq!(curve.len(), 11);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].p_unavailable >= w[0].p_unavailable - 0.08,
+                "non-monotone beyond noise: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_replication_more_resilient() {
+        // Figure 1's main separation: n=5 curves sit below n=3 curves.
+        let f = 2;
+        let p3 = exp(10, 3, Placement::RoundRobin).run_at(f);
+        let p5 = exp(10, 5, Placement::RoundRobin).run_at(f);
+        assert!(
+            p5.p_unavailable < p3.p_unavailable,
+            "n=5 ({}) should beat n=3 ({})",
+            p5.p_unavailable,
+            p3.p_unavailable
+        );
+    }
+
+    #[test]
+    fn random_worse_or_equal_to_round_robin_with_many_users() {
+        // With 10k users on 30 nodes, Random covers nearly every possible
+        // replica set, so *some* user loses quorum with fewer failures than
+        // under RR's N distinct sets.
+        let mut r = UnavailabilityExperiment::figure1(30, 10_000, 3, Placement::Random, 7);
+        r.trials = 300;
+        let mut rr = UnavailabilityExperiment::figure1(30, 10_000, 3, Placement::RoundRobin, 7);
+        rr.trials = 300;
+        let f = 4;
+        let pr = r.run_at(f);
+        let prr = rr.run_at(f);
+        assert!(
+            pr.p_unavailable >= prr.p_unavailable,
+            "Random {} vs RR {}",
+            pr.p_unavailable,
+            prr.p_unavailable
+        );
+    }
+
+    #[test]
+    fn round_robin_exact_two_failures_n3_n10() {
+        // Analytical cross-check: RR, N=10, n=3, f=2. A customer with
+        // replica set {i, i+1, i+2} is unavailable iff both failures land
+        // in their set: C(3,2)=3 pairs per set, 10 sets, but each adjacent
+        // pair {i,i+1} is shared by 2 sets. Distinct harmful pairs: pairs
+        // within distance ≤ 2 (mod 10): 10 adjacent + 10 at distance 2 = 20.
+        // P = 20 / C(10,2) = 20/45 = 0.444…
+        let mut e = exp(10, 3, Placement::RoundRobin);
+        e.users = 1_000; // every set occupied
+        e.trials = 4_000;
+        let p = e.run_at(2);
+        assert!(
+            (p.p_unavailable - 20.0 / 45.0).abs() < 0.03,
+            "got {}, want 0.444",
+            p.p_unavailable
+        );
+    }
+
+    #[test]
+    fn erasure_coding_curves_exist() {
+        // rs(4,2) over 10 nodes: operable while ≥ 4 of 6 shards up.
+        let e = UnavailabilityExperiment {
+            n_nodes: 10,
+            users: 500,
+            redundancy: RedundancyScheme::erasure(4, 2),
+            placement: Placement::Random,
+            trials: 300,
+            seed: 1,
+        };
+        let p2 = e.run_at(2);
+        let p5 = e.run_at(5);
+        assert!(p5.p_unavailable >= p2.p_unavailable);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = exp(10, 3, Placement::Random).run_at(3);
+        let b = exp(10, 3, Placement::Random).run_at(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affected_fraction_bounded_by_probability() {
+        // mean affected fraction ≤ P(any affected) (both in [0,1]).
+        let p = exp(10, 3, Placement::Random).run_at(4);
+        assert!(p.mean_affected_fraction <= p.p_unavailable + 1e-12);
+        assert!((0.0..=1.0).contains(&p.p_unavailable));
+    }
+}

@@ -1,0 +1,390 @@
+//! The tunnel itself: run scenarios, check SLAs, attach cost, record runs.
+
+use crate::sla::SlaSet;
+use serde::{Deserialize, Serialize};
+use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
+use wt_cluster::{
+    AvailabilityModel, AvailabilityResult, PerfModel, PerfResult, RebuildModel, Scenario,
+};
+use wt_des::time::SimDuration;
+use wt_hw::CostModel;
+use wt_store::{RunRecord, SharedStore};
+
+/// The wind tunnel: a facade over the simulation engines plus the result
+/// store and cost model.
+#[derive(Debug, Clone, Default)]
+pub struct WindTunnel {
+    store: SharedStore,
+    cost: CostModel,
+}
+
+/// Availability over independent replications, with uncertainty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedAvailability {
+    /// Mean availability across replications.
+    pub mean_availability: f64,
+    /// Approximate 95% confidence half-width of the mean.
+    pub half_width_95: f64,
+    /// Worst replication.
+    pub min_availability: f64,
+    /// Best replication.
+    pub max_availability: f64,
+    /// The individual replication results.
+    pub replications: Vec<AvailabilityResult>,
+}
+
+impl ReplicatedAvailability {
+    /// True if the availability floor is met even at the pessimistic edge
+    /// of the confidence interval.
+    pub fn confidently_meets(&self, floor: f64) -> bool {
+        self.mean_availability - self.half_width_95 >= floor
+    }
+}
+
+/// The verdict on one scenario against an SLA set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Scenario name.
+    pub scenario: String,
+    /// Availability result, if an availability run was needed.
+    pub availability: Option<AvailabilityResult>,
+    /// Performance result, if a perf run was needed.
+    pub perf: Option<PerfResult>,
+    /// Yearly TCO of the hardware.
+    pub tco_usd_per_year: f64,
+    /// Human-readable SLA violations; empty = design passes.
+    pub violations: Vec<String>,
+}
+
+impl Assessment {
+    /// True when every SLA clause held.
+    pub fn passes(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl WindTunnel {
+    /// A tunnel with a fresh store and default cost model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tunnel writing into an existing shared store.
+    pub fn with_store(store: SharedStore) -> Self {
+        WindTunnel {
+            store,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The result store.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Derives the availability engine configuration from a scenario:
+    /// node reliability from the node spec, rebuild bandwidth from the
+    /// NIC and repair policy.
+    pub fn availability_model(scenario: &Scenario) -> AvailabilityModel {
+        AvailabilityModel {
+            n_nodes: scenario.topology.node_count(),
+            redundancy: scenario.redundancy,
+            placement: scenario.placement,
+            objects: scenario.objects,
+            object_bytes: scenario.object_bytes,
+            node_ttf: scenario.topology.node.ttf.clone(),
+            node_replace: scenario.topology.node.repair.clone(),
+            rebuild: RebuildModel::Bandwidth {
+                link_gbps: scenario.topology.node.nic.bandwidth_gbps,
+                share: scenario.repair.bandwidth_share,
+            },
+            repair: scenario.repair,
+            switches: scenario.switch_failures.then(|| SwitchFailureModel {
+                nodes_per_rack: scenario.topology.nodes_per_rack,
+                ttf: scenario.topology.tor.ttf.clone(),
+                repair: scenario.topology.tor.repair.clone(),
+            }),
+            disks: scenario.disk_failures.then(|| DiskFailureModel {
+                per_node: scenario.topology.node.disks.len().max(1),
+                ttf: scenario.topology.node.disks[0].ttf.clone(),
+                replace: scenario.topology.node.disks[0].repair.clone(),
+            }),
+        }
+    }
+
+    /// Derives the performance engine configuration from a scenario.
+    pub fn perf_model(scenario: &Scenario, inject_failures: bool) -> PerfModel {
+        PerfModel {
+            topology: scenario.topology.clone(),
+            redundancy: scenario.redundancy,
+            placement: scenario.placement,
+            tenants: scenario.tenants.clone(),
+            limpware: scenario.limpware.clone(),
+            inject_failures,
+            node_ttf: None,
+            horizon_s: (scenario.horizon_years * 365.0 * 86_400.0).min(600.0),
+        }
+    }
+
+    fn base_record(scenario: &Scenario, experiment: &str) -> RunRecord {
+        RunRecord::new(experiment, scenario.seed)
+            .param("scenario", scenario.name.as_str())
+            .param("nodes", scenario.topology.node_count())
+            .param("racks", scenario.topology.racks)
+            .param("disk", scenario.topology.node.disks[0].name.as_str())
+            .param("nic_gbps", scenario.topology.node.nic.bandwidth_gbps)
+            .param("mem_gb", scenario.topology.node.mem.capacity_gb)
+            .param("redundancy", scenario.redundancy.label().as_str())
+            .param("placement", scenario.placement.label())
+            .param("repair_parallel", scenario.repair.max_parallel)
+            .param("objects", scenario.objects as usize)
+    }
+
+    /// Runs the availability engine over the scenario's horizon and
+    /// records the outcome.
+    pub fn run_availability(&self, scenario: &Scenario) -> AvailabilityResult {
+        let model = Self::availability_model(scenario);
+        let horizon = SimDuration::from_years(scenario.horizon_years);
+        let result = model.run(scenario.seed, horizon);
+        let record = Self::base_record(scenario, "availability")
+            .metric("availability", result.availability)
+            .metric("unavailability_events", result.unavailability_events as f64)
+            .metric("objects_lost", result.objects_lost as f64)
+            .metric("node_failures", result.node_failures as f64)
+            .metric(
+                "tco_usd_per_year",
+                self.cost.cost(&scenario.topology).tco_usd_per_year,
+            );
+        self.store.append(record);
+        result
+    }
+
+    /// Runs the performance engine (capped at 600 simulated seconds — a
+    /// latency measurement, not a reliability horizon) and records it.
+    pub fn run_perf(&self, scenario: &Scenario, inject_failures: bool) -> PerfResult {
+        let model = Self::perf_model(scenario, inject_failures);
+        let result = model.run(scenario.seed);
+        let mut record = Self::base_record(scenario, "perf").metric(
+            "tco_usd_per_year",
+            self.cost.cost(&scenario.topology).tco_usd_per_year,
+        );
+        for t in &result.tenants {
+            record = record
+                .metric(format!("{}_p95_s", t.name), t.p95_s)
+                .metric(format!("{}_p99_s", t.name), t.p99_s)
+                .metric(format!("{}_throughput", t.name), t.throughput);
+        }
+        self.store.append(record);
+        result
+    }
+
+    /// Runs the availability engine over `reps` independent replications
+    /// (seeds derived from the scenario's) and returns the mean
+    /// availability with an approximate 95% confidence half-width —
+    /// availability under bursty failures is heavy-tailed across
+    /// replications, so a single-run point estimate can be badly
+    /// misleading (see EXPERIMENTS.md E10 notes).
+    pub fn run_availability_replicated(
+        &self,
+        scenario: &Scenario,
+        reps: usize,
+    ) -> ReplicatedAvailability {
+        assert!(
+            reps >= 2,
+            "confidence intervals need at least 2 replications"
+        );
+        let mut tally = wt_des::Tally::new();
+        let mut results = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let s = scenario.with_seed(scenario.seed.wrapping_add(rep as u64 * 7919));
+            let r = self.run_availability(&s);
+            tally.record(r.availability);
+            results.push(r);
+        }
+        // Student-t 97.5% quantile, normal approximation beyond 30 df.
+        const T: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = reps - 1;
+        let t = if df <= 30 { T[df - 1] } else { 1.96 };
+        let half_width = t * (tally.variance() / reps as f64).sqrt();
+        ReplicatedAvailability {
+            mean_availability: tally.mean(),
+            half_width_95: half_width,
+            min_availability: tally.min(),
+            max_availability: tally.max(),
+            replications: results,
+        }
+    }
+
+    /// Runs exactly the engines the SLA set needs and returns the verdict
+    /// with cost attached — the unit of work a declarative query executes
+    /// per configuration.
+    pub fn assess(&self, scenario: &Scenario, slas: &SlaSet) -> Assessment {
+        let availability = slas
+            .needs_availability()
+            .then(|| self.run_availability(scenario));
+        let perf = (slas.needs_perf() && !scenario.tenants.is_empty())
+            .then(|| self.run_perf(scenario, false));
+        let violations = slas.violations(availability.as_ref(), perf.as_ref(), scenario.objects);
+        Assessment {
+            scenario: scenario.name.clone(),
+            availability,
+            perf,
+            tco_usd_per_year: self.cost.cost(&scenario.topology).tco_usd_per_year,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ScenarioBuilder;
+    use wt_workload::TenantWorkload;
+
+    fn small() -> Scenario {
+        ScenarioBuilder::new("small")
+            .racks(1)
+            .nodes_per_rack(10)
+            .objects(300)
+            .horizon_years(0.5)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn run_availability_records() {
+        let tunnel = WindTunnel::new();
+        let r = tunnel.run_availability(&small());
+        assert!(r.availability > 0.9);
+        assert_eq!(tunnel.store().len(), 1);
+        let rec = tunnel.store().snapshot().pop().unwrap();
+        assert_eq!(rec.experiment, "availability");
+        assert!(rec.get_metric("availability").is_some());
+        assert!(rec.get_metric("tco_usd_per_year").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_perf_records_per_tenant_metrics() {
+        let tunnel = WindTunnel::new();
+        let sc = ScenarioBuilder::new("perf")
+            .racks(1)
+            .nodes_per_rack(10)
+            .disk(wt_hw::catalog::ssd_sata_1t())
+            .disks_per_node(4)
+            .tenant(TenantWorkload::oltp("shop", 50.0, 1_000))
+            .horizon_years(0.001)
+            .build();
+        let r = tunnel.run_perf(&sc, false);
+        assert_eq!(r.tenants.len(), 1);
+        let rec = tunnel.store().snapshot().pop().unwrap();
+        assert!(rec.get_metric("shop_p95_s").is_some());
+    }
+
+    #[test]
+    fn assess_runs_only_needed_engines() {
+        let tunnel = WindTunnel::new();
+        let slas = SlaSet::new().availability(0.9);
+        let a = tunnel.assess(&small(), &slas);
+        assert!(a.availability.is_some());
+        assert!(a.perf.is_none());
+        assert!(a.tco_usd_per_year > 0.0);
+    }
+
+    #[test]
+    fn assess_flags_violations() {
+        let tunnel = WindTunnel::new();
+        // An impossible availability floor.
+        let slas = SlaSet::new().availability(1.1_f64.min(1.0));
+        let mut sc = small();
+        // Make failures certain to dent availability.
+        sc.topology.node.ttf = wt_dist::Dist::exponential_mean(86_400.0 * 5.0);
+        sc.repair = wt_sw::RepairPolicy {
+            max_parallel: 1,
+            bandwidth_share: 0.1,
+            detection_delay_s: 3600.0,
+        };
+        let a = tunnel.assess(&sc, &slas);
+        assert!(!a.passes(), "availability {:?}", a.availability);
+    }
+
+    #[test]
+    fn empty_sla_passes_without_running_engines() {
+        let tunnel = WindTunnel::new();
+        let a = tunnel.assess(&small(), &SlaSet::new());
+        assert!(a.passes());
+        assert!(a.availability.is_none() && a.perf.is_none());
+        assert_eq!(tunnel.store().len(), 0);
+    }
+
+    #[test]
+    fn replicated_availability_reports_uncertainty() {
+        let tunnel = WindTunnel::new();
+        let mut sc = small();
+        sc.topology.node.ttf = wt_dist::Dist::weibull_mean(0.8, 30.0 * 86_400.0);
+        let r = tunnel.run_availability_replicated(&sc, 5);
+        assert_eq!(r.replications.len(), 5);
+        assert!(r.half_width_95 >= 0.0);
+        assert!((0.0..=1.0).contains(&r.mean_availability));
+        assert!(r.min_availability <= r.mean_availability);
+        assert!(r.mean_availability <= r.max_availability);
+        // All five runs were recorded.
+        assert_eq!(tunnel.store().len(), 5);
+        // An absurd floor is confidently missed; a trivial one is met.
+        assert!(!r.confidently_meets(1.1_f64.min(1.0 + 1e-9)));
+        assert!(r.confidently_meets(0.0));
+    }
+
+    #[test]
+    fn switch_failures_flow_through_the_scenario() {
+        let mut sc = ScenarioBuilder::new("sw")
+            .racks(3)
+            .nodes_per_rack(10)
+            .objects(200)
+            .switch_failures(true)
+            .horizon_years(2.0)
+            .seed(13)
+            .build();
+        // Make ToR outages frequent enough to observe.
+        sc.topology.tor.ttf = wt_dist::Dist::exponential_mean(30.0 * 86_400.0);
+        let tunnel = WindTunnel::new();
+        let r = tunnel.run_availability(&sc);
+        assert!(
+            r.switch_failures > 10,
+            "switch failures: {}",
+            r.switch_failures
+        );
+        // Off by default.
+        let mut calm = sc.clone();
+        calm.switch_failures = false;
+        let rc = tunnel.run_availability(&calm);
+        assert_eq!(rc.switch_failures, 0);
+        assert!(rc.availability >= r.availability);
+    }
+
+    #[test]
+    fn availability_model_mapping() {
+        let sc = small();
+        let m = WindTunnel::availability_model(&sc);
+        assert_eq!(m.n_nodes, 10);
+        assert_eq!(m.objects, 300);
+        match m.rebuild {
+            RebuildModel::Bandwidth { link_gbps, .. } => assert_eq!(link_gbps, 10.0),
+            _ => panic!("expected bandwidth rebuild"),
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Service-level agreements: the user-side constraints every wind tunnel
+//! query is ultimately judged against (§1, §3).
+
+use serde::{Deserialize, Serialize};
+use wt_cluster::{AvailabilityResult, PerfResult};
+
+/// One SLA clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sla {
+    /// Long-run fraction of time the average object must be operable,
+    /// e.g. `0.9999`.
+    Availability {
+        /// Minimum acceptable availability.
+        min: f64,
+    },
+    /// Maximum acceptable fraction of objects lost over the horizon
+    /// (0.0 = no loss tolerated).
+    Durability {
+        /// Maximum fraction of objects in the `Lost` state.
+        max_loss_fraction: f64,
+    },
+    /// A tenant's latency bound at a quantile, e.g. p95 ≤ 50 ms.
+    Latency {
+        /// Tenant name the clause applies to.
+        tenant: String,
+        /// Quantile in (0, 1).
+        quantile: f64,
+        /// Bound in seconds.
+        max_s: f64,
+    },
+}
+
+impl Sla {
+    /// True if this clause needs an availability run to evaluate.
+    pub fn needs_availability(&self) -> bool {
+        matches!(self, Sla::Availability { .. } | Sla::Durability { .. })
+    }
+
+    /// True if this clause needs a performance run to evaluate.
+    pub fn needs_perf(&self) -> bool {
+        matches!(self, Sla::Latency { .. })
+    }
+}
+
+/// A conjunction of SLA clauses.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlaSet {
+    clauses: Vec<Sla>,
+}
+
+impl SlaSet {
+    /// An empty set (always satisfied).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an availability floor.
+    pub fn availability(mut self, min: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min));
+        self.clauses.push(Sla::Availability { min });
+        self
+    }
+
+    /// Adds a durability cap.
+    pub fn durability(mut self, max_loss_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&max_loss_fraction));
+        self.clauses.push(Sla::Durability { max_loss_fraction });
+        self
+    }
+
+    /// Adds a latency bound.
+    pub fn latency(mut self, tenant: &str, quantile: f64, max_s: f64) -> Self {
+        assert!((0.0..1.0).contains(&quantile) && max_s > 0.0);
+        self.clauses.push(Sla::Latency {
+            tenant: tenant.to_string(),
+            quantile,
+            max_s,
+        });
+        self
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Sla] {
+        &self.clauses
+    }
+
+    /// True if any clause needs an availability run.
+    pub fn needs_availability(&self) -> bool {
+        self.clauses.iter().any(Sla::needs_availability)
+    }
+
+    /// True if any clause needs a performance run.
+    pub fn needs_perf(&self) -> bool {
+        self.clauses.iter().any(Sla::needs_perf)
+    }
+
+    /// Evaluates every clause against the available results; clauses whose
+    /// required result is missing are reported as violations (the caller
+    /// didn't run the needed engine). Returns human-readable violations;
+    /// empty = all SLAs met.
+    pub fn violations(
+        &self,
+        avail: Option<&AvailabilityResult>,
+        perf: Option<&PerfResult>,
+        total_objects: u64,
+    ) -> Vec<String> {
+        let mut out = Vec::new();
+        for clause in &self.clauses {
+            match clause {
+                Sla::Availability { min } => match avail {
+                    Some(a) if a.availability >= *min => {}
+                    Some(a) => out.push(format!(
+                        "availability {:.6} below SLA floor {:.6}",
+                        a.availability, min
+                    )),
+                    None => out.push("availability SLA present but no availability run".into()),
+                },
+                Sla::Durability { max_loss_fraction } => match avail {
+                    Some(a) => {
+                        let frac = a.objects_lost as f64 / total_objects.max(1) as f64;
+                        if frac > *max_loss_fraction {
+                            out.push(format!(
+                                "lost {:.4}% of objects, SLA allows {:.4}%",
+                                frac * 100.0,
+                                max_loss_fraction * 100.0
+                            ));
+                        }
+                    }
+                    None => out.push("durability SLA present but no availability run".into()),
+                },
+                Sla::Latency {
+                    tenant,
+                    quantile,
+                    max_s,
+                } => match perf.and_then(|p| p.tenant(tenant)) {
+                    Some(t) => {
+                        // Use the closest precomputed quantile.
+                        let observed = if *quantile <= 0.5 {
+                            t.p50_s
+                        } else if *quantile <= 0.95 {
+                            t.p95_s
+                        } else {
+                            t.p99_s
+                        };
+                        if observed > *max_s {
+                            out.push(format!(
+                                "{tenant} p{:.0} = {:.4}s exceeds SLA {:.4}s",
+                                quantile * 100.0,
+                                observed,
+                                max_s
+                            ));
+                        }
+                    }
+                    None => out.push(format!(
+                        "latency SLA for unknown tenant '{tenant}' or missing perf run"
+                    )),
+                },
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wt_cluster::results::TenantPerf;
+
+    fn avail(availability: f64, lost: u64) -> AvailabilityResult {
+        AvailabilityResult {
+            availability,
+            nines: AvailabilityResult::nines_of(availability),
+            unavailability_events: 0,
+            objects_lost: lost,
+            node_failures: 0,
+            switch_failures: 0,
+            disk_failures: 0,
+            rebuilds_completed: 0,
+            mean_rebuild_wait_s: 0.0,
+            horizon_s: 1.0,
+            sim_events: 0,
+        }
+    }
+
+    fn perf(p95: f64) -> PerfResult {
+        PerfResult {
+            tenants: vec![TenantPerf {
+                name: "shop".into(),
+                completed: 1,
+                failed: 0,
+                mean_s: p95 / 2.0,
+                p50_s: p95 / 2.0,
+                p95_s: p95,
+                p99_s: p95 * 2.0,
+                throughput: 1.0,
+                sla_met: None,
+            }],
+            node_failures: 0,
+            mean_disk_utilization: 0.0,
+            mean_nic_utilization: 0.0,
+            horizon_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_set_always_satisfied() {
+        let s = SlaSet::new();
+        assert!(s.violations(None, None, 100).is_empty());
+        assert!(!s.needs_availability());
+        assert!(!s.needs_perf());
+    }
+
+    #[test]
+    fn availability_clause() {
+        let s = SlaSet::new().availability(0.999);
+        assert!(s.needs_availability());
+        assert!(s.violations(Some(&avail(0.9999, 0)), None, 100).is_empty());
+        let v = s.violations(Some(&avail(0.99, 0)), None, 100);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("below SLA floor"));
+    }
+
+    #[test]
+    fn durability_clause() {
+        let s = SlaSet::new().durability(0.0);
+        assert!(s.violations(Some(&avail(1.0, 0)), None, 100).is_empty());
+        let v = s.violations(Some(&avail(1.0, 2)), None, 100);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("lost"));
+    }
+
+    #[test]
+    fn latency_clause() {
+        let s = SlaSet::new().latency("shop", 0.95, 0.050);
+        assert!(s.needs_perf());
+        assert!(s.violations(None, Some(&perf(0.040)), 1).is_empty());
+        let v = s.violations(None, Some(&perf(0.060)), 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exceeds SLA"));
+    }
+
+    #[test]
+    fn missing_runs_are_violations() {
+        let s = SlaSet::new().availability(0.9).latency("shop", 0.95, 1.0);
+        let v = s.violations(None, None, 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn unknown_tenant_flagged() {
+        let s = SlaSet::new().latency("nobody", 0.95, 1.0);
+        let v = s.violations(None, Some(&perf(0.01)), 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("unknown tenant"));
+    }
+
+    #[test]
+    fn conjunction_of_clauses() {
+        let s = SlaSet::new().availability(0.999).durability(0.01);
+        let v = s.violations(Some(&avail(0.99, 5)), None, 100);
+        assert_eq!(v.len(), 2);
+    }
+}

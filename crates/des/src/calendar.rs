@@ -1,0 +1,283 @@
+//! A calendar queue (Brown 1988): the classic O(1)-amortized alternative
+//! to the binary-heap future-event list, kept here for the DESIGN.md §6
+//! ablation. Same contract as [`crate::EventQueue`]: earliest time first,
+//! FIFO among equal timestamps.
+//!
+//! Design: a ring of `n_buckets` "days" of width `bucket_width`; an event
+//! at time `t` lands in bucket `(t / width) mod n`. `pop` scans from the
+//! current day forward, only accepting events belonging to the current
+//! "year" (so an event one full ring ahead stays put). The queue resizes
+//! (doubling/halving the day count, re-estimating the width from the
+//! inter-event spacing near the head) when the load factor leaves
+//! `[0.5, 2]`.
+
+use crate::time::SimTime;
+
+/// A calendar-queue future-event list.
+pub struct CalendarQueue<E> {
+    /// Each bucket is kept sorted ascending by (time, seq); pops drain
+    /// from the front via index (swap-free removal at position 0 is O(k),
+    /// but k is ~1 at a healthy load factor).
+    buckets: Vec<Vec<(SimTime, u64, E)>>,
+    bucket_width: f64,
+    size: usize,
+    next_seq: u64,
+    /// The cursor's current "day" as an integer index (`(t / width) as
+    /// u64`) — integer so that the accept test uses *exactly* the same
+    /// quantization as bucket assignment. A float lower-edge comparison
+    /// here can round onto an event's timestamp and starve it forever.
+    cursor_day: u64,
+    cursor: usize,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with an initial guess of 2 buckets × 1 s.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..2).map(|_| Vec::new()).collect(),
+            bucket_width: 1.0,
+            size: 0,
+            next_seq: 0,
+            cursor_day: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    fn day_of(&self, t: f64) -> u64 {
+        (t / self.bucket_width) as u64
+    }
+
+    fn bucket_of(&self, t: f64) -> usize {
+        (self.day_of(t) % self.buckets.len() as u64) as usize
+    }
+
+    /// Schedules `event` at `time`; returns its sequence number.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = self.bucket_of(time.as_secs());
+        let bucket = &mut self.buckets[idx];
+        // Insert keeping the bucket sorted by (time, seq).
+        let pos = bucket.partition_point(|(t, s, _)| (*t, *s) <= (time, seq));
+        bucket.insert(pos, (time, seq, event));
+        self.size += 1;
+        // An event scheduled before the cursor's current day would be
+        // skipped until the ring wrapped: rewind the cursor onto it.
+        let day = self.day_of(time.as_secs());
+        if day < self.cursor_day {
+            self.cursor = idx;
+            self.cursor_day = day;
+        }
+        if self.size > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+        seq
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.size == 0 {
+            return None;
+        }
+        // Scan at most one full ring looking for an event inside the
+        // cursor's current "day"; if a whole lap finds nothing, fall back
+        // to a direct minimum search (events are sparse / far ahead).
+        let n = self.buckets.len();
+        for _ in 0..n {
+            let head_day = self.buckets[self.cursor]
+                .first()
+                .map(|&(t, _, _)| self.day_of(t.as_secs()));
+            if head_day.is_some_and(|d| d <= self.cursor_day) {
+                let (t, _, e) = self.buckets[self.cursor].remove(0);
+                self.size -= 1;
+                if self.size < self.buckets.len() / 2 && self.buckets.len() > 2 {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some((t, e));
+            }
+            self.cursor = (self.cursor + 1) % n;
+            self.cursor_day += 1;
+        }
+        // Direct search fallback.
+        let (idx, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.first().map(|&(t, s, _)| (i, (t, s))))
+            .min_by_key(|&(_, key)| key)?;
+        let (t, _, e) = self.buckets[idx].remove(0);
+        self.size -= 1;
+        // Re-anchor the cursor on the popped event's day.
+        self.cursor = self.bucket_of(t.as_secs());
+        self.cursor_day = self.day_of(t.as_secs());
+        Some((t, e))
+    }
+
+    /// The earliest pending event time (O(buckets) worst case).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.buckets
+            .iter()
+            .filter_map(|b| b.first().map(|&(t, s, _)| (t, s)))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// Rebuilds with `n_buckets`, re-estimating the width from the mean
+    /// spacing of up-to-32 earliest events.
+    fn resize(&mut self, n_buckets: usize) {
+        let mut all: Vec<(SimTime, u64, E)> = Vec::with_capacity(self.size);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.sort_by_key(|a| (a.0, a.1));
+        // Width estimate: average gap among the first events, floored.
+        let sample = all.len().min(32);
+        let width = if sample >= 2 {
+            let span = all[sample - 1].0.as_secs() - all[0].0.as_secs();
+            (span / (sample - 1) as f64 * 3.0).max(1e-9)
+        } else {
+            self.bucket_width
+        };
+        self.bucket_width = width;
+        self.buckets = (0..n_buckets.max(2)).map(|_| Vec::new()).collect();
+        // Anchor the cursor at the head event (or reset it when the queue
+        // emptied — a stale cursor could index past the new bucket count).
+        match all.first() {
+            Some(&(t, _, _)) => {
+                self.cursor_day = self.day_of(t.as_secs());
+                self.cursor = self.bucket_of(t.as_secs());
+            }
+            None => {
+                self.cursor = 0;
+                self.cursor_day = 0;
+            }
+        }
+        let n = self.buckets.len() as u64;
+        for (t, s, e) in all {
+            let idx = ((t.as_secs() / self.bucket_width) as u64 % n) as usize;
+            self.buckets[idx].push((t, s, e));
+        }
+        // Buckets were filled in global sorted order, so each stays sorted.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.push(t(3.0), "c");
+        q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = CalendarQueue::new();
+        for i in 0..50 {
+            q.push(t(7.5), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((t(7.5), i)));
+        }
+    }
+
+    #[test]
+    fn survives_resize_cycles() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1_000u64 {
+            q.push(t((i * 37 % 501) as f64), i);
+        }
+        assert_eq!(q.len(), 1_000);
+        let mut last = t(0.0);
+        let mut n = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last, "order violated at item {n}");
+            last = time;
+            n += 1;
+        }
+        assert_eq!(n, 1_000);
+    }
+
+    #[test]
+    fn sparse_far_future_events() {
+        let mut q = CalendarQueue::new();
+        q.push(t(1e9), "far");
+        q.push(t(1.0), "near");
+        assert_eq!(q.pop(), Some((t(1.0), "near")));
+        assert_eq!(q.pop(), Some((t(1e9), "far")));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(t(5.0), 5);
+        q.push(t(2.0), 2);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop(), Some((t(2.0), 2)));
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The calendar queue agrees exactly with the binary-heap queue on
+        /// any interleaving of pushes and pops.
+        #[test]
+        fn equivalent_to_heap_queue(
+            ops in proptest::collection::vec((any::<bool>(), 0u32..10_000), 1..400)
+        ) {
+            let mut cal = CalendarQueue::new();
+            let mut heap = EventQueue::new();
+            for (i, (push, time)) in ops.into_iter().enumerate() {
+                if push {
+                    let t = SimTime::from_secs(f64::from(time) / 10.0);
+                    cal.push(t, i);
+                    heap.push(t, i);
+                } else {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            // Drain both; must match exactly (time order + FIFO ties).
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if b.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

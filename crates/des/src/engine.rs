@@ -1,0 +1,337 @@
+//! The simulation engine: drives a [`Model`] by repeatedly popping the
+//! earliest pending event and handing it to the model together with a
+//! scheduling context [`Ctx`].
+//!
+//! The engine is deliberately single-threaded; parallelism in the wind
+//! tunnel happens *across* simulation runs (see `wt-wtql`), which is both
+//! simpler and — for the replications-of-independent-runs workloads the
+//! paper targets — faster than intra-run parallel DES.
+
+use crate::queue::EventQueue;
+use crate::rng::RngFactory;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: owns all mutable world state and reacts to events.
+///
+/// `Event` is typically an enum covering everything that can happen in the
+/// modeled world (a disk fails, a request completes, a repair finishes, ...).
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to one event. New events are scheduled through `ctx`.
+    fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Why a call to [`Simulation::run`] / [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No pending events remain.
+    QueueEmpty,
+    /// The requested time horizon was reached; later events are still pending.
+    HorizonReached,
+    /// The model called [`Ctx::stop`].
+    StoppedByModel,
+    /// The configured event budget was exhausted (used by the wind tunnel's
+    /// early-abort machinery).
+    EventBudgetExhausted,
+}
+
+/// Scheduling context passed to [`Model::handle`]: the clock, the event
+/// queue, the RNG factory and the stop flag.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut RngFactory,
+    stop: &'a mut bool,
+}
+
+impl<E> Ctx<'_, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute time. Panics if `at` is in the past —
+    /// causality violations are model bugs, not recoverable conditions.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// The run's RNG factory, for creating labeled streams lazily.
+    pub fn rng(&mut self) -> &mut RngFactory {
+        self.rng
+    }
+
+    /// Requests that the engine stop after this event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A single simulation run: a [`Model`], its future-event list, clock,
+/// RNG factory and execution counters.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    rng: RngFactory,
+    now: SimTime,
+    executed: u64,
+    event_budget: Option<u64>,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a run over `model`, with all randomness derived from `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            rng: RngFactory::new(seed),
+            now: SimTime::ZERO,
+            executed: 0,
+            event_budget: None,
+        }
+    }
+
+    /// Caps the total number of events this run may execute; the engine
+    /// returns [`StopReason::EventBudgetExhausted`] once reached.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = Some(budget);
+    }
+
+    /// Schedules an initial event (typically called before the first `run`).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Schedules an initial event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: M::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for setup and for reading out statistics).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The run's RNG factory (for seeding model streams during setup).
+    pub fn rng(&mut self) -> &mut RngFactory {
+        &mut self.rng
+    }
+
+    /// Executes exactly one event, if any is pending. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((time, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue returned a past event");
+        self.now = time;
+        self.executed += 1;
+        let mut stop = false;
+        let mut ctx = Ctx {
+            now: self.now,
+            queue: &mut self.queue,
+            rng: &mut self.rng,
+            stop: &mut stop,
+        };
+        self.model.handle(ev, &mut ctx);
+        true
+    }
+
+    /// Runs until the queue drains, the model stops, or the budget runs out.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `horizon` (exclusive: events strictly after it stay
+    /// pending and the clock is left at `horizon`), the queue drains, the
+    /// model stops, or the budget runs out.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        loop {
+            if let Some(budget) = self.event_budget {
+                if self.executed >= budget {
+                    return StopReason::EventBudgetExhausted;
+                }
+            }
+            let Some(next) = self.queue.peek_time() else {
+                return StopReason::QueueEmpty;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return StopReason::HorizonReached;
+            }
+            let (time, ev) = self.queue.pop().expect("peeked entry vanished");
+            self.now = time;
+            self.executed += 1;
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop: &mut stop,
+            };
+            self.model.handle(ev, &mut ctx);
+            if stop {
+                return StopReason::StoppedByModel;
+            }
+        }
+    }
+
+    /// Consumes the run and returns the model (for extracting final results).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that re-schedules itself `limit` times at a fixed period.
+    struct Ticker {
+        period: SimDuration,
+        limit: u32,
+        fired: u32,
+        fire_times: Vec<SimTime>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn handle(&mut self, _: (), ctx: &mut Ctx<'_, ()>) {
+            self.fired += 1;
+            self.fire_times.push(ctx.now());
+            if self.fired < self.limit {
+                ctx.schedule_in(self.period, ());
+            }
+        }
+    }
+
+    fn ticker(period: f64, limit: u32) -> Ticker {
+        Ticker {
+            period: SimDuration::from_secs(period),
+            limit,
+            fired: 0,
+            fire_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn runs_to_queue_empty() {
+        let mut sim = Simulation::new(ticker(1.0, 5), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(sim.run(), StopReason::QueueEmpty);
+        assert_eq!(sim.model().fired, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4.0));
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_and_preserves_pending() {
+        let mut sim = Simulation::new(ticker(1.0, 100), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(2.5)),
+            StopReason::HorizonReached
+        );
+        assert_eq!(sim.model().fired, 3); // t = 0, 1, 2
+        assert_eq!(sim.now(), SimTime::from_secs(2.5));
+        // Resuming picks up where we left off.
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(4.5)),
+            StopReason::HorizonReached
+        );
+        assert_eq!(sim.model().fired, 5);
+    }
+
+    #[test]
+    fn event_budget_aborts() {
+        let mut sim = Simulation::new(ticker(1.0, 1000), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.set_event_budget(10);
+        assert_eq!(sim.run(), StopReason::EventBudgetExhausted);
+        assert_eq!(sim.events_executed(), 10);
+    }
+
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            if ev == 3 {
+                ctx.stop();
+            } else {
+                ctx.schedule_in(SimDuration::from_secs(1.0), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop() {
+        let mut sim = Simulation::new(Stopper, 1);
+        sim.schedule_at(SimTime::ZERO, 0);
+        assert_eq!(sim.run(), StopReason::StoppedByModel);
+        assert_eq!(sim.now(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn step_executes_one_event() {
+        let mut sim = Simulation::new(ticker(1.0, 3), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert!(sim.step());
+        assert_eq!(sim.model().fired, 1);
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new(ticker(1.0, 2), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.run();
+        sim.schedule_at(SimTime::ZERO, ());
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let trace = |seed| {
+            let mut sim = Simulation::new(ticker(0.5, 50), seed);
+            sim.schedule_at(SimTime::ZERO, ());
+            sim.run();
+            sim.into_model().fire_times
+        };
+        assert_eq!(trace(7), trace(7));
+    }
+}

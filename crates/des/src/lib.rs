@@ -1,0 +1,62 @@
+//! # wt-des — discrete-event simulation kernel
+//!
+//! The substrate every other `windtunnel` crate builds on: a deterministic
+//! discrete-event simulator with
+//!
+//! * a total-ordered [`SimTime`] clock ([`time`]),
+//! * a stable-ordered pending-event queue ([`queue`]),
+//! * an execution engine driving a user [`Model`] ([`engine`]),
+//! * splittable, labeled random-number streams so that adding a new model
+//!   does not perturb the draws of existing ones ([`rng`]),
+//! * output statistics: tallies, time-weighted gauges, quantile histograms
+//!   and batch-means confidence intervals ([`stats`]),
+//! * a reusable multi-server FIFO resource for queueing models ([`resource`]).
+//!
+//! Determinism is a design invariant: two runs with the same model, seed and
+//! horizon produce byte-identical event traces. Ties in event time are broken
+//! by insertion sequence number, never by heap internals.
+//!
+//! ```
+//! use wt_des::prelude::*;
+//!
+//! struct Counter { fired: u32 }
+//! impl Model for Counter {
+//!     type Event = ();
+//!     fn handle(&mut self, _ev: (), ctx: &mut Ctx<'_, ()>) {
+//!         self.fired += 1;
+//!         if self.fired < 3 {
+//!             ctx.schedule_in(SimDuration::from_secs(1.0), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: 0 }, 42);
+//! sim.schedule_at(SimTime::ZERO, ());
+//! sim.run();
+//! assert_eq!(sim.model().fired, 3);
+//! assert_eq!(sim.now(), SimTime::from_secs(2.0));
+//! ```
+
+pub mod calendar;
+pub mod engine;
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::CalendarQueue;
+pub use engine::{Ctx, Model, Simulation, StopReason};
+pub use queue::EventQueue;
+pub use resource::ServerPool;
+pub use rng::{RngFactory, Stream};
+pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
+pub use time::{SimDuration, SimTime};
+
+/// Convenience re-exports for model authors.
+pub mod prelude {
+    pub use crate::engine::{Ctx, Model, Simulation, StopReason};
+    pub use crate::rng::{RngFactory, Stream};
+    pub use crate::stats::{Counter, Histogram, Tally, TimeWeighted};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,619 @@
+//! Output statistics for simulation runs.
+//!
+//! * [`Counter`] — monotone event counts.
+//! * [`Tally`] — streaming mean/variance/min/max over observations (Welford).
+//! * [`TimeWeighted`] — time-averaged level of a piecewise-constant signal
+//!   (queue lengths, number of up replicas, ...).
+//! * [`Histogram`] — log-bucketed histogram with quantile queries, for
+//!   latency percentiles (p50/p95/p99) with bounded relative error.
+//! * [`BatchMeans`] — confidence intervals for steady-state means from a
+//!   single run, via non-overlapping batch means.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counter {
+    n: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.n += 1;
+    }
+
+    /// Adds `k`.
+    pub fn add(&mut self, k: u64) {
+        self.n += k;
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Streaming mean/variance over individual observations, using Welford's
+/// numerically stable update.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation");
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another tally into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant level, e.g. queue length.
+///
+/// Call [`TimeWeighted::set`] whenever the level changes; the integral of the
+/// level over time divided by elapsed time is the time average.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: SimTime,
+    start: SimTime,
+    integral: f64,
+    max_level: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial `level`.
+    pub fn new(start: SimTime, level: f64) -> Self {
+        TimeWeighted {
+            level,
+            last_change: start,
+            start,
+            integral: 0.0,
+            max_level: level,
+        }
+    }
+
+    /// Updates the level at time `now`.
+    pub fn set(&mut self, now: SimTime, level: f64) {
+        self.integral += self.level * now.since(self.last_change).as_secs();
+        self.level = level;
+        self.last_change = now;
+        if level > self.max_level {
+            self.max_level = level;
+        }
+    }
+
+    /// Adds `delta` to the current level at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set(now, next);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Maximum level seen.
+    pub fn max_level(&self) -> f64 {
+        self.max_level
+    }
+
+    /// Time average of the level over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_secs();
+        if total == 0.0 {
+            return self.level;
+        }
+        let integral = self.integral + self.level * now.since(self.last_change).as_secs();
+        integral / total
+    }
+}
+
+/// Log-bucketed histogram over non-negative values with quantile queries.
+///
+/// Buckets grow geometrically from `min_value`, giving a bounded relative
+/// error per bucket (default ~5%). Values below `min_value` land in bucket 0,
+/// values above the top bucket are clamped into the last.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    min_value: f64,
+    growth: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    tally: Tally,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram suitable for latencies from ~1 µs up to ~10⁶ s with 5%
+    /// relative bucket width.
+    pub fn new() -> Self {
+        Self::with_params(1e-6, 1.05, 600)
+    }
+
+    /// A histogram with explicit smallest bucket bound, geometric growth
+    /// factor and bucket count.
+    pub fn with_params(min_value: f64, growth: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0 && growth > 1.0 && buckets > 1);
+        Histogram {
+            min_value,
+            growth,
+            log_growth: growth.ln(),
+            counts: vec![0; buckets],
+            total: 0,
+            tally: Tally::new(),
+        }
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        if x < self.min_value {
+            return 0;
+        }
+        let idx = ((x / self.min_value).ln() / self.log_growth) as usize + 1;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Upper bound of bucket `i` (representative value reported by quantiles).
+    fn bucket_upper(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.min_value
+        } else {
+            self.min_value * self.growth.powi(i as i32)
+        }
+    }
+
+    /// Records one non-negative observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x >= 0.0 && !x.is_nan(), "bad histogram value {x}");
+        let b = self.bucket_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.tally.record(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded values (from the side tally, not the buckets).
+    pub fn mean(&self) -> f64 {
+        self.tally.mean()
+    }
+
+    /// Exact max of recorded values.
+    pub fn max(&self) -> f64 {
+        self.tally.max()
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`), accurate to one bucket width.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_upper(i);
+            }
+        }
+        self.bucket_upper(self.counts.len() - 1)
+    }
+
+    /// Convenience: median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram with identical parameters.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min_value == other.min_value
+                && self.growth == other.growth
+                && self.counts.len() == other.counts.len(),
+            "histogram parameter mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.tally.merge(&other.tally);
+    }
+}
+
+/// Batch-means confidence interval for a steady-state mean from one run.
+///
+/// Observations are grouped into fixed-size batches; the batch means are
+/// (approximately) independent, so a Student-t interval over them estimates
+/// the uncertainty of the grand mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Tally,
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Batches of `batch_size` observations each.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0);
+        BatchMeans {
+            batch_size,
+            current: Tally::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current.record(x);
+        if self.current.count() == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Tally::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Grand mean over completed batches (0 when none).
+    pub fn mean(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// Half-width of an approximate 95% confidence interval over batch
+    /// means. Returns `None` with fewer than 2 completed batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let k = self.batches.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean();
+        let var = self
+            .batches
+            .iter()
+            .map(|b| (b - mean) * (b - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        Some(t_quantile_975(k - 1) * (var / k as f64).sqrt())
+    }
+}
+
+/// 97.5% quantile of Student's t with `df` degrees of freedom (two-sided 95%
+/// interval). Table for small df, normal approximation beyond.
+fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.count(), 5);
+    }
+
+    #[test]
+    fn tally_mean_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.count(), 8);
+        assert_eq!(t.sum(), 40.0);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn tally_merge_with_empty() {
+        let mut a = Tally::new();
+        a.record(3.0);
+        let b = Tally::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Tally::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t = |s| SimTime::from_secs(s);
+        let mut w = TimeWeighted::new(t(0.0), 0.0);
+        w.set(t(10.0), 2.0); // level 0 for 10s
+        w.set(t(20.0), 4.0); // level 2 for 10s
+                             // level 4 for 10s
+        let avg = w.average(t(30.0));
+        assert!((avg - (0.0 * 10.0 + 2.0 * 10.0 + 4.0 * 10.0) / 30.0).abs() < 1e-12);
+        assert_eq!(w.max_level(), 4.0);
+        assert_eq!(w.level(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let t = |s| SimTime::from_secs(s);
+        let mut w = TimeWeighted::new(t(0.0), 1.0);
+        w.add(t(5.0), 1.0);
+        w.add(t(10.0), -2.0);
+        assert_eq!(w.level(), 0.0);
+        assert!((w.average(t(10.0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 / 1000.0); // 0.001 .. 10.0
+        }
+        let p50 = h.p50();
+        assert!((p50 - 5.0).abs() / 5.0 < 0.06, "p50 = {p50}");
+        let p95 = h.p95();
+        assert!((p95 - 9.5).abs() / 9.5 < 0.06, "p95 = {p95}");
+        let p99 = h.p99();
+        assert!((p99 - 9.9).abs() / 9.9 < 0.06, "p99 = {p99}");
+        assert_eq!(h.count(), 10_000);
+        assert!((h.mean() - 5.0005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_and_extremes() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.0); // below min bucket
+        h.record(1e12); // above max bucket — clamped
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0) > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..500 {
+            a.record(i as f64 + 1.0);
+            b.record(i as f64 + 501.0);
+        }
+        let mut whole = Histogram::new();
+        for i in 0..1000 {
+            whole.record(i as f64 + 1.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50(), whole.p50());
+    }
+
+    #[test]
+    fn batch_means_interval_covers_truth() {
+        // Deterministic pseudo-noise around mean 10.
+        let mut bm = BatchMeans::new(50);
+        let mut x = 0.5f64;
+        for _ in 0..5000 {
+            x = (x * 997.0 + 0.123).fract();
+            bm.record(10.0 + (x - 0.5));
+        }
+        assert_eq!(bm.batches(), 100);
+        let hw = bm.half_width_95().unwrap();
+        assert!((bm.mean() - 10.0).abs() < 3.0 * hw + 0.05);
+        assert!(hw < 0.1, "half width too wide: {hw}");
+    }
+
+    #[test]
+    fn batch_means_needs_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..15 {
+            bm.record(i as f64);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert!(bm.half_width_95().is_none());
+    }
+
+    #[test]
+    fn t_table_monotone() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert_eq!(t_quantile_975(100), 1.96);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tally_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let mut t = Tally::new();
+            for &x in &xs { t.record(x); }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((t.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((t.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+        }
+
+        #[test]
+        fn histogram_quantile_monotone(xs in proptest::collection::vec(0.0f64..1e4, 1..300)) {
+            let mut h = Histogram::new();
+            for &x in &xs { h.record(x); }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            for w in qs.windows(2) {
+                prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+            }
+        }
+
+        #[test]
+        fn histogram_quantile_within_range(xs in proptest::collection::vec(1e-3f64..1e4, 1..300)) {
+            let mut h = Histogram::new();
+            for &x in &xs { h.record(x); }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(0.0, f64::max);
+            // Quantiles report bucket upper bounds: allow one bucket of slack.
+            prop_assert!(h.quantile(0.5) >= lo * 0.9);
+            prop_assert!(h.quantile(0.5) <= hi * 1.1);
+        }
+    }
+}

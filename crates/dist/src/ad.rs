@@ -1,0 +1,166 @@
+//! Anderson–Darling goodness-of-fit test.
+//!
+//! Complements Kolmogorov–Smirnov ([`crate::ks`]): the A² statistic weights
+//! discrepancies by `1/(F(1−F))`, so it is far more sensitive in the
+//! *tails* — exactly where the §2.2 exponential-vs-Weibull distinction
+//! lives (infant mortality, wear-out). Used alongside KS when selecting
+//! models in the log-seeding pipeline.
+
+use crate::dist::Dist;
+
+/// Result of an Anderson–Darling test against a fully specified
+/// distribution (parameters not estimated from this sample — the "case 0"
+/// critical values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdResult {
+    /// The A² statistic.
+    pub statistic: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Case-0 critical values for A² (Stephens 1974): significance levels
+/// 10%, 5%, 2.5%, 1%.
+const CRITICAL: [(f64, f64); 4] = [(0.10, 1.933), (0.05, 2.492), (0.025, 3.070), (0.01, 3.857)];
+
+impl AdResult {
+    /// True if H₀ is *not* rejected at significance `alpha`
+    /// (alpha ∈ {0.10, 0.05, 0.025, 0.01}; the nearest tabulated level at
+    /// or below `alpha` is used).
+    pub fn accepts(&self, alpha: f64) -> bool {
+        let critical = CRITICAL
+            .iter()
+            .filter(|(a, _)| *a >= alpha)
+            .map(|(_, c)| *c)
+            .next_back()
+            .unwrap_or(3.857);
+        self.statistic <= critical
+    }
+}
+
+/// The A² statistic of `data` against the theoretical cdf of `dist`.
+///
+/// `A² = −n − (1/n) Σᵢ (2i−1) [ln F(x₍ᵢ₎) + ln(1 − F(x₍ₙ₊₁₋ᵢ₎))]`
+pub fn ad_statistic(data: &[f64], dist: &Dist) -> f64 {
+    assert!(data.len() >= 2, "AD needs at least 2 observations");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let n = sorted.len();
+    let nf = n as f64;
+    // Clamp F away from {0, 1} so the logs stay finite (standard practice;
+    // matters only for samples outside the distribution's support).
+    let f = |x: f64| dist.cdf(x).clamp(1e-12, 1.0 - 1e-12);
+    let mut sum = 0.0;
+    for i in 0..n {
+        let weight = (2 * i + 1) as f64;
+        sum += weight * (f(sorted[i]).ln() + (1.0 - f(sorted[n - 1 - i])).ln());
+    }
+    -nf - sum / nf
+}
+
+/// Full AD test.
+pub fn ad_test(data: &[f64], dist: &Dist) -> AdResult {
+    AdResult {
+        statistic: ad_statistic(data, dist),
+        n: data.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wt_des::rng::Stream;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Stream::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn true_null_accepted() {
+        for (i, d) in [
+            Dist::exponential(1.0),
+            Dist::weibull(0.7, 2.0),
+            Dist::lognormal(0.0, 1.0),
+            Dist::uniform(0.0, 1.0),
+            Dist::gamma(3.0, 1.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let data = draw(d, 2_000, 100 + i as u64);
+            let r = ad_test(&data, d);
+            assert!(
+                r.accepts(0.01),
+                "{}: A² = {} should accept",
+                d.describe(),
+                r.statistic
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_family_rejected() {
+        // Weibull(0.7) data vs an exponential of the same mean: KS might
+        // hesitate at small n, AD sees the tails.
+        let truth = Dist::weibull_mean(0.7, 10.0);
+        let data = draw(&truth, 2_000, 3);
+        let wrong = Dist::exponential_mean(10.0);
+        let r = ad_test(&data, &wrong);
+        assert!(!r.accepts(0.01), "A² = {} should reject", r.statistic);
+    }
+
+    #[test]
+    fn ad_more_sensitive_than_ks_in_tails() {
+        // A mild tail difference at modest n: compare the two statistics'
+        // rejection behavior. Weibull(0.85) vs exponential, same mean.
+        let truth = Dist::weibull_mean(0.85, 1.0);
+        let wrong = Dist::exponential_mean(1.0);
+        let mut ad_rejects = 0;
+        let mut ks_rejects = 0;
+        for seed in 0..20 {
+            let data = draw(&truth, 400, 50 + seed);
+            if !ad_test(&data, &wrong).accepts(0.05) {
+                ad_rejects += 1;
+            }
+            if !crate::ks::ks_test(&data, &wrong).accepts(0.05) {
+                ks_rejects += 1;
+            }
+        }
+        assert!(
+            ad_rejects >= ks_rejects,
+            "AD ({ad_rejects}/20) should reject at least as often as KS ({ks_rejects}/20)"
+        );
+        assert!(
+            ad_rejects > 10,
+            "AD should usually spot the tail: {ad_rejects}/20"
+        );
+    }
+
+    #[test]
+    fn statistic_grows_with_mismatch() {
+        let data = draw(&Dist::exponential(1.0), 1_000, 7);
+        let close = ad_statistic(&data, &Dist::exponential(1.0));
+        let far = ad_statistic(&data, &Dist::exponential(5.0));
+        assert!(far > 10.0 * close.max(0.1), "close {close}, far {far}");
+    }
+
+    #[test]
+    fn out_of_support_data_stays_finite() {
+        // Data below a Pareto's minimum: F = 0 there; the clamp keeps A²
+        // finite (and enormous).
+        let r = ad_test(&[0.1, 0.2, 5.0], &Dist::pareto(1.0, 2.0));
+        assert!(r.statistic.is_finite());
+        assert!(!r.accepts(0.01));
+    }
+
+    #[test]
+    fn alpha_table_lookup() {
+        let r = AdResult {
+            statistic: 2.0,
+            n: 100,
+        };
+        assert!(r.accepts(0.05)); // 2.0 < 2.492
+        assert!(!r.accepts(0.10)); // 2.0 > 1.933
+    }
+}

@@ -1,0 +1,341 @@
+//! Parameter estimation: the paper's §4.4 "operational log data → models"
+//! pipeline.
+//!
+//! Given observed durations (times between disk replacements, repair times,
+//! request latencies…), these routines fit candidate families and
+//! [`fit_best`] selects among them by Kolmogorov–Smirnov distance. The
+//! estimators are maximum likelihood where closed-form or a stable
+//! one-dimensional Newton iteration exists (exponential, lognormal, normal,
+//! Weibull, gamma), method-of-moments as a fallback.
+
+use crate::dist::Dist;
+use crate::ks::{ks_test, KsResult};
+use crate::special::digamma;
+
+fn mean_of(data: &[f64]) -> f64 {
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+fn variance_of(data: &[f64]) -> f64 {
+    let m = mean_of(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1).max(1) as f64
+}
+
+fn check_positive(data: &[f64], what: &str) {
+    assert!(data.len() >= 2, "{what}: need at least 2 observations");
+    assert!(
+        data.iter().all(|&x| x > 0.0 && x.is_finite()),
+        "{what}: data must be positive and finite"
+    );
+}
+
+/// MLE for the exponential: rate = 1 / mean.
+pub fn fit_exponential(data: &[f64]) -> Dist {
+    check_positive(data, "fit_exponential");
+    Dist::exponential(1.0 / mean_of(data))
+}
+
+/// MLE for the lognormal: moments of `ln x`.
+pub fn fit_lognormal(data: &[f64]) -> Dist {
+    check_positive(data, "fit_lognormal");
+    let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+    let mu = mean_of(&logs);
+    let sigma2 = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
+    Dist::lognormal(mu, sigma2.sqrt().max(1e-9))
+}
+
+/// MLE for the normal.
+pub fn fit_normal(data: &[f64]) -> Dist {
+    assert!(data.len() >= 2, "fit_normal: need at least 2 observations");
+    Dist::normal(mean_of(data), variance_of(data).sqrt().max(1e-9))
+}
+
+/// Weibull MLE: Newton–Raphson on the profile likelihood for the shape `k`
+/// (the standard one-dimensional reduction), then the scale in closed form.
+///
+/// Solves `g(k) = Σ xᵏ ln x / Σ xᵏ − 1/k − mean(ln x) = 0`, which is
+/// monotone in `k`; converges from the Menon/moment starting point in a
+/// handful of iterations for any real data set.
+pub fn fit_weibull(data: &[f64]) -> Dist {
+    check_positive(data, "fit_weibull");
+    let n = data.len() as f64;
+    let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+    let mean_log = mean_of(&logs);
+
+    // Starting point: moment-style estimate from the variance of ln x
+    // (for Weibull, Var[ln X] = π²/(6k²)).
+    let var_log = logs
+        .iter()
+        .map(|l| (l - mean_log) * (l - mean_log))
+        .sum::<f64>()
+        / n;
+    let mut k = if var_log > 1e-12 {
+        (std::f64::consts::PI / (6.0 * var_log).sqrt()).max(0.05)
+    } else {
+        1.0
+    };
+
+    for _ in 0..100 {
+        // Work with scaled powers to avoid overflow on large data values.
+        let max_x = data.iter().cloned().fold(0.0f64, f64::max);
+        let mut s0 = 0.0; // Σ (x/max)ᵏ
+        let mut s1 = 0.0; // Σ (x/max)ᵏ ln x
+        let mut s2 = 0.0; // Σ (x/max)ᵏ (ln x)²
+        for (&x, &lx) in data.iter().zip(&logs) {
+            let p = (x / max_x).powf(k);
+            s0 += p;
+            s1 += p * lx;
+            s2 += p * lx * lx;
+        }
+        let g = s1 / s0 - 1.0 / k - mean_log;
+        // g'(k) = (s2·s0 − s1²)/s0² + 1/k²
+        let gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        let step = g / gp;
+        let next = (k - step).clamp(k * 0.2, k * 5.0).max(1e-4);
+        if (next - k).abs() < 1e-10 * k {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+
+    let scale = (data.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    Dist::weibull(k, scale)
+}
+
+/// Gamma fit: method-of-moments start, then a few Newton steps on the MLE
+/// equation `ln k − ψ(k) = ln(mean) − mean(ln x)`.
+pub fn fit_gamma(data: &[f64]) -> Dist {
+    check_positive(data, "fit_gamma");
+    let m = mean_of(data);
+    let mean_log = mean_of(&data.iter().map(|x| x.ln()).collect::<Vec<_>>());
+    let s = (m.ln() - mean_log).max(1e-12);
+
+    // Minka's closed-form initialization.
+    let mut k = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+    for _ in 0..50 {
+        let f = k.ln() - digamma(k) - s;
+        // d/dk (ln k − ψ(k)) = 1/k − ψ'(k); approximate ψ' with the series
+        // trigamma ≈ 1/k + 1/(2k²) + 1/(6k³).
+        let trigamma = 1.0 / k + 1.0 / (2.0 * k * k) + 1.0 / (6.0 * k * k * k);
+        let fp = 1.0 / k - trigamma;
+        let next = (k - f / fp).max(1e-4);
+        if (next - k).abs() < 1e-12 * k {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    Dist::gamma(k, m / k)
+}
+
+/// The empirical distribution itself (no parametric assumption).
+pub fn fit_empirical(data: &[f64]) -> Dist {
+    Dist::empirical(data.to_vec())
+}
+
+/// One fitted candidate with its goodness of fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Family name, e.g. `"weibull"`.
+    pub family: &'static str,
+    /// The fitted distribution.
+    pub dist: Dist,
+    /// KS test of the data against the fitted distribution.
+    pub ks: KsResult,
+}
+
+/// Fits every parametric candidate family and returns them ranked by KS
+/// statistic (best first). The caller decides whether the best parametric
+/// fit is adequate (`ks.accepts(alpha)`) or whether to fall back to
+/// [`fit_empirical`].
+///
+/// This is the §4.4 transformation "convert log data into meaningful models
+/// (probability distributions) that can be used by the wind tunnel".
+pub fn fit_best(data: &[f64]) -> Vec<FitReport> {
+    check_positive(data, "fit_best");
+    let candidates: Vec<(&'static str, Dist)> = vec![
+        ("exponential", fit_exponential(data)),
+        ("weibull", fit_weibull(data)),
+        ("gamma", fit_gamma(data)),
+        ("lognormal", fit_lognormal(data)),
+    ];
+    let mut reports: Vec<FitReport> = candidates
+        .into_iter()
+        .map(|(family, dist)| {
+            let ks = ks_test(data, &dist);
+            FitReport { family, dist, ks }
+        })
+        .collect();
+    reports.sort_by(|a, b| {
+        a.ks.statistic
+            .partial_cmp(&b.ks.statistic)
+            .expect("KS statistic is finite")
+    });
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wt_des::rng::Stream;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Stream::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_recovers_rate() {
+        let data = draw(&Dist::exponential(0.25), 20_000, 1);
+        let fitted = fit_exponential(&data);
+        if let Dist::Exponential { rate } = fitted {
+            assert!((rate - 0.25).abs() / 0.25 < 0.03, "rate = {rate}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn lognormal_recovers_params() {
+        let truth = Dist::lognormal(2.0, 0.7);
+        let data = draw(&truth, 20_000, 2);
+        if let Dist::LogNormal { mu, sigma } = fit_lognormal(&data) {
+            assert!((mu - 2.0).abs() < 0.03, "mu = {mu}");
+            assert!((sigma - 0.7).abs() < 0.03, "sigma = {sigma}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn weibull_recovers_params_decreasing_hazard() {
+        // The Schroeder–Gibson regime: shape < 1.
+        let truth = Dist::weibull(0.7, 1000.0);
+        let data = draw(&truth, 20_000, 3);
+        if let Dist::Weibull { shape, scale } = fit_weibull(&data) {
+            assert!((shape - 0.7).abs() < 0.03, "shape = {shape}");
+            assert!((scale - 1000.0).abs() / 1000.0 < 0.05, "scale = {scale}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn weibull_recovers_params_increasing_hazard() {
+        let truth = Dist::weibull(2.5, 10.0);
+        let data = draw(&truth, 20_000, 4);
+        if let Dist::Weibull { shape, scale } = fit_weibull(&data) {
+            assert!((shape - 2.5).abs() < 0.08, "shape = {shape}");
+            assert!((scale - 10.0).abs() / 10.0 < 0.03, "scale = {scale}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn gamma_recovers_params() {
+        let truth = Dist::gamma(3.0, 2.0);
+        let data = draw(&truth, 20_000, 5);
+        if let Dist::Gamma { shape, scale } = fit_gamma(&data) {
+            assert!((shape - 3.0).abs() < 0.15, "shape = {shape}");
+            assert!((scale - 2.0).abs() < 0.15, "scale = {scale}");
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn fit_best_selects_true_family() {
+        // Weibull data with shape far from 1 should rank weibull above
+        // exponential.
+        let data = draw(&Dist::weibull(3.0, 5.0), 5_000, 6);
+        let reports = fit_best(&data);
+        assert_eq!(reports[0].family, "weibull");
+        assert!(reports[0].ks.accepts(0.01));
+        // Exponential must be a clearly worse fit.
+        let exp_report = reports.iter().find(|r| r.family == "exponential").unwrap();
+        assert!(exp_report.ks.statistic > 3.0 * reports[0].ks.statistic);
+    }
+
+    #[test]
+    fn fit_best_on_lognormal_repair_times() {
+        // The paper's repair-time example [16]: lognormal should win.
+        let data = draw(&Dist::lognormal(1.5, 1.1), 5_000, 7);
+        let reports = fit_best(&data);
+        assert_eq!(reports[0].family, "lognormal");
+        assert!(reports[0].ks.accepts(0.01));
+    }
+
+    #[test]
+    fn exponential_data_fits_multiple_families() {
+        // Exponential is a special case of Weibull (k=1) and Gamma (k=1):
+        // all three should accept.
+        let data = draw(&Dist::exponential(1.0), 5_000, 8);
+        let reports = fit_best(&data);
+        let accepted: Vec<_> = reports
+            .iter()
+            .filter(|r| r.ks.accepts(0.01))
+            .map(|r| r.family)
+            .collect();
+        assert!(accepted.contains(&"exponential"), "accepted: {accepted:?}");
+        assert!(accepted.contains(&"weibull"));
+    }
+
+    #[test]
+    fn fit_empirical_reproduces_data() {
+        let data = vec![1.0, 2.0, 3.0];
+        let d = fit_empirical(&data);
+        assert_eq!(d.cdf(2.0), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_data() {
+        let _ = fit_weibull(&[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_data() {
+        let _ = fit_exponential(&[1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use wt_des::rng::Stream;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Whatever the true Weibull parameters, the fitter recovers a
+        /// distribution whose mean is close to the sample mean.
+        #[test]
+        fn weibull_fit_preserves_mean(shape in 0.4f64..4.0, scale in 0.5f64..100.0, seed in any::<u64>()) {
+            let truth = Dist::weibull(shape, scale);
+            let mut rng = Stream::from_seed(seed);
+            let data: Vec<f64> = (0..2000).map(|_| truth.sample(&mut rng)).collect();
+            let fitted = fit_weibull(&data);
+            let sample_mean = data.iter().sum::<f64>() / data.len() as f64;
+            prop_assert!((fitted.mean() - sample_mean).abs() / sample_mean < 0.15,
+                "fitted mean {} vs sample mean {}", fitted.mean(), sample_mean);
+        }
+
+        /// fit_best never panics and always returns all four families.
+        #[test]
+        fn fit_best_total(seed in any::<u64>()) {
+            let truth = Dist::gamma(2.0, 3.0);
+            let mut rng = Stream::from_seed(seed);
+            let data: Vec<f64> = (0..200).map(|_| truth.sample(&mut rng)).collect();
+            let reports = fit_best(&data);
+            prop_assert_eq!(reports.len(), 4);
+            // Ranked by KS statistic.
+            for w in reports.windows(2) {
+                prop_assert!(w[0].ks.statistic <= w[1].ks.statistic);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Kolmogorov–Smirnov one-sample goodness-of-fit test.
+//!
+//! Used in two roles: model selection inside [`crate::fit::fit_best`]
+//! (pick the candidate family whose fitted cdf is closest to the data),
+//! and simulator validation (paper §4.3): check that our samplers actually
+//! produce their claimed distributions.
+
+use crate::dist::Dist;
+
+/// Outcome of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (probability of seeing a D this large under H₀).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// True if H₀ ("data follows the distribution") is *not* rejected at
+    /// significance `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// The KS statistic of `data` against the theoretical cdf of `dist`.
+/// `data` need not be sorted.
+pub fn ks_statistic(data: &[f64], dist: &Dist) -> f64 {
+    assert!(!data.is_empty(), "KS needs data");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        // ECDF jumps at x: compare against both the pre- and post-jump level.
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Full KS test of `data` against `dist`, with asymptotic p-value
+/// (Marsaglia–Tsang–Wang-style series with the Stephens small-sample
+/// correction).
+pub fn ks_test(data: &[f64], dist: &Dist) -> KsResult {
+    let d = ks_statistic(data, dist);
+    let n = data.len();
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n,
+    }
+}
+
+/// Kolmogorov's Q function: `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wt_des::rng::Stream;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Stream::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn samplers_pass_ks_against_own_cdf() {
+        let dists = [
+            Dist::exponential(1.5),
+            Dist::weibull(0.7, 2.0),
+            Dist::weibull(3.0, 1.0),
+            Dist::gamma(0.5, 1.0),
+            Dist::gamma(4.0, 0.5),
+            Dist::lognormal(0.0, 1.0),
+            Dist::normal(5.0, 2.0),
+            Dist::pareto(1.0, 2.0),
+            Dist::erlang(3, 1.0),
+            Dist::uniform(0.0, 1.0),
+        ];
+        for (i, d) in dists.iter().enumerate() {
+            let data = draw(d, 5_000, 1000 + i as u64);
+            let r = ks_test(&data, d);
+            assert!(
+                r.accepts(0.001),
+                "{} failed KS: D={} p={}",
+                d.describe(),
+                r.statistic,
+                r.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        // Exponential data against a Weibull(3) hypothesis: clearly wrong.
+        let data = draw(&Dist::exponential(1.0), 2_000, 9);
+        let r = ks_test(&data, &Dist::weibull(3.0, 1.0));
+        assert!(!r.accepts(0.05), "should reject: p={}", r.p_value);
+        assert!(r.statistic > 0.1);
+    }
+
+    #[test]
+    fn ks_statistic_exact_small_case() {
+        // Data {0.5} against U(0,1): ECDF jumps 0 -> 1 at 0.5; D = 0.5.
+        let d = ks_statistic(&[0.5], &Dist::uniform(0.0, 1.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_q_limits() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.3) > 0.99);
+        assert!(kolmogorov_q(2.0) < 0.001);
+        // Q(1.3581) ≈ 0.05 (the classic critical value)
+        assert!((kolmogorov_q(1.3581) - 0.05).abs() < 0.002);
+    }
+
+    #[test]
+    fn p_value_roughly_uniform_under_null() {
+        // Repeated KS tests on true-null data should rarely reject at 1%.
+        let d = Dist::gamma(2.0, 1.0);
+        let mut rejects = 0;
+        for seed in 0..50 {
+            let data = draw(&d, 500, seed);
+            if !ks_test(&data, &d).accepts(0.01) {
+                rejects += 1;
+            }
+        }
+        assert!(rejects <= 3, "too many null rejections: {rejects}/50");
+    }
+}

@@ -1,0 +1,278 @@
+//! A catalog of realistically parameterized parts (2014-era, matching the
+//! paper's vintage).
+//!
+//! Reliability parameters follow the field studies the paper cites:
+//!
+//! * Disk time-between-replacements: **Weibull with decreasing hazard
+//!   (shape ≈ 0.7–0.8)** and a population ARR of ~3%/yr, per Schroeder &
+//!   Gibson (FAST'07) — *not* the exponential with the datasheet MTTF.
+//! * Repair times: **lognormal**, per Schroeder & Gibson (TDSC'10).
+//! * Server-level ARR ~8%/yr, per Vishwanath & Nagappan (SoCC'10).
+//!
+//! Prices and performance are representative list values; experiments only
+//! rely on their *relative* ordering (SSD faster and dearer per GB than
+//! HDD, 10G ≈ 10×1G, …).
+
+use crate::disk::{DiskClass, DiskSpec};
+use crate::net::{NicSpec, SwitchSpec};
+use crate::node::{CpuSpec, MemSpec, NodeSpec};
+use wt_dist::Dist;
+
+const YEAR: f64 = 365.0 * 86_400.0;
+const HOUR: f64 = 3600.0;
+
+/// Disk lifetime: Weibull, shape 0.8, ARR ≈ 3%/yr (mean TTF ≈ 33 years —
+/// remember ARR is a population average, not an individual device's life).
+fn disk_ttf() -> Dist {
+    Dist::weibull_mean(0.8, 33.0 * YEAR)
+}
+
+/// Physical disk swap: lognormal around 4 hours with heavy spread.
+fn disk_repair() -> Dist {
+    Dist::lognormal_mean_cv(4.0 * HOUR, 1.5)
+}
+
+/// 4 TB 7200 RPM nearline SATA HDD.
+pub fn hdd_7200_4t() -> DiskSpec {
+    DiskSpec {
+        name: "hdd-7200-4t".into(),
+        class: DiskClass::Hdd,
+        capacity_gb: 4_000.0,
+        seq_read_mbps: 170.0,
+        seq_write_mbps: 160.0,
+        read_iops: 120.0,
+        write_iops: 110.0,
+        latency_s: 4.2e-3,
+        ttf: disk_ttf(),
+        repair: disk_repair(),
+        capex_usd: 180.0,
+        power_watts: 9.0,
+    }
+}
+
+/// 1 TB SATA SSD.
+pub fn ssd_sata_1t() -> DiskSpec {
+    DiskSpec {
+        name: "ssd-sata-1t".into(),
+        class: DiskClass::SataSsd,
+        capacity_gb: 1_000.0,
+        seq_read_mbps: 520.0,
+        seq_write_mbps: 480.0,
+        read_iops: 90_000.0,
+        write_iops: 70_000.0,
+        latency_s: 60e-6,
+        // Flash wears rather than crashes: higher shape, similar ARR.
+        ttf: Dist::weibull_mean(1.2, 40.0 * YEAR),
+        repair: disk_repair(),
+        capex_usd: 520.0,
+        power_watts: 4.0,
+    }
+}
+
+/// 2 TB NVMe SSD.
+pub fn ssd_nvme_2t() -> DiskSpec {
+    DiskSpec {
+        name: "ssd-nvme-2t".into(),
+        class: DiskClass::NvmeSsd,
+        capacity_gb: 2_000.0,
+        seq_read_mbps: 2_800.0,
+        seq_write_mbps: 1_900.0,
+        read_iops: 450_000.0,
+        write_iops: 180_000.0,
+        latency_s: 20e-6,
+        ttf: Dist::weibull_mean(1.2, 40.0 * YEAR),
+        repair: disk_repair(),
+        capex_usd: 1_400.0,
+        power_watts: 8.0,
+    }
+}
+
+/// NIC lifetime: exponential, MTTF 15 years; NIC swap ~1 h lognormal.
+fn nic_reliability() -> (Dist, Dist) {
+    (
+        Dist::exponential_mean(15.0 * YEAR),
+        Dist::lognormal_mean_cv(1.0 * HOUR, 1.0),
+    )
+}
+
+/// 1 GbE NIC.
+pub fn nic_1g() -> NicSpec {
+    let (ttf, repair) = nic_reliability();
+    NicSpec {
+        name: "nic-1g".into(),
+        bandwidth_gbps: 1.0,
+        latency_s: 50e-6,
+        ttf,
+        repair,
+        capex_usd: 40.0,
+        power_watts: 3.0,
+    }
+}
+
+/// 10 GbE NIC.
+pub fn nic_10g() -> NicSpec {
+    let (ttf, repair) = nic_reliability();
+    NicSpec {
+        name: "nic-10g".into(),
+        bandwidth_gbps: 10.0,
+        latency_s: 10e-6,
+        ttf,
+        repair,
+        capex_usd: 350.0,
+        power_watts: 8.0,
+    }
+}
+
+/// 40 GbE NIC.
+pub fn nic_40g() -> NicSpec {
+    let (ttf, repair) = nic_reliability();
+    NicSpec {
+        name: "nic-40g".into(),
+        bandwidth_gbps: 40.0,
+        latency_s: 5e-6,
+        ttf,
+        repair,
+        capex_usd: 900.0,
+        power_watts: 12.0,
+    }
+}
+
+/// 48-port 10G top-of-rack switch.
+pub fn switch_tor_48x10g() -> SwitchSpec {
+    SwitchSpec {
+        name: "tor-48x10g".into(),
+        ports: 48,
+        port_bandwidth_gbps: 10.0,
+        latency_s: 2e-6,
+        ttf: Dist::exponential_mean(10.0 * YEAR),
+        repair: Dist::lognormal_mean_cv(2.0 * HOUR, 1.0),
+        capex_usd: 8_000.0,
+        power_watts: 250.0,
+    }
+}
+
+/// 48-port 1G top-of-rack switch (the "slow network" arm of §4.2's example).
+pub fn switch_tor_48x1g() -> SwitchSpec {
+    SwitchSpec {
+        name: "tor-48x1g".into(),
+        ports: 48,
+        port_bandwidth_gbps: 1.0,
+        latency_s: 4e-6,
+        ttf: Dist::exponential_mean(10.0 * YEAR),
+        repair: Dist::lognormal_mean_cv(2.0 * HOUR, 1.0),
+        capex_usd: 1_500.0,
+        power_watts: 120.0,
+    }
+}
+
+/// 32-port 40G aggregation switch.
+pub fn switch_agg_32x40g() -> SwitchSpec {
+    SwitchSpec {
+        name: "agg-32x40g".into(),
+        ports: 32,
+        port_bandwidth_gbps: 40.0,
+        latency_s: 2e-6,
+        ttf: Dist::exponential_mean(10.0 * YEAR),
+        repair: Dist::lognormal_mean_cv(4.0 * HOUR, 1.0),
+        capex_usd: 25_000.0,
+        power_watts: 450.0,
+    }
+}
+
+/// Dual-socket 16-core server CPU.
+pub fn cpu_2s_16c() -> CpuSpec {
+    CpuSpec {
+        name: "2s-16c-2.6ghz".into(),
+        cores: 16,
+        ghz: 2.6,
+        capex_usd: 2_400.0,
+        power_watts: 190.0,
+    }
+}
+
+/// DDR3 memory kit of the given size.
+pub fn mem_ddr3(capacity_gb: f64) -> MemSpec {
+    MemSpec {
+        capacity_gb,
+        bandwidth_gbps: 51.2,
+        capex_usd: capacity_gb * 10.0,
+        power_watts: 2.0 + capacity_gb * 0.05,
+    }
+}
+
+/// A storage server: the given disk model × `disk_count`, 64 GB RAM,
+/// the given NIC. Node-level ARR ~8%/yr (Vishwanath–Nagappan), repairs
+/// lognormal around 30 minutes (reboot/re-image).
+pub fn node_storage_server(disk: DiskSpec, disk_count: usize, nic: NicSpec) -> NodeSpec {
+    NodeSpec {
+        name: format!("storage-{}x{}-{}", disk_count, disk.name, nic.name),
+        cpu: cpu_2s_16c(),
+        mem: mem_ddr3(64.0),
+        disks: vec![disk; disk_count],
+        nic,
+        ttf: Dist::weibull_mean(0.9, 12.5 * YEAR),
+        repair: Dist::lognormal_mean_cv(0.5 * HOUR, 1.2),
+        chassis_capex_usd: 1_200.0,
+        base_power_watts: 60.0,
+    }
+}
+
+/// A storage server with an explicit memory size (the memory-vs-storage
+/// provisioning axis of experiment E4).
+pub fn node_with_memory(disk: DiskSpec, disk_count: usize, nic: NicSpec, mem_gb: f64) -> NodeSpec {
+    let mut node = node_storage_server(disk, disk_count, nic);
+    node.mem = mem_ddr3(mem_gb);
+    node.name = format!("{}-{}g", node.name, mem_gb);
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_ttf_is_weibull_decreasing_hazard() {
+        match hdd_7200_4t().ttf {
+            Dist::Weibull { shape, .. } => assert!(shape < 1.0),
+            other => panic!("expected Weibull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repairs_are_lognormal() {
+        match hdd_7200_4t().repair {
+            Dist::LogNormal { .. } => {}
+            other => panic!("expected LogNormal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nic_speed_ladder() {
+        assert!(nic_1g().bandwidth_gbps < nic_10g().bandwidth_gbps);
+        assert!(nic_10g().bandwidth_gbps < nic_40g().bandwidth_gbps);
+        assert!(nic_1g().capex_usd < nic_10g().capex_usd);
+    }
+
+    #[test]
+    fn node_names_are_descriptive() {
+        let n = node_storage_server(hdd_7200_4t(), 12, nic_10g());
+        assert!(n.name.contains("hdd-7200-4t"));
+        assert!(n.name.contains("nic-10g"));
+    }
+
+    #[test]
+    fn node_with_memory_overrides_mem() {
+        let n = node_with_memory(hdd_7200_4t(), 12, nic_10g(), 256.0);
+        assert_eq!(n.mem.capacity_gb, 256.0);
+        assert!(n.mem.capex_usd > mem_ddr3(64.0).capex_usd);
+    }
+
+    #[test]
+    fn server_arr_ballpark() {
+        // Mean node TTF ~12.5 years → ~8% ARR, matching the cloud hardware
+        // reliability study.
+        let n = node_storage_server(hdd_7200_4t(), 12, nic_10g());
+        let arr = 1.0 / (n.ttf.mean() / (365.0 * 86_400.0));
+        assert!((0.05..0.12).contains(&arr), "server ARR {arr}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Cost accounting: the denominator of every wind tunnel what-if question
+//! ("…at minimum total operating cost", §3 Hardware provisioning).
+//!
+//! TCO = amortized capex + power opex (with a datacenter PUE factor).
+//! Deliberately simple — the wind tunnel compares configurations against
+//! each other, so shared constants (building, staff) cancel out.
+
+use crate::topology::TopologySpec;
+use serde::{Deserialize, Serialize};
+
+/// Pricing assumptions for turning a [`TopologySpec`] into $/year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Electricity price, USD per kWh.
+    pub usd_per_kwh: f64,
+    /// Power usage effectiveness: facility power ÷ IT power.
+    pub pue: f64,
+    /// Hardware amortization period, years.
+    pub amortization_years: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            usd_per_kwh: 0.10,
+            pue: 1.5,
+            amortization_years: 3.0,
+        }
+    }
+}
+
+/// A cost breakdown for a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Total purchase price, USD.
+    pub capex_usd: f64,
+    /// Peak IT power, watts.
+    pub it_power_watts: f64,
+    /// Amortized capex per year, USD.
+    pub capex_usd_per_year: f64,
+    /// Power opex per year (with PUE), USD.
+    pub power_usd_per_year: f64,
+    /// Total cost per year, USD.
+    pub tco_usd_per_year: f64,
+    /// Total raw storage, GB.
+    pub raw_storage_gb: f64,
+}
+
+impl CostModel {
+    /// Costs out one topology.
+    pub fn cost(&self, spec: &TopologySpec) -> CostBreakdown {
+        let nodes = spec.node_count() as f64;
+        let node_capex = spec.node.capex_usd();
+        let node_power = spec.node.power_watts();
+
+        let switch_capex = spec.racks as f64 * spec.tor.capex_usd + spec.agg.capex_usd;
+        let switch_power = spec.racks as f64 * spec.tor.power_watts + spec.agg.power_watts;
+
+        let capex = nodes * node_capex + switch_capex;
+        let it_power = nodes * node_power + switch_power;
+
+        let capex_year = capex / self.amortization_years;
+        let kwh_per_year = it_power * self.pue * 24.0 * 365.0 / 1000.0;
+        let power_year = kwh_per_year * self.usd_per_kwh;
+
+        CostBreakdown {
+            capex_usd: capex,
+            it_power_watts: it_power,
+            capex_usd_per_year: capex_year,
+            power_usd_per_year: power_year,
+            tco_usd_per_year: capex_year + power_year,
+            raw_storage_gb: nodes * spec.node.storage_gb(),
+        }
+    }
+
+    /// $/GB/year of raw storage for a topology — the unit the paper's
+    /// replication-factor trade-off (§1) is denominated in.
+    pub fn storage_cost_per_gb_year(&self, spec: &TopologySpec) -> f64 {
+        let b = self.cost(spec);
+        b.tco_usd_per_year / b.raw_storage_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn spec_with(disk: crate::disk::DiskSpec, racks: usize, per_rack: usize) -> TopologySpec {
+        TopologySpec {
+            racks,
+            nodes_per_rack: per_rack,
+            node: catalog::node_storage_server(disk, 8, catalog::nic_10g()),
+            tor: catalog::switch_tor_48x10g(),
+            agg: catalog::switch_agg_32x40g(),
+            oversubscription: 4.0,
+        }
+    }
+
+    #[test]
+    fn tco_components_add_up() {
+        let m = CostModel::default();
+        let b = m.cost(&spec_with(catalog::hdd_7200_4t(), 2, 10));
+        assert!((b.tco_usd_per_year - (b.capex_usd_per_year + b.power_usd_per_year)).abs() < 1e-6);
+        assert!(b.capex_usd > 0.0 && b.it_power_watts > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_cost_more() {
+        let m = CostModel::default();
+        let small = m.cost(&spec_with(catalog::hdd_7200_4t(), 1, 10));
+        let big = m.cost(&spec_with(catalog::hdd_7200_4t(), 2, 10));
+        // The aggregation switch is shared, so TCO grows sub-linearly in
+        // racks — but the marginal rack must cost exactly one rack of
+        // nodes + one ToR.
+        assert!(big.tco_usd_per_year > small.tco_usd_per_year * 1.3);
+        let marginal = big.capex_usd - small.capex_usd;
+        let expected = 10.0 * spec_with(catalog::hdd_7200_4t(), 1, 10).node.capex_usd()
+            + catalog::switch_tor_48x10g().capex_usd;
+        assert!((marginal - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hdd_cheaper_per_gb_than_ssd() {
+        let m = CostModel::default();
+        let hdd = m.storage_cost_per_gb_year(&spec_with(catalog::hdd_7200_4t(), 2, 10));
+        let ssd = m.storage_cost_per_gb_year(&spec_with(catalog::ssd_sata_1t(), 2, 10));
+        assert!(
+            ssd > 3.0 * hdd,
+            "SSD/GB should be much dearer: hdd={hdd}, ssd={ssd}"
+        );
+    }
+
+    #[test]
+    fn power_price_scales_opex_only() {
+        let mut m = CostModel::default();
+        let spec = spec_with(catalog::hdd_7200_4t(), 1, 10);
+        let cheap = m.cost(&spec);
+        m.usd_per_kwh *= 2.0;
+        let dear = m.cost(&spec);
+        assert!((dear.power_usd_per_year - 2.0 * cheap.power_usd_per_year).abs() < 1e-6);
+        assert_eq!(dear.capex_usd_per_year, cheap.capex_usd_per_year);
+    }
+
+    #[test]
+    fn amortization_spreads_capex() {
+        let mut m = CostModel {
+            amortization_years: 6.0,
+            ..CostModel::default()
+        };
+        let spec = spec_with(catalog::hdd_7200_4t(), 1, 10);
+        let b6 = m.cost(&spec);
+        m.amortization_years = 3.0;
+        let b3 = m.cost(&spec);
+        assert!((b3.capex_usd_per_year - 2.0 * b6.capex_usd_per_year).abs() < 1e-6);
+    }
+}

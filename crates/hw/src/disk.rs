@@ -1,0 +1,157 @@
+//! Storage device models.
+//!
+//! A [`DiskSpec`] captures the performance envelope (sequential bandwidth,
+//! random IOPS, media latency), the reliability behavior (time-to-failure
+//! and replacement-time distributions — Weibull and lognormal respectively,
+//! per the field studies the paper cites in §2.2/§4.5), and the cost side
+//! (purchase price, power draw).
+
+use serde::{Deserialize, Serialize};
+use wt_dist::Dist;
+
+/// The broad storage technology class; determines which performance knobs
+/// dominate (seek-bound vs. flash-channel-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskClass {
+    /// Spinning rust.
+    Hdd,
+    /// SATA/SAS attached flash.
+    SataSsd,
+    /// PCIe attached flash.
+    NvmeSsd,
+}
+
+/// A storage device model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Catalog name, e.g. `"hdd-7200-4t"`.
+    pub name: String,
+    /// Technology class.
+    pub class: DiskClass,
+    /// Usable capacity in GB.
+    pub capacity_gb: f64,
+    /// Sequential read bandwidth, MB/s.
+    pub seq_read_mbps: f64,
+    /// Sequential write bandwidth, MB/s.
+    pub seq_write_mbps: f64,
+    /// Random 4K read operations per second.
+    pub read_iops: f64,
+    /// Random 4K write operations per second.
+    pub write_iops: f64,
+    /// Per-operation media latency floor, seconds.
+    pub latency_s: f64,
+    /// Time-to-failure distribution, seconds.
+    pub ttf: Dist,
+    /// Replacement/repair-time distribution, seconds (physical swap; data
+    /// re-replication is a *software* concern modeled in `wt-sw`).
+    pub repair: Dist,
+    /// Purchase price, USD.
+    pub capex_usd: f64,
+    /// Active power draw, watts.
+    pub power_watts: f64,
+}
+
+impl DiskSpec {
+    /// Service time for a request of `bytes` bytes that is `sequential` or
+    /// random, reading or writing. The model is the standard
+    /// latency + transfer + per-op cost decomposition: good enough to
+    /// reproduce who-wins comparisons between device classes, which is what
+    /// the wind tunnel needs (§3 "as long as the key resources are
+    /// simulated").
+    pub fn service_time(&self, bytes: u64, sequential: bool, write: bool) -> f64 {
+        let bw_mbps = if write {
+            self.seq_write_mbps
+        } else {
+            self.seq_read_mbps
+        };
+        let transfer = bytes as f64 / (bw_mbps * 1e6);
+        if sequential {
+            self.latency_s + transfer
+        } else {
+            let iops = if write {
+                self.write_iops
+            } else {
+                self.read_iops
+            };
+            // Random ops pay the per-op cost for each 4K page touched.
+            let pages = (bytes as f64 / 4096.0).ceil().max(1.0);
+            self.latency_s + pages / iops
+        }
+    }
+
+    /// Annualized failure rate implied by the TTF distribution's mean
+    /// (fraction of a large population expected to fail per year).
+    pub fn afr(&self) -> f64 {
+        let mean_years = self.ttf.mean() / (365.0 * 86_400.0);
+        1.0 / mean_years
+    }
+
+    /// Cost per usable GB.
+    pub fn usd_per_gb(&self) -> f64 {
+        self.capex_usd / self.capacity_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    #[test]
+    fn service_time_sequential_scales_with_size() {
+        let d = catalog::hdd_7200_4t();
+        let small = d.service_time(1 << 20, true, false);
+        let big = d.service_time(100 << 20, true, false);
+        assert!(
+            big > small * 50.0,
+            "sequential time should scale: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn random_read_dominated_by_iops_on_hdd() {
+        let d = catalog::hdd_7200_4t();
+        // A 4K random read on an HDD takes ~ 1/IOPS plus latency — milliseconds.
+        let t = d.service_time(4096, false, false);
+        assert!(t > 1e-3, "HDD random read should be ms-scale, got {t}");
+        // The same read on NVMe is tens of microseconds.
+        let nvme = catalog::ssd_nvme_2t();
+        let t2 = nvme.service_time(4096, false, false);
+        assert!(t2 < 1e-3, "NVMe random read should be sub-ms, got {t2}");
+        assert!(
+            t / t2 > 20.0,
+            "NVMe should beat HDD by >20x on random reads"
+        );
+    }
+
+    #[test]
+    fn ssd_and_hdd_close_on_sequential() {
+        let hdd = catalog::hdd_7200_4t();
+        let ssd = catalog::ssd_sata_1t();
+        let th = hdd.service_time(64 << 20, true, false);
+        let ts = ssd.service_time(64 << 20, true, false);
+        // SSD faster, but within a single order of magnitude sequentially.
+        assert!(ts < th && th / ts < 10.0);
+    }
+
+    #[test]
+    fn afr_matches_field_study_ballpark() {
+        // Schroeder–Gibson: observed ARR 1-5%/yr in the field.
+        let d = catalog::hdd_7200_4t();
+        let afr = d.afr();
+        assert!((0.005..0.10).contains(&afr), "AFR out of ballpark: {afr}");
+    }
+
+    #[test]
+    fn cost_per_gb_ordering() {
+        assert!(catalog::hdd_7200_4t().usd_per_gb() < catalog::ssd_sata_1t().usd_per_gb());
+        assert!(catalog::ssd_sata_1t().usd_per_gb() <= catalog::ssd_nvme_2t().usd_per_gb());
+    }
+
+    #[test]
+    fn write_uses_write_path() {
+        let d = catalog::ssd_sata_1t();
+        let r = d.service_time(1 << 20, true, false);
+        let w = d.service_time(1 << 20, true, true);
+        assert!(w >= r, "writes no faster than reads on this part");
+    }
+}

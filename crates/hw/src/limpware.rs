@@ -1,0 +1,169 @@
+//! Limpware: hardware that degrades instead of failing (paper §4.5, citing
+//! Do et al.'s SoCC'13 limplock study).
+//!
+//! A limping component stays "up" — so fail-stop detection and repair never
+//! trigger — but serves at a fraction of its specified rate. The paper calls
+//! reproducing this in practice hard and names modeling it an open problem;
+//! in the wind tunnel it is one more stochastic component model.
+
+use serde::{Deserialize, Serialize};
+use wt_des::rng::Stream;
+use wt_dist::Dist;
+
+/// Which component kinds a limpware scenario can afflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LimpTarget {
+    /// Degraded disks (e.g. remapped-sector storms).
+    Disk,
+    /// Degraded NICs (e.g. renegotiated link speed — the canonical
+    /// 1 Gb NIC stuck at 10 Mb).
+    Nic,
+}
+
+/// A limpware injection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LimpwareSpec {
+    /// Component kind afflicted.
+    pub target: LimpTarget,
+    /// Probability that any given component of that kind is a limper.
+    pub probability: f64,
+    /// Distribution of the *slowdown factor* (≥ 1; a value of 100 means the
+    /// component serves at 1/100 of spec).
+    pub slowdown: Dist,
+}
+
+impl LimpwareSpec {
+    /// The canonical degraded-NIC scenario: with probability `p` a NIC runs
+    /// 10–1000× slower (log-uniform-ish via lognormal around 100×).
+    pub fn degraded_nic(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        LimpwareSpec {
+            target: LimpTarget::Nic,
+            probability: p,
+            slowdown: Dist::lognormal_mean_cv(100.0, 1.0),
+        }
+    }
+
+    /// A degraded-disk scenario with a fixed slowdown factor.
+    pub fn degraded_disk_fixed(p: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        LimpwareSpec {
+            target: LimpTarget::Disk,
+            probability: p,
+            slowdown: Dist::deterministic(factor),
+        }
+    }
+
+    /// Rolls the dice for one component: `Some(slowdown)` if it limps.
+    pub fn roll(&self, rng: &mut Stream) -> Option<f64> {
+        if rng.chance(self.probability) {
+            Some(self.slowdown.sample(rng).max(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Runtime degradation state for a set of components, built by rolling a
+/// [`LimpwareSpec`] once per component at scenario setup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LimpState {
+    factors: Vec<f64>,
+}
+
+impl LimpState {
+    /// Rolls `spec` for `count` components. Component `i` keeps factor
+    /// `self.factor(i)` for the whole run.
+    pub fn roll_all(spec: &LimpwareSpec, count: usize, rng: &mut Stream) -> Self {
+        LimpState {
+            factors: (0..count).map(|_| spec.roll(rng).unwrap_or(1.0)).collect(),
+        }
+    }
+
+    /// All-healthy state for `count` components.
+    pub fn healthy(count: usize) -> Self {
+        LimpState {
+            factors: vec![1.0; count],
+        }
+    }
+
+    /// The slowdown factor of component `i` (1.0 = healthy).
+    pub fn factor(&self, i: usize) -> f64 {
+        self.factors[i]
+    }
+
+    /// Number of limping components.
+    pub fn limper_count(&self) -> usize {
+        self.factors.iter().filter(|&&f| f > 1.0).count()
+    }
+
+    /// Forces component `i` to limp at `factor` (for targeted experiments).
+    pub fn inject(&mut self, i: usize, factor: f64) {
+        assert!(factor >= 1.0);
+        self.factors[i] = factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_limps() {
+        let spec = LimpwareSpec::degraded_nic(0.0);
+        let mut rng = Stream::from_seed(1);
+        for _ in 0..1000 {
+            assert!(spec.roll(&mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn certain_probability_always_limps() {
+        let spec = LimpwareSpec::degraded_disk_fixed(1.0, 50.0);
+        let mut rng = Stream::from_seed(2);
+        for _ in 0..100 {
+            assert_eq!(spec.roll(&mut rng), Some(50.0));
+        }
+    }
+
+    #[test]
+    fn roll_rate_matches_probability() {
+        let spec = LimpwareSpec::degraded_nic(0.1);
+        let mut rng = Stream::from_seed(3);
+        let hits = (0..20_000)
+            .filter(|_| spec.roll(&mut rng).is_some())
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn slowdown_is_at_least_one() {
+        let spec = LimpwareSpec::degraded_nic(1.0);
+        let mut rng = Stream::from_seed(4);
+        for _ in 0..1000 {
+            assert!(spec.roll(&mut rng).unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn limp_state_bookkeeping() {
+        let spec = LimpwareSpec::degraded_disk_fixed(0.5, 10.0);
+        let mut rng = Stream::from_seed(5);
+        let state = LimpState::roll_all(&spec, 1000, &mut rng);
+        let limpers = state.limper_count();
+        assert!((400..600).contains(&limpers), "limpers = {limpers}");
+        let healthy = LimpState::healthy(10);
+        assert_eq!(healthy.limper_count(), 0);
+        assert_eq!(healthy.factor(3), 1.0);
+    }
+
+    #[test]
+    fn targeted_injection() {
+        let mut state = LimpState::healthy(5);
+        state.inject(2, 100.0);
+        assert_eq!(state.factor(2), 100.0);
+        assert_eq!(state.limper_count(), 1);
+    }
+}

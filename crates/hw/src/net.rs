@@ -1,0 +1,102 @@
+//! Network component models: NICs and switches.
+//!
+//! The paper's §1 worked example turns on exactly these knobs — "the latency
+//! of the repair process can be reduced by using a faster network" — and
+//! §2.2 notes that analytical models usually drop network-component failures
+//! to stay tractable. Here both the performance envelope and the failure
+//! behavior of NICs and switches are first-class.
+
+use serde::{Deserialize, Serialize};
+use wt_dist::Dist;
+
+/// A network interface card model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Catalog name, e.g. `"nic-10g"`.
+    pub name: String,
+    /// Line rate in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// Per-packet/first-byte latency, seconds.
+    pub latency_s: f64,
+    /// Time-to-failure distribution, seconds.
+    pub ttf: Dist,
+    /// Repair-time distribution, seconds.
+    pub repair: Dist,
+    /// Purchase price, USD.
+    pub capex_usd: f64,
+    /// Power draw, watts.
+    pub power_watts: f64,
+}
+
+impl NicSpec {
+    /// Time to push `bytes` through this NIC at line rate.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 * 8.0 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+/// A switch model (used for both top-of-rack and aggregation roles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchSpec {
+    /// Catalog name, e.g. `"tor-48x10g"`.
+    pub name: String,
+    /// Number of ports.
+    pub ports: u32,
+    /// Per-port bandwidth in Gbit/s.
+    pub port_bandwidth_gbps: f64,
+    /// Switching latency per hop, seconds.
+    pub latency_s: f64,
+    /// Time-to-failure distribution, seconds.
+    pub ttf: Dist,
+    /// Repair-time distribution, seconds.
+    pub repair: Dist,
+    /// Purchase price, USD.
+    pub capex_usd: f64,
+    /// Power draw, watts.
+    pub power_watts: f64,
+}
+
+impl SwitchSpec {
+    /// Aggregate backplane bandwidth, Gbit/s.
+    pub fn backplane_gbps(&self) -> f64 {
+        f64::from(self.ports) * self.port_bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    #[test]
+    fn transfer_time_scales_inverse_with_bandwidth() {
+        let g1 = catalog::nic_1g();
+        let g10 = catalog::nic_10g();
+        let bytes = 1u64 << 30; // 1 GiB
+        let t1 = g1.transfer_time(bytes);
+        let t10 = g10.transfer_time(bytes);
+        assert!(
+            (t1 / t10 - 10.0).abs() < 0.5,
+            "10G should be ~10x faster: {t1} vs {t10}"
+        );
+    }
+
+    #[test]
+    fn gigabyte_on_1g_takes_about_8_seconds() {
+        let t = catalog::nic_1g().transfer_time(1_000_000_000);
+        assert!((t - 8.0).abs() < 0.1, "1 GB over 1 Gb/s ≈ 8 s, got {t}");
+    }
+
+    #[test]
+    fn switch_backplane() {
+        let tor = catalog::switch_tor_48x10g();
+        assert_eq!(tor.ports, 48);
+        assert!((tor.backplane_gbps() - 480.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_floor_applies_to_tiny_transfers() {
+        let nic = catalog::nic_10g();
+        let t = nic.transfer_time(1);
+        assert!(t >= nic.latency_s);
+    }
+}

@@ -1,0 +1,131 @@
+//! Server node models: CPU, memory, chassis.
+
+use crate::disk::DiskSpec;
+use crate::net::NicSpec;
+use serde::{Deserialize, Serialize};
+use wt_dist::Dist;
+
+/// A CPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Catalog name.
+    pub name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// Base clock, GHz.
+    pub ghz: f64,
+    /// Purchase price, USD.
+    pub capex_usd: f64,
+    /// TDP, watts.
+    pub power_watts: f64,
+}
+
+impl CpuSpec {
+    /// A crude aggregate compute capacity figure (core-GHz), used to scale
+    /// CPU service demands across SKUs.
+    pub fn capacity(&self) -> f64 {
+        f64::from(self.cores) * self.ghz
+    }
+}
+
+/// A memory configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Installed DRAM, GB.
+    pub capacity_gb: f64,
+    /// Aggregate bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Purchase price, USD.
+    pub capex_usd: f64,
+    /// Power draw, watts.
+    pub power_watts: f64,
+}
+
+/// A complete server: CPU, memory, disks, NIC, chassis, plus node-level
+/// failure behavior (kernel panics, PSU faults, anything that takes the
+/// whole machine down rather than one component).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Catalog name.
+    pub name: String,
+    /// CPU model.
+    pub cpu: CpuSpec,
+    /// Memory configuration.
+    pub mem: MemSpec,
+    /// Attached disks (homogeneous or mixed).
+    pub disks: Vec<DiskSpec>,
+    /// Network interface.
+    pub nic: NicSpec,
+    /// Whole-node time-to-failure, seconds.
+    pub ttf: Dist,
+    /// Whole-node repair (reboot/re-image/replace), seconds.
+    pub repair: Dist,
+    /// Chassis/motherboard price on top of the parts, USD.
+    pub chassis_capex_usd: f64,
+    /// Idle power of the chassis (fans, board), watts.
+    pub base_power_watts: f64,
+}
+
+impl NodeSpec {
+    /// Total purchase price of one node.
+    pub fn capex_usd(&self) -> f64 {
+        self.chassis_capex_usd
+            + self.cpu.capex_usd
+            + self.mem.capex_usd
+            + self.nic.capex_usd
+            + self.disks.iter().map(|d| d.capex_usd).sum::<f64>()
+    }
+
+    /// Peak power draw of one node, watts.
+    pub fn power_watts(&self) -> f64 {
+        self.base_power_watts
+            + self.cpu.power_watts
+            + self.mem.power_watts
+            + self.nic.power_watts
+            + self.disks.iter().map(|d| d.power_watts).sum::<f64>()
+    }
+
+    /// Total raw storage capacity, GB.
+    pub fn storage_gb(&self) -> f64 {
+        self.disks.iter().map(|d| d.capacity_gb).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+
+    #[test]
+    fn node_capex_is_sum_of_parts() {
+        let n = catalog::node_storage_server(catalog::hdd_7200_4t(), 12, catalog::nic_10g());
+        let parts = n.chassis_capex_usd
+            + n.cpu.capex_usd
+            + n.mem.capex_usd
+            + n.nic.capex_usd
+            + 12.0 * catalog::hdd_7200_4t().capex_usd;
+        assert!((n.capex_usd() - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_capacity() {
+        let n = catalog::node_storage_server(catalog::hdd_7200_4t(), 12, catalog::nic_10g());
+        assert!((n.storage_gb() - 48_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_positive_and_bounded() {
+        let n = catalog::node_storage_server(catalog::ssd_sata_1t(), 8, catalog::nic_40g());
+        let w = n.power_watts();
+        assert!(
+            (100.0..2000.0).contains(&w),
+            "implausible node power: {w} W"
+        );
+    }
+
+    #[test]
+    fn cpu_capacity() {
+        let c = catalog::cpu_2s_16c();
+        assert!(c.capacity() > 0.0);
+        assert_eq!(c.capacity(), f64::from(c.cores) * c.ghz);
+    }
+}

@@ -1,0 +1,350 @@
+//! Operational-log → model pipeline (§4.4): "transformation algorithms
+//! that convert log data into meaningful models (e.g., probability
+//! distributions) that can be used by the wind tunnel".
+//!
+//! Logs are flat event streams (component kind, event, timestamp). The
+//! pipeline groups them per component instance, extracts the durations the
+//! simulator needs — time-between-failures and time-under-repair — and
+//! fits candidate distribution families, reporting goodness of fit so the
+//! operator can decide whether a parametric model or the empirical
+//! distribution should seed the simulator.
+
+use serde::{Deserialize, Serialize};
+use wt_des::rng::Stream;
+use wt_dist::fit::fit_best;
+use wt_dist::{Dist, FitReport};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// The component went down.
+    Failure,
+    /// The component came back.
+    Restored,
+}
+
+/// One line of an operational log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Component kind, e.g. `"disk"`, `"nic"`.
+    pub component: String,
+    /// Instance id within the kind.
+    pub instance: u32,
+    /// Event type.
+    pub event: LogEvent,
+    /// Seconds since the log epoch.
+    pub at_s: f64,
+}
+
+/// The fitted models for one component kind.
+#[derive(Debug, Clone)]
+pub struct ModelSeed {
+    /// Component kind the models describe.
+    pub component: String,
+    /// Ranked fits for time-between-failures (best first).
+    pub ttf_fits: Vec<FitReport>,
+    /// Ranked fits for repair durations (best first).
+    pub repair_fits: Vec<FitReport>,
+    /// Number of failure intervals observed.
+    pub ttf_samples: usize,
+    /// Number of repair intervals observed.
+    pub repair_samples: usize,
+}
+
+impl ModelSeed {
+    /// The best TTF model (panics if no fits — callers check samples).
+    pub fn best_ttf(&self) -> &FitReport {
+        &self.ttf_fits[0]
+    }
+
+    /// The best repair model.
+    pub fn best_repair(&self) -> &FitReport {
+        &self.repair_fits[0]
+    }
+}
+
+/// Extracts per-kind duration samples and fits models.
+///
+/// For each component instance, a `Failure` at `t1` followed by `Restored`
+/// at `t2` yields a repair duration `t2 − t1`; a `Restored` at `t2`
+/// followed by the next `Failure` at `t3` yields an uptime (TTF) sample
+/// `t3 − t2`. The first failure's preceding uptime (from the epoch) is
+/// also counted. Malformed sequences (double failures) are skipped, as a
+/// real log sanitizer must.
+pub fn seed_models(log: &[LogRecord]) -> Vec<ModelSeed> {
+    use std::collections::BTreeMap;
+    // (kind, instance) -> sorted events.
+    let mut per_instance: BTreeMap<(String, u32), Vec<(f64, LogEvent)>> = BTreeMap::new();
+    for r in log {
+        per_instance
+            .entry((r.component.clone(), r.instance))
+            .or_default()
+            .push((r.at_s, r.event));
+    }
+    let mut ttf: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut repair: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for ((kind, _), mut events) in per_instance {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        let mut last_restored = 0.0f64; // epoch counts as "restored"
+        let mut down_since: Option<f64> = None;
+        for (at, ev) in events {
+            match ev {
+                LogEvent::Failure => {
+                    if down_since.is_none() {
+                        let up = at - last_restored;
+                        if up > 0.0 {
+                            ttf.entry(kind.clone()).or_default().push(up);
+                        }
+                        down_since = Some(at);
+                    }
+                    // double failure: skip (sanitization)
+                }
+                LogEvent::Restored => {
+                    if let Some(started) = down_since.take() {
+                        let dur = at - started;
+                        if dur > 0.0 {
+                            repair.entry(kind.clone()).or_default().push(dur);
+                        }
+                        last_restored = at;
+                    }
+                }
+            }
+        }
+    }
+    let kinds: std::collections::BTreeSet<String> =
+        ttf.keys().chain(repair.keys()).cloned().collect();
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let ttf_data = ttf.remove(&kind).unwrap_or_default();
+            let repair_data = repair.remove(&kind).unwrap_or_default();
+            ModelSeed {
+                ttf_samples: ttf_data.len(),
+                repair_samples: repair_data.len(),
+                ttf_fits: if ttf_data.len() >= 2 {
+                    fit_best(&ttf_data)
+                } else {
+                    Vec::new()
+                },
+                repair_fits: if repair_data.len() >= 2 {
+                    fit_best(&repair_data)
+                } else {
+                    Vec::new()
+                },
+                component: kind,
+            }
+        })
+        .collect()
+}
+
+/// Generates a synthetic operational log for `instances` components of one
+/// kind, with ground-truth TTF and repair distributions — the validation
+/// harness for the pipeline (experiment E10: fit models from the log, feed
+/// them to the simulator, compare against the ground truth).
+pub fn generate_log(
+    component: &str,
+    instances: u32,
+    horizon_s: f64,
+    ttf: &Dist,
+    repair: &Dist,
+    rng: &mut Stream,
+) -> Vec<LogRecord> {
+    let mut log = Vec::new();
+    for instance in 0..instances {
+        let mut t = 0.0f64;
+        loop {
+            t += ttf.sample(rng);
+            if t >= horizon_s {
+                break;
+            }
+            log.push(LogRecord {
+                component: component.to_string(),
+                instance,
+                event: LogEvent::Failure,
+                at_s: t,
+            });
+            t += repair.sample(rng);
+            if t >= horizon_s {
+                break;
+            }
+            log.push(LogRecord {
+                component: component.to_string(),
+                instance,
+                event: LogEvent::Restored,
+                at_s: t,
+            });
+        }
+    }
+    log.sort_by(|a, b| a.at_s.partial_cmp(&b.at_s).expect("finite"));
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: f64 = 86_400.0;
+
+    #[test]
+    fn pipeline_recovers_ground_truth_families() {
+        // Weibull failures + lognormal repairs, as the field studies say.
+        let ttf_truth = Dist::weibull_mean(0.7, 60.0 * DAY);
+        let repair_truth = Dist::lognormal_mean_cv(6.0 * 3600.0, 1.2);
+        let mut rng = Stream::from_seed(42);
+        let log = generate_log(
+            "disk",
+            400,
+            3.0 * 365.0 * DAY,
+            &ttf_truth,
+            &repair_truth,
+            &mut rng,
+        );
+        assert!(log.len() > 2_000, "log too small: {}", log.len());
+        let seeds = seed_models(&log);
+        assert_eq!(seeds.len(), 1);
+        let seed = &seeds[0];
+        assert_eq!(seed.component, "disk");
+        assert!(seed.ttf_samples > 1_000);
+        // The winning families match the ground truth.
+        assert_eq!(
+            seed.best_ttf().family,
+            "weibull",
+            "ttf fits: {:?}",
+            seed.ttf_fits
+                .iter()
+                .map(|f| (f.family, f.ks.statistic))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(seed.best_repair().family, "lognormal");
+        // And the fitted mean is close to truth. A finite log window
+        // right-censors long uptimes (they never produce a next-failure
+        // event), biasing heavy-tailed fits low — a real artifact any
+        // log-seeded model carries, hence the generous tolerance.
+        let fitted_mean = seed.best_ttf().dist.mean();
+        assert!(
+            (fitted_mean - ttf_truth.mean()).abs() / ttf_truth.mean() < 0.2,
+            "ttf mean {} vs truth {}",
+            fitted_mean,
+            ttf_truth.mean()
+        );
+    }
+
+    #[test]
+    fn exponential_log_detected() {
+        let mut rng = Stream::from_seed(7);
+        let log = generate_log(
+            "nic",
+            200,
+            5.0 * 365.0 * DAY,
+            &Dist::exponential_mean(100.0 * DAY),
+            &Dist::exponential_mean(3600.0),
+            &mut rng,
+        );
+        let seeds = seed_models(&log);
+        let best = seeds[0].best_ttf();
+        // Exponential data is also Weibull(1)/Gamma(1); accept any of the
+        // nested families as long as the fit accepts and the mean is right.
+        assert!(best.ks.accepts(0.01), "best fit rejected: {:?}", best.ks);
+        assert!((best.dist.mean() - 100.0 * DAY).abs() / (100.0 * DAY) < 0.1);
+    }
+
+    #[test]
+    fn multiple_components_separated() {
+        let mut rng = Stream::from_seed(9);
+        let mut log = generate_log(
+            "disk",
+            100,
+            365.0 * DAY,
+            &Dist::exponential_mean(30.0 * DAY),
+            &Dist::deterministic(3600.0),
+            &mut rng,
+        );
+        log.extend(generate_log(
+            "switch",
+            20,
+            365.0 * DAY,
+            &Dist::exponential_mean(200.0 * DAY),
+            &Dist::deterministic(7200.0),
+            &mut rng,
+        ));
+        let seeds = seed_models(&log);
+        assert_eq!(seeds.len(), 2);
+        let names: Vec<&str> = seeds.iter().map(|s| s.component.as_str()).collect();
+        assert_eq!(names, vec!["disk", "switch"]);
+        // Disk fails ~6-7x more often.
+        let disk_mean = seeds[0].best_ttf().dist.mean();
+        let switch_mean = seeds[1].best_ttf().dist.mean();
+        assert!(switch_mean > 3.0 * disk_mean);
+    }
+
+    #[test]
+    fn malformed_log_double_failure_sanitized() {
+        let log = vec![
+            LogRecord {
+                component: "disk".into(),
+                instance: 0,
+                event: LogEvent::Failure,
+                at_s: 100.0,
+            },
+            LogRecord {
+                component: "disk".into(),
+                instance: 0,
+                event: LogEvent::Failure,
+                at_s: 150.0, // bogus duplicate
+            },
+            LogRecord {
+                component: "disk".into(),
+                instance: 0,
+                event: LogEvent::Restored,
+                at_s: 200.0,
+            },
+            LogRecord {
+                component: "disk".into(),
+                instance: 0,
+                event: LogEvent::Failure,
+                at_s: 500.0,
+            },
+        ];
+        let seeds = seed_models(&log);
+        let s = &seeds[0];
+        // TTF samples: 100 (epoch→first) and 300 (200→500). Repair: 100.
+        assert_eq!(s.ttf_samples, 2);
+        assert_eq!(s.repair_samples, 1);
+        // Too few samples to fit → empty fits, no panic.
+        assert!(s.repair_fits.is_empty());
+        assert!(!s.ttf_fits.is_empty() || s.ttf_samples < 2);
+    }
+
+    #[test]
+    fn empty_log_empty_seeds() {
+        assert!(seed_models(&[]).is_empty());
+    }
+
+    #[test]
+    fn generated_log_alternates_per_instance() {
+        let mut rng = Stream::from_seed(3);
+        let log = generate_log(
+            "disk",
+            5,
+            100.0 * DAY,
+            &Dist::exponential_mean(10.0 * DAY),
+            &Dist::deterministic(3600.0),
+            &mut rng,
+        );
+        for inst in 0..5 {
+            let events: Vec<LogEvent> = log
+                .iter()
+                .filter(|r| r.instance == inst)
+                .map(|r| r.event)
+                .collect();
+            for (i, ev) in events.iter().enumerate() {
+                let want = if i % 2 == 0 {
+                    LogEvent::Failure
+                } else {
+                    LogEvent::Restored
+                };
+                assert_eq!(*ev, want, "instance {inst} event {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The unit of storage: one simulation run's configuration and outputs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A configuration parameter value. Numeric parameters participate in
+/// similarity distances; strings and booleans match categorically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// Numeric axis (replication factor, network Gb/s, …).
+    Num(f64),
+    /// Categorical axis (placement policy name, disk model, …).
+    Str(String),
+    /// Boolean axis (parallel repair on/off, …).
+    Bool(bool),
+}
+
+impl ParamValue {
+    /// The numeric value, if this is a numeric axis.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            ParamValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Num(x) => write!(f, "{x}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(x: f64) -> Self {
+        ParamValue::Num(x)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(x: usize) -> Self {
+        ParamValue::Num(x as f64)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(s: &str) -> Self {
+        ParamValue::Str(s.to_string())
+    }
+}
+impl From<bool> for ParamValue {
+    fn from(b: bool) -> Self {
+        ParamValue::Bool(b)
+    }
+}
+
+/// One simulation run: what was configured, what came out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Monotone id assigned by the store.
+    pub id: u64,
+    /// Experiment family, e.g. `"fig1"` or `"e4-provisioning"`.
+    pub experiment: String,
+    /// Configuration axes.
+    pub params: BTreeMap<String, ParamValue>,
+    /// Output metrics (availability, p95_s, tco_usd_per_year, …).
+    pub metrics: BTreeMap<String, f64>,
+    /// Root seed the run used.
+    pub seed: u64,
+}
+
+impl RunRecord {
+    /// A record builder starting from the experiment name.
+    pub fn new(experiment: impl Into<String>, seed: u64) -> Self {
+        RunRecord {
+            id: 0,
+            experiment: experiment.into(),
+            params: BTreeMap::new(),
+            metrics: BTreeMap::new(),
+            seed,
+        }
+    }
+
+    /// Adds a configuration parameter.
+    pub fn param(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds an output metric.
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.metrics.insert(key.into(), value);
+        self
+    }
+
+    /// A named metric.
+    pub fn get_metric(&self, key: &str) -> Option<f64> {
+        self.metrics.get(key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let r = RunRecord::new("fig1", 7)
+            .param("n", 3usize)
+            .param("placement", "RR")
+            .param("parallel", true)
+            .metric("p_unavailable", 0.25);
+        assert_eq!(r.experiment, "fig1");
+        assert_eq!(r.params["n"], ParamValue::Num(3.0));
+        assert_eq!(r.params["placement"], ParamValue::Str("RR".into()));
+        assert_eq!(r.params["parallel"], ParamValue::Bool(true));
+        assert_eq!(r.get_metric("p_unavailable"), Some(0.25));
+        assert_eq!(r.get_metric("missing"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = RunRecord::new("e2", 1)
+            .param("gbps", 10.0)
+            .metric("availability", 0.9999);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn param_value_display_and_num() {
+        assert_eq!(ParamValue::Num(3.5).to_string(), "3.5");
+        assert_eq!(ParamValue::Str("R".into()).to_string(), "R");
+        assert_eq!(ParamValue::Bool(true).to_string(), "true");
+        assert_eq!(ParamValue::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(ParamValue::Str("x".into()).as_num(), None);
+    }
+}

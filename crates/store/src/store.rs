@@ -1,0 +1,409 @@
+//! The result store: append, query, persist, and similarity-search
+//! simulation runs.
+
+use crate::record::{ParamValue, RunRecord};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// An in-memory store of run records with JSON-lines persistence.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    records: Vec<RunRecord>,
+    next_id: u64,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, assigning its id. Returns the id.
+    pub fn append(&mut self, mut record: RunRecord) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        record.id = id;
+        self.records.push(record);
+        id
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records (insertion order).
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Record by id.
+    pub fn get(&self, id: u64) -> Option<&RunRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Records of one experiment family.
+    pub fn by_experiment(&self, experiment: &str) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.experiment == experiment)
+            .collect()
+    }
+
+    /// Records matching a predicate.
+    pub fn query(&self, pred: impl Fn(&RunRecord) -> bool) -> Vec<&RunRecord> {
+        self.records.iter().filter(|r| pred(r)).collect()
+    }
+
+    /// Best record by a metric (`minimize = true` for costs, `false` for
+    /// availabilities), restricted to records that have the metric.
+    pub fn best_by(&self, metric: &str, minimize: bool) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.metrics.contains_key(metric))
+            .min_by(|a, b| {
+                let (x, y) = (a.metrics[metric], b.metrics[metric]);
+                let ord = x.partial_cmp(&y).expect("finite metrics");
+                if minimize {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            })
+    }
+
+    /// The §4.4 similarity query: the `k` stored configurations closest to
+    /// `target`. Distance per shared axis: normalized absolute difference
+    /// for numeric values (scaled by the axis's value range across the
+    /// store), 0/1 mismatch for categorical/boolean values; axes missing
+    /// on either side cost 1. Lower is more similar.
+    pub fn find_similar(
+        &self,
+        target: &BTreeMap<String, ParamValue>,
+        k: usize,
+    ) -> Vec<(&RunRecord, f64)> {
+        // Pre-compute numeric ranges per axis for normalization.
+        let mut ranges: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+        for r in &self.records {
+            for (key, v) in &r.params {
+                if let Some(x) = v.as_num() {
+                    let e = ranges.entry(key).or_insert((x, x));
+                    e.0 = e.0.min(x);
+                    e.1 = e.1.max(x);
+                }
+            }
+        }
+        let mut scored: Vec<(&RunRecord, f64)> = self
+            .records
+            .iter()
+            .map(|r| (r, Self::distance(&r.params, target, &ranges)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        scored.truncate(k);
+        scored
+    }
+
+    fn distance(
+        a: &BTreeMap<String, ParamValue>,
+        b: &BTreeMap<String, ParamValue>,
+        ranges: &BTreeMap<&str, (f64, f64)>,
+    ) -> f64 {
+        let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
+        let mut total = 0.0;
+        for key in keys {
+            match (a.get(key.as_str()), b.get(key.as_str())) {
+                (Some(x), Some(y)) => match (x, y) {
+                    (ParamValue::Num(x), ParamValue::Num(y)) => {
+                        let (lo, hi) = ranges
+                            .get(key.as_str())
+                            .copied()
+                            .unwrap_or((x.min(*y), x.max(*y)));
+                        let span = (hi - lo).max(f64::EPSILON);
+                        total += ((x - y).abs() / span).min(1.0);
+                    }
+                    _ => total += if x == y { 0.0 } else { 1.0 },
+                },
+                _ => total += 1.0,
+            }
+        }
+        total
+    }
+
+    /// Exports records of one experiment as CSV (params then metrics as
+    /// columns; the union of keys across records, blank where absent) —
+    /// the format the figures pipeline consumes.
+    pub fn export_csv(&self, experiment: &str) -> String {
+        let records = self.by_experiment(experiment);
+        let mut param_keys: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let mut metric_keys: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for r in &records {
+            param_keys.extend(r.params.keys().map(String::as_str));
+            metric_keys.extend(r.metrics.keys().map(String::as_str));
+        }
+        let mut out = String::new();
+        out.push_str("id,seed");
+        for k in &param_keys {
+            out.push(',');
+            out.push_str(k);
+        }
+        for k in &metric_keys {
+            out.push(',');
+            out.push_str(k);
+        }
+        out.push('\n');
+        for r in &records {
+            out.push_str(&format!("{},{}", r.id, r.seed));
+            for k in &param_keys {
+                out.push(',');
+                if let Some(v) = r.params.get(*k) {
+                    let cell = v.to_string();
+                    // Quote cells containing separators.
+                    if cell.contains(',') || cell.contains('"') {
+                        out.push('"');
+                        out.push_str(&cell.replace('"', "\"\""));
+                        out.push('"');
+                    } else {
+                        out.push_str(&cell);
+                    }
+                }
+            }
+            for k in &metric_keys {
+                out.push(',');
+                if let Some(v) = r.metrics.get(*k) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Persists all records as JSON lines.
+    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        for r in &self.records {
+            let line = serde_json::to_string(r).expect("records serialize");
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Loads records from a JSON-lines file (ids are preserved; the next
+    /// id continues past the maximum loaded).
+    pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::open(path)?;
+        let mut records = Vec::new();
+        let mut max_id = 0u64;
+        for line in BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let r: RunRecord = serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            max_id = max_id.max(r.id);
+            records.push(r);
+        }
+        let next_id = if records.is_empty() { 0 } else { max_id + 1 };
+        Ok(ResultStore { records, next_id })
+    }
+}
+
+/// A clonable, thread-safe handle to a store — what the parallel query
+/// runner (`wt-wtql`) writes into from worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<RwLock<ResultStore>>,
+}
+
+impl SharedStore {
+    /// A fresh shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&self, record: RunRecord) -> u64 {
+        self.inner.write().append(record)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` over the locked store (read access).
+    pub fn with<R>(&self, f: impl FnOnce(&ResultStore) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Extracts a full copy of the records.
+    pub fn snapshot(&self) -> Vec<RunRecord> {
+        self.inner.read().records().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(exp: &str, n: f64, placement: &str, avail: f64) -> RunRecord {
+        RunRecord::new(exp, 1)
+            .param("n", n)
+            .param("placement", placement)
+            .metric("availability", avail)
+    }
+
+    #[test]
+    fn append_assigns_monotone_ids() {
+        let mut s = ResultStore::new();
+        let a = s.append(rec("fig1", 3.0, "R", 0.9));
+        let b = s.append(rec("fig1", 5.0, "R", 0.99));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().params["n"], ParamValue::Num(5.0));
+        assert!(s.get(99).is_none());
+    }
+
+    #[test]
+    fn query_and_by_experiment() {
+        let mut s = ResultStore::new();
+        s.append(rec("fig1", 3.0, "R", 0.9));
+        s.append(rec("fig1", 5.0, "RR", 0.99));
+        s.append(rec("e2", 3.0, "R", 0.95));
+        assert_eq!(s.by_experiment("fig1").len(), 2);
+        let high = s.query(|r| r.get_metric("availability").unwrap_or(0.0) > 0.92);
+        assert_eq!(high.len(), 2);
+    }
+
+    #[test]
+    fn best_by_metric() {
+        let mut s = ResultStore::new();
+        s.append(rec("e4", 3.0, "R", 0.90));
+        s.append(rec("e4", 5.0, "R", 0.99));
+        let best = s.best_by("availability", false).unwrap();
+        assert_eq!(best.params["n"], ParamValue::Num(5.0));
+        let worst = s.best_by("availability", true).unwrap();
+        assert_eq!(worst.params["n"], ParamValue::Num(3.0));
+        assert!(s.best_by("nope", true).is_none());
+    }
+
+    #[test]
+    fn similarity_prefers_nearby_configs() {
+        let mut s = ResultStore::new();
+        s.append(rec("fig1", 3.0, "R", 0.9));
+        s.append(rec("fig1", 5.0, "R", 0.95));
+        s.append(rec("fig1", 3.0, "RR", 0.92));
+        let mut target = BTreeMap::new();
+        target.insert("n".to_string(), ParamValue::Num(3.0));
+        target.insert("placement".to_string(), ParamValue::Str("R".into()));
+        let sims = s.find_similar(&target, 2);
+        assert_eq!(sims.len(), 2);
+        // Exact match first with distance 0.
+        assert_eq!(sims[0].0.params["placement"], ParamValue::Str("R".into()));
+        assert_eq!(sims[0].0.params["n"], ParamValue::Num(3.0));
+        assert_eq!(sims[0].1, 0.0);
+        assert!(sims[1].1 > 0.0);
+    }
+
+    #[test]
+    fn similarity_normalizes_numeric_axes() {
+        let mut s = ResultStore::new();
+        // Axis "mem" spans 64..1024: a 64 GB difference is small.
+        s.append(RunRecord::new("e4", 1).param("mem", 64.0));
+        s.append(RunRecord::new("e4", 1).param("mem", 128.0));
+        s.append(RunRecord::new("e4", 1).param("mem", 1024.0));
+        let mut target = BTreeMap::new();
+        target.insert("mem".to_string(), ParamValue::Num(96.0));
+        let sims = s.find_similar(&target, 3);
+        let mems: Vec<f64> = sims
+            .iter()
+            .map(|(r, _)| r.params["mem"].as_num().unwrap())
+            .collect();
+        assert_eq!(mems, vec![64.0, 128.0, 1024.0]);
+    }
+
+    #[test]
+    fn missing_axes_cost_full_distance() {
+        let mut s = ResultStore::new();
+        s.append(RunRecord::new("x", 1).param("a", 1.0));
+        let mut target = BTreeMap::new();
+        target.insert("b".to_string(), ParamValue::Num(1.0));
+        let sims = s.find_similar(&target, 1);
+        assert_eq!(sims[0].1, 2.0); // both "a" and "b" unmatched
+    }
+
+    #[test]
+    fn csv_export_has_union_of_columns() {
+        let mut s = ResultStore::new();
+        s.append(rec("fig1", 3.0, "R", 0.9));
+        s.append(
+            RunRecord::new("fig1", 2)
+                .param("n", 5.0)
+                .param("extra", "x,y") // needs quoting
+                .metric("availability", 0.99)
+                .metric("tco", 100.0),
+        );
+        s.append(rec("other", 1.0, "RR", 0.5));
+        let csv = s.export_csv("fig1");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "{csv}");
+        assert_eq!(lines[0], "id,seed,extra,n,placement,availability,tco");
+        // First record has no 'extra'/'tco': blank cells.
+        assert!(lines[1].starts_with("0,1,,3,R,0.9,"));
+        // The comma-bearing value is quoted.
+        assert!(lines[2].contains("\"x,y\""), "{}", lines[2]);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut s = ResultStore::new();
+        s.append(rec("fig1", 3.0, "R", 0.9));
+        s.append(rec("fig1", 5.0, "RR", 0.99));
+        let dir = std::env::temp_dir().join("wt-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.jsonl");
+        s.save_jsonl(&path).unwrap();
+        let loaded = ResultStore::load_jsonl(&path).unwrap();
+        assert_eq!(loaded.records(), s.records());
+        // Appending continues past the loaded ids.
+        let mut loaded = loaded;
+        let id = loaded.append(rec("fig1", 7.0, "R", 0.999));
+        assert_eq!(id, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_store_concurrent_appends() {
+        let store = SharedStore::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        store.append(RunRecord::new("conc", t * 100 + i).param("t", t as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 400);
+        // All ids distinct.
+        let mut ids: Vec<u64> = store.snapshot().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+}

@@ -1,0 +1,325 @@
+//! Arithmetic over the Galois field GF(2⁸), the substrate for Reed–Solomon
+//! coding.
+//!
+//! The field is GF(2)\[x\]/(x⁸+x⁴+x³+x²+1) (the 0x11D polynomial used by
+//! every storage RS deployment), with log/antilog tables built once at
+//! first use. Multiplication is two table lookups and an add — the classic
+//! time/space trade-off; the `mul_notable` variant exists for the ablation
+//! bench.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial x⁸+x⁴+x³+x²+1 (0x11D), generator α = 2.
+const PRIM_POLY: u32 = 0x11D;
+
+struct Tables {
+    exp: [u8; 512], // doubled so exp[log a + log b] needs no mod
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u32 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIM_POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (= subtraction = XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/antilog tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Table-free multiplication (Russian-peasant); reference implementation
+/// and ablation baseline.
+pub fn mul_notable(a: u8, b: u8) -> u8 {
+    let mut a = a as u32;
+    let mut b = b as u32;
+    let mut acc = 0u32;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= PRIM_POLY;
+        }
+        b >>= 1;
+    }
+    acc as u8
+}
+
+/// Multiplicative inverse. Panics on 0.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "0 has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Field division `a / b`. Panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `base^exp` by table arithmetic.
+pub fn pow(base: u8, exp: u32) -> u8 {
+    if exp == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let t = tables();
+    let l = (t.log[base as usize] as u64 * exp as u64) % 255;
+    t.exp[l as usize]
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of RS encoding.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+/// Invert a square matrix over GF(256) by Gauss–Jordan elimination.
+/// Returns `None` if the matrix is singular.
+pub fn invert_matrix(m: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let n = m.len();
+    assert!(m.iter().all(|row| row.len() == n), "matrix must be square");
+    // Augmented [M | I].
+    let mut a: Vec<Vec<u8>> = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| u8::from(i == j)));
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        // Normalize pivot row.
+        let p = a[col][col];
+        let pinv = inv(p);
+        for x in a[col].iter_mut() {
+            *x = mul(*x, pinv);
+        }
+        // Eliminate every other row.
+        for row in 0..n {
+            if row != col && a[row][col] != 0 {
+                let factor = a[row][col];
+                let (pivot_row, target_row) = if row < col {
+                    let (lo, hi) = a.split_at_mut(col);
+                    (&hi[0], &mut lo[row])
+                } else {
+                    let (lo, hi) = a.split_at_mut(row);
+                    (&lo[col], &mut hi[0])
+                };
+                for (t, p) in target_row.iter_mut().zip(pivot_row) {
+                    *t = add(*t, mul(factor, *p));
+                }
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+/// Multiply two matrices over GF(256).
+pub fn mat_mul(a: &[Vec<u8>], b: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let n = a.len();
+    let k = b.len();
+    let m = b[0].len();
+    assert!(a.iter().all(|r| r.len() == k), "dimension mismatch");
+    let mut out = vec![vec![0u8; m]; n];
+    for i in 0..n {
+        for (l, b_row) in b.iter().enumerate() {
+            let c = a[i][l];
+            if c != 0 {
+                for j in 0..m {
+                    out[i][j] = add(out[i][j], mul(c, b_row[j]));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_reference() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 7, 85, 170, 254, 255] {
+                assert_eq!(mul(a, b), mul_notable(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        for &(a, b, c) in &[(3u8, 7u8, 200u8), (255, 254, 1), (16, 32, 64)] {
+            // Commutativity and associativity.
+            assert_eq!(mul(a, b), mul(b, a));
+            assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+            // Distributivity.
+            assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+    }
+
+    #[test]
+    fn every_nonzero_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in [1u8, 5, 100, 255] {
+            for b in [1u8, 7, 99, 254] {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_laws() {
+        assert_eq!(pow(2, 0), 1);
+        assert_eq!(pow(2, 1), 2);
+        assert_eq!(pow(2, 8), mul(pow(2, 4), pow(2, 4)));
+        // α has order 255.
+        assert_eq!(pow(2, 255), 1);
+        assert_ne!(pow(2, 85), 1);
+        assert_ne!(pow(2, 51), 1);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        let mut dst = vec![0xAAu8; 256];
+        let mut expect = dst.clone();
+        mul_acc_slice(&mut dst, &src, 77);
+        for (e, s) in expect.iter_mut().zip(&src) {
+            *e ^= mul(77, *s);
+        }
+        assert_eq!(dst, expect);
+        // c = 0 is a no-op; c = 1 is XOR.
+        let before = dst.clone();
+        mul_acc_slice(&mut dst, &src, 0);
+        assert_eq!(dst, before);
+        mul_acc_slice(&mut dst, &src, 1);
+        for (d, (b, s)) in dst.iter().zip(before.iter().zip(&src)) {
+            assert_eq!(*d, b ^ s);
+        }
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip() {
+        let m = vec![vec![1u8, 2, 3], vec![4, 5, 6], vec![7, 8, 10]];
+        let minv = invert_matrix(&m).expect("invertible");
+        let prod = mat_mul(&m, &minv);
+        for (i, row) in prod.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, u8::from(i == j), "prod[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let m = vec![vec![1u8, 2], vec![2, 4]]; // row2 = 2 * row1 in GF
+        assert!(invert_matrix(&m).is_none());
+    }
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let id = vec![vec![1u8, 0], vec![0, 1]];
+        assert_eq!(invert_matrix(&id).unwrap(), id);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn table_mul_equals_reference(a in any::<u8>(), b in any::<u8>()) {
+            prop_assert_eq!(mul(a, b), mul_notable(a, b));
+        }
+
+        #[test]
+        fn mul_is_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributive(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn random_matrices_invert(seed in any::<u64>()) {
+            use wt_des::rng::Stream;
+            let mut rng = Stream::from_seed(seed);
+            let n = 4;
+            let m: Vec<Vec<u8>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.below(256) as u8).collect())
+                .collect();
+            if let Some(minv) = invert_matrix(&m) {
+                let prod = mat_mul(&m, &minv);
+                for (i, row) in prod.iter().enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        prop_assert_eq!(v, u8::from(i == j));
+                    }
+                }
+            }
+        }
+    }
+}

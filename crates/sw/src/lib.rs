@@ -1,0 +1,25 @@
+//! # wt-sw — software component models (paper §4.6)
+//!
+//! The software half of the hardware/software co-design space:
+//!
+//! * [`placement`] — replica placement policies: the Random and RoundRobin
+//!   policies of the paper's Figure 1, plus Copyset placement as the
+//!   natural extension.
+//! * [`replication`] — n-way replication with quorum semantics (the
+//!   quorum-based protocol Figure 1 assumes) and primary–backup.
+//! * [`gf256`] / [`erasure`] — a complete Reed–Solomon erasure coder over
+//!   GF(2⁸) (systematic Vandermonde construction), the paper's \[14\]
+//!   "XORing elephants" design axis.
+//! * [`repair`] — re-replication policy: serial vs. parallel repair, the
+//!   §1 worked example of a software knob that trades against hardware.
+
+pub mod erasure;
+pub mod gf256;
+pub mod placement;
+pub mod repair;
+pub mod replication;
+
+pub use erasure::{ErasureCode, StripeSpec};
+pub use placement::{Placement, Placer};
+pub use repair::RepairPolicy;
+pub use replication::{Durability, QuorumSpec, RedundancyScheme};

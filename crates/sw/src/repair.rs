@@ -1,0 +1,254 @@
+//! Re-replication (repair) policy: the software knob of the paper's §1
+//! worked example.
+//!
+//! When a node fails, every object it held becomes degraded. A
+//! [`RepairPolicy`] decides how many repairs run concurrently and from how
+//! many sources each repair streams — "by instantiating parallel repairs on
+//! different machines, one can decrease the probability that the data will
+//! become unavailable" (§1). The actual event scheduling lives in
+//! `wt-cluster`; this module owns the policy math and the repair queue
+//! bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// How the system re-replicates after a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairPolicy {
+    /// Maximum repairs in flight cluster-wide. 1 = serial repair; large
+    /// values spread the rebuild over many (source, destination) pairs.
+    pub max_parallel: usize,
+    /// Fraction of each source node's NIC bandwidth the repair is allowed
+    /// to use (repair throttling to protect foreground traffic).
+    pub bandwidth_share: f64,
+    /// Delay before repair starts (failure-detection timeout), seconds.
+    pub detection_delay_s: f64,
+}
+
+impl RepairPolicy {
+    /// Serial repair with a 15-minute detection delay and half the NIC.
+    pub fn serial() -> Self {
+        RepairPolicy {
+            max_parallel: 1,
+            bandwidth_share: 0.5,
+            detection_delay_s: 900.0,
+        }
+    }
+
+    /// Parallel repair across `streams` pairs.
+    pub fn parallel(streams: usize) -> Self {
+        assert!(streams >= 1);
+        RepairPolicy {
+            max_parallel: streams,
+            bandwidth_share: 0.5,
+            detection_delay_s: 900.0,
+        }
+    }
+
+    /// Time to move `total_bytes` of repair traffic when `pairs` disjoint
+    /// (source, destination) pairs are available and each link sustains
+    /// `link_gbps` for this repair. The effective parallelism is
+    /// `min(max_parallel, pairs)`.
+    pub fn repair_time_s(&self, total_bytes: u64, pairs: usize, link_gbps: f64) -> f64 {
+        assert!(pairs >= 1, "need at least one repair pair");
+        assert!(link_gbps > 0.0);
+        let streams = self.max_parallel.min(pairs) as f64;
+        let per_stream_bps = link_gbps * 1e9 / 8.0 * self.bandwidth_share;
+        self.detection_delay_s + total_bytes as f64 / (per_stream_bps * streams)
+    }
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// A degraded object awaiting repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairTask {
+    /// Object identifier.
+    pub object: u64,
+    /// Bytes to move for this object's repair.
+    pub bytes: u64,
+}
+
+/// FIFO queue of pending repairs with a concurrency cap — the state
+/// machine `wt-cluster` drives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairQueue {
+    policy: RepairPolicy,
+    pending: Vec<RepairTask>,
+    in_flight: usize,
+    completed: u64,
+}
+
+impl RepairQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: RepairPolicy) -> Self {
+        RepairQueue {
+            policy,
+            pending: Vec::new(),
+            in_flight: 0,
+            completed: 0,
+        }
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> RepairPolicy {
+        self.policy
+    }
+
+    /// Enqueues a degraded object.
+    pub fn enqueue(&mut self, task: RepairTask) {
+        self.pending.push(task);
+    }
+
+    /// Starts as many repairs as the concurrency cap allows; returns the
+    /// tasks that just started (caller schedules their completion events).
+    #[must_use = "started repairs must have completion events scheduled"]
+    pub fn start_ready(&mut self) -> Vec<RepairTask> {
+        let slots = self.policy.max_parallel.saturating_sub(self.in_flight);
+        let take = slots.min(self.pending.len());
+        let started: Vec<RepairTask> = self.pending.drain(..take).collect();
+        self.in_flight += started.len();
+        started
+    }
+
+    /// Marks one repair finished; typically followed by `start_ready`.
+    pub fn complete_one(&mut self) {
+        assert!(self.in_flight > 0, "no repair in flight");
+        self.in_flight -= 1;
+        self.completed += 1;
+    }
+
+    /// Drops any pending repair for `object` (e.g. the object's node came
+    /// back before repair started). Returns true if one was removed.
+    pub fn cancel(&mut self, object: u64) -> bool {
+        if let Some(pos) = self.pending.iter().position(|t| t.object == object) {
+            self.pending.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Repairs waiting to start.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Repairs currently running.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total repairs finished.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// True when nothing is pending or running.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.in_flight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_repair_is_faster() {
+        let serial = RepairPolicy::serial();
+        let par8 = RepairPolicy::parallel(8);
+        let bytes = 4_000_000_000_000; // 4 TB node worth of data
+        let t1 = serial.repair_time_s(bytes, 16, 10.0);
+        let t8 = par8.repair_time_s(bytes, 16, 10.0);
+        // 8 streams ≈ 8x the transfer rate (detection delay fixed).
+        let transfer1 = t1 - serial.detection_delay_s;
+        let transfer8 = t8 - par8.detection_delay_s;
+        assert!((transfer1 / transfer8 - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn parallelism_capped_by_available_pairs() {
+        let p = RepairPolicy::parallel(64);
+        let with_4_pairs = p.repair_time_s(1 << 30, 4, 10.0);
+        let with_64_pairs = p.repair_time_s(1 << 30, 64, 10.0);
+        assert!(with_4_pairs > with_64_pairs);
+    }
+
+    #[test]
+    fn faster_network_shrinks_repair() {
+        // §1: "the latency of the repair process can be reduced by using a
+        // faster network (hardware), or by optimizing the repair algorithm
+        // (software), or both".
+        let p = RepairPolicy::serial();
+        let slow = p.repair_time_s(1 << 40, 8, 1.0);
+        let fast = p.repair_time_s(1 << 40, 8, 10.0);
+        let transfer_slow = slow - p.detection_delay_s;
+        let transfer_fast = fast - p.detection_delay_s;
+        assert!((transfer_slow / transfer_fast - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn queue_respects_concurrency_cap() {
+        let mut q = RepairQueue::new(RepairPolicy::parallel(2));
+        for i in 0..5 {
+            q.enqueue(RepairTask {
+                object: i,
+                bytes: 100,
+            });
+        }
+        let started = q.start_ready();
+        assert_eq!(started.len(), 2);
+        assert_eq!(q.in_flight(), 2);
+        assert_eq!(q.pending_len(), 3);
+        // Nothing more can start until a completion.
+        assert!(q.start_ready().is_empty());
+        q.complete_one();
+        let next = q.start_ready();
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].object, 2);
+        assert_eq!(q.completed(), 1);
+    }
+
+    #[test]
+    fn queue_drains_to_idle() {
+        let mut q = RepairQueue::new(RepairPolicy::serial());
+        q.enqueue(RepairTask {
+            object: 1,
+            bytes: 1,
+        });
+        assert!(!q.is_idle());
+        let s = q.start_ready();
+        assert_eq!(s.len(), 1);
+        q.complete_one();
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn cancel_pending_repair() {
+        let mut q = RepairQueue::new(RepairPolicy::serial());
+        q.enqueue(RepairTask {
+            object: 7,
+            bytes: 1,
+        });
+        q.enqueue(RepairTask {
+            object: 8,
+            bytes: 1,
+        });
+        assert!(q.cancel(7));
+        assert!(!q.cancel(7));
+        assert_eq!(q.pending_len(), 1);
+        let s = q.start_ready();
+        assert_eq!(s[0].object, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no repair in flight")]
+    fn complete_on_idle_panics() {
+        let mut q = RepairQueue::new(RepairPolicy::serial());
+        q.complete_one();
+    }
+}

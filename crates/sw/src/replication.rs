@@ -1,0 +1,249 @@
+//! Replication protocols and redundancy schemes.
+//!
+//! Figure 1 assumes "a quorum-based protocol: if the majority of data
+//! replicas of a given customer are unavailable, then the customer is not
+//! able to operate on the data". [`QuorumSpec`] encodes that predicate and
+//! its R/W-quorum generalization; [`RedundancyScheme`] unifies replication
+//! and erasure coding behind the one question the simulator asks: *given
+//! how many replicas/shards are up, can the customer operate, and is the
+//! data still durable?*
+
+use crate::erasure::StripeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Read/write quorum configuration over `n` replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuorumSpec {
+    /// Replication factor.
+    pub n: usize,
+    /// Replicas that must acknowledge a write.
+    pub w: usize,
+    /// Replicas that must respond to a read.
+    pub r: usize,
+}
+
+impl QuorumSpec {
+    /// Majority quorums: `w = r = ⌊n/2⌋ + 1` — the protocol of Figure 1.
+    pub fn majority(n: usize) -> Self {
+        assert!(n >= 1);
+        let q = n / 2 + 1;
+        QuorumSpec { n, w: q, r: q }
+    }
+
+    /// Arbitrary quorums. Enforces `w + r > n` (strong consistency) and
+    /// `1 ≤ w, r ≤ n`.
+    pub fn new(n: usize, w: usize, r: usize) -> Self {
+        assert!(n >= 1 && (1..=n).contains(&w) && (1..=n).contains(&r));
+        assert!(w + r > n, "w + r must exceed n for quorum intersection");
+        QuorumSpec { n, w, r }
+    }
+
+    /// Can a client write with `up` replicas alive?
+    pub fn write_available(&self, up: usize) -> bool {
+        up >= self.w
+    }
+
+    /// Can a client read with `up` replicas alive?
+    pub fn read_available(&self, up: usize) -> bool {
+        up >= self.r
+    }
+
+    /// The Figure 1 predicate: the customer "is able to operate on the
+    /// data" iff a majority (here: both quorums) is alive.
+    pub fn operable(&self, up: usize) -> bool {
+        self.write_available(up) && self.read_available(up)
+    }
+}
+
+/// Durability outcome for one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Durability {
+    /// All replicas/shards intact.
+    Full,
+    /// Some redundancy lost but the data is recoverable.
+    Degraded,
+    /// The data cannot be reconstructed from any surviving component.
+    Lost,
+}
+
+/// A redundancy scheme: n-way replication with a quorum protocol, or
+/// Reed–Solomon striping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RedundancyScheme {
+    /// `n` full copies, quorum-based access.
+    Replication(QuorumSpec),
+    /// RS(k, m) striping; readable while ≥ k shards survive.
+    Erasure(StripeSpec),
+}
+
+impl RedundancyScheme {
+    /// Majority-quorum n-way replication.
+    pub fn replication(n: usize) -> Self {
+        RedundancyScheme::Replication(QuorumSpec::majority(n))
+    }
+
+    /// RS(k, m) erasure coding.
+    pub fn erasure(k: usize, m: usize) -> Self {
+        RedundancyScheme::Erasure(StripeSpec::new(k, m))
+    }
+
+    /// Number of placement targets one object needs (replicas or shards).
+    pub fn width(&self) -> usize {
+        match self {
+            RedundancyScheme::Replication(q) => q.n,
+            RedundancyScheme::Erasure(s) => s.total(),
+        }
+    }
+
+    /// Storage overhead factor over the raw data size.
+    pub fn overhead(&self) -> f64 {
+        match self {
+            RedundancyScheme::Replication(q) => q.n as f64,
+            RedundancyScheme::Erasure(s) => s.overhead(),
+        }
+    }
+
+    /// Is the object *operable* (clients can read and write) with `up` of
+    /// `width()` targets alive?
+    pub fn operable(&self, up: usize) -> bool {
+        match self {
+            RedundancyScheme::Replication(q) => q.operable(up),
+            RedundancyScheme::Erasure(s) => s.available(up),
+        }
+    }
+
+    /// Durability with `up` of `width()` targets alive. Replicated data
+    /// survives while ≥ 1 copy exists; coded data while ≥ k shards exist.
+    pub fn durability(&self, up: usize) -> Durability {
+        let width = self.width();
+        assert!(up <= width);
+        if up == width {
+            return Durability::Full;
+        }
+        let recoverable = match self {
+            RedundancyScheme::Replication(_) => up >= 1,
+            RedundancyScheme::Erasure(s) => up >= s.k,
+        };
+        if recoverable {
+            Durability::Degraded
+        } else {
+            Durability::Lost
+        }
+    }
+
+    /// Bytes that must be moved to repair one lost target holding
+    /// `object_bytes` of raw data. Replication copies the object
+    /// (`object_bytes`); RS must read k shards to rebuild one
+    /// (`object_bytes` read traffic + one shard written) — the well-known
+    /// repair-amplification cost of coding.
+    pub fn repair_traffic_bytes(&self, object_bytes: u64) -> u64 {
+        match self {
+            RedundancyScheme::Replication(_) => object_bytes,
+            RedundancyScheme::Erasure(s) => {
+                let shard = object_bytes / s.k as u64;
+                // Read k shards, write 1.
+                object_bytes + shard
+            }
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            RedundancyScheme::Replication(q) => format!("rep{}", q.n),
+            RedundancyScheme::Erasure(s) => format!("rs({},{})", s.k, s.m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_quorum_sizes() {
+        assert_eq!(QuorumSpec::majority(3), QuorumSpec { n: 3, w: 2, r: 2 });
+        assert_eq!(QuorumSpec::majority(5), QuorumSpec { n: 5, w: 3, r: 3 });
+        assert_eq!(QuorumSpec::majority(1), QuorumSpec { n: 1, w: 1, r: 1 });
+        assert_eq!(QuorumSpec::majority(4), QuorumSpec { n: 4, w: 3, r: 3 });
+    }
+
+    #[test]
+    fn figure1_operability_predicate() {
+        // n=3: operable iff >= 2 up; n=5: iff >= 3 up.
+        let q3 = QuorumSpec::majority(3);
+        assert!(q3.operable(3) && q3.operable(2));
+        assert!(!q3.operable(1) && !q3.operable(0));
+        let q5 = QuorumSpec::majority(5);
+        assert!(q5.operable(3));
+        assert!(!q5.operable(2));
+    }
+
+    #[test]
+    fn asymmetric_quorums() {
+        // Write-one-read-all is not allowed (w+r must exceed n)...
+        let q = QuorumSpec::new(3, 3, 1); // read-one-write-all is fine
+        assert!(q.read_available(1));
+        assert!(!q.write_available(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum intersection")]
+    fn weak_quorums_rejected() {
+        let _ = QuorumSpec::new(3, 1, 1);
+    }
+
+    #[test]
+    fn scheme_width_and_overhead() {
+        assert_eq!(RedundancyScheme::replication(3).width(), 3);
+        assert_eq!(RedundancyScheme::replication(3).overhead(), 3.0);
+        let rs = RedundancyScheme::erasure(10, 4);
+        assert_eq!(rs.width(), 14);
+        assert!((rs.overhead() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durability_ladder_replication() {
+        let r3 = RedundancyScheme::replication(3);
+        assert_eq!(r3.durability(3), Durability::Full);
+        assert_eq!(r3.durability(2), Durability::Degraded);
+        assert_eq!(r3.durability(1), Durability::Degraded);
+        assert_eq!(r3.durability(0), Durability::Lost);
+    }
+
+    #[test]
+    fn durability_ladder_erasure() {
+        let rs = RedundancyScheme::erasure(6, 3);
+        assert_eq!(rs.durability(9), Durability::Full);
+        assert_eq!(rs.durability(6), Durability::Degraded);
+        assert_eq!(rs.durability(5), Durability::Lost);
+    }
+
+    #[test]
+    fn erasure_operability_vs_replication() {
+        // rep3 and rs(6,3): same-ish fault tolerance story, different math.
+        let r3 = RedundancyScheme::replication(3);
+        let rs = RedundancyScheme::erasure(6, 3);
+        // rep3 loses operability after 2 of 3 down.
+        assert!(!r3.operable(1));
+        // rs(6,3) tolerates exactly 3 of 9 down.
+        assert!(rs.operable(6));
+        assert!(!rs.operable(5));
+    }
+
+    #[test]
+    fn repair_amplification() {
+        let r3 = RedundancyScheme::replication(3);
+        let rs = RedundancyScheme::erasure(10, 4);
+        let obj = 1_000_000u64;
+        assert_eq!(r3.repair_traffic_bytes(obj), obj);
+        // RS repair reads the whole object worth of shards plus writes one.
+        assert!(rs.repair_traffic_bytes(obj) > obj);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RedundancyScheme::replication(5).label(), "rep5");
+        assert_eq!(RedundancyScheme::erasure(6, 3).label(), "rs(6,3)");
+    }
+}

@@ -1,0 +1,155 @@
+//! Load generators: open-loop (arrivals keep coming regardless of
+//! completions — how SLAs get blown) and closed-loop (a fixed client pool
+//! with think time — how benchmarks are usually run).
+//!
+//! Generators produce *interarrival decisions*; the cluster simulator owns
+//! the event queue and calls back into them.
+
+use serde::{Deserialize, Serialize};
+use wt_des::rng::Stream;
+use wt_dist::Dist;
+
+/// Open-loop arrivals with an arbitrary interarrival distribution
+/// (exponential = Poisson arrivals).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenLoop {
+    /// Interarrival time distribution, seconds.
+    pub interarrival: Dist,
+}
+
+impl OpenLoop {
+    /// Poisson arrivals at `rate` requests/second.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        OpenLoop {
+            interarrival: Dist::exponential(rate),
+        }
+    }
+
+    /// Deterministic arrivals at `rate` requests/second.
+    pub fn steady(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        OpenLoop {
+            interarrival: Dist::deterministic(1.0 / rate),
+        }
+    }
+
+    /// Bursty arrivals: Poisson at `rate` but with hyperexponential
+    /// interarrivals (squared coefficient of variation ≈ `scv` > 1).
+    pub fn bursty(rate: f64, scv: f64) -> Self {
+        assert!(rate > 0.0 && scv > 1.0);
+        // Balanced two-phase hyperexponential matching mean and SCV.
+        let mean = 1.0 / rate;
+        let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+        let rate1 = 2.0 * p / mean;
+        let rate2 = 2.0 * (1.0 - p) / mean;
+        OpenLoop {
+            interarrival: Dist::mixture(vec![
+                (p, Dist::exponential(rate1)),
+                (1.0 - p, Dist::exponential(rate2)),
+            ]),
+        }
+    }
+
+    /// Seconds until the next arrival.
+    pub fn next_gap(&self, rng: &mut Stream) -> f64 {
+        self.interarrival.sample(rng)
+    }
+
+    /// Mean offered load, requests/second.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.interarrival.mean()
+    }
+}
+
+/// Closed-loop load: `clients` concurrent clients, each issuing the next
+/// request `think_time` after the previous one completes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedLoop {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Think-time distribution, seconds.
+    pub think_time: Dist,
+}
+
+impl ClosedLoop {
+    /// `clients` clients thinking an exponential `mean_think` seconds.
+    pub fn new(clients: usize, mean_think: f64) -> Self {
+        assert!(clients >= 1);
+        let think_time = if mean_think > 0.0 {
+            Dist::exponential_mean(mean_think)
+        } else {
+            Dist::deterministic(0.0)
+        };
+        ClosedLoop {
+            clients,
+            think_time,
+        }
+    }
+
+    /// Seconds a client waits before re-issuing.
+    pub fn next_think(&self, rng: &mut Stream) -> f64 {
+        self.think_time.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let g = OpenLoop::poisson(100.0);
+        assert!((g.rate() - 100.0).abs() < 1e-9);
+        let mut rng = Stream::from_seed(1);
+        let n = 100_000;
+        let mean_gap: f64 = (0..n).map(|_| g.next_gap(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean_gap - 0.01).abs() / 0.01 < 0.02, "gap {mean_gap}");
+    }
+
+    #[test]
+    fn steady_has_zero_variance() {
+        let g = OpenLoop::steady(10.0);
+        let mut rng = Stream::from_seed(2);
+        for _ in 0..100 {
+            assert_eq!(g.next_gap(&mut rng), 0.1);
+        }
+    }
+
+    #[test]
+    fn bursty_matches_mean_and_scv() {
+        let g = OpenLoop::bursty(50.0, 9.0);
+        assert!((g.rate() - 50.0).abs() / 50.0 < 1e-9);
+        let mut rng = Stream::from_seed(3);
+        let n = 400_000;
+        let gaps: Vec<f64> = (0..n).map(|_| g.next_gap(&mut rng)).collect();
+        let mean: f64 = gaps.iter().sum::<f64>() / n as f64;
+        let var: f64 = gaps.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let scv = var / (mean * mean);
+        assert!((mean - 0.02).abs() / 0.02 < 0.02, "mean {mean}");
+        assert!((scv - 9.0).abs() < 1.0, "scv {scv}");
+    }
+
+    #[test]
+    fn closed_loop_zero_think() {
+        let c = ClosedLoop::new(8, 0.0);
+        let mut rng = Stream::from_seed(4);
+        assert_eq!(c.next_think(&mut rng), 0.0);
+        assert_eq!(c.clients, 8);
+    }
+
+    #[test]
+    fn closed_loop_exponential_think() {
+        let c = ClosedLoop::new(4, 2.0);
+        let mut rng = Stream::from_seed(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| c.next_think(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean think {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = OpenLoop::poisson(0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wt-workload — workload models for performance what-ifs (paper §3)
+//!
+//! The performance-SLA use case needs workload characterization: "it is
+//! possible to build accurate models … by identifying and carefully
+//! modeling the key characteristics (CPU, Disk I/O, network) of the system
+//! under test". This crate provides those synthetic workloads:
+//!
+//! * [`request`] — the request alphabet (point reads/writes, scans) with
+//!   size and key,
+//! * [`zipf`] — Zipfian key popularity (the YCSB/Gray sampler),
+//! * [`mix`] — operation mixes (YCSB A/B/C presets and custom),
+//! * [`generator`] — open-loop (Poisson or arbitrary interarrival) and
+//!   closed-loop (think-time) load generators,
+//! * [`tenant`] — multi-tenant workload sets, the "what happens to tenant
+//!   A's p99 when tenant B moves in" question,
+//! * [`trace`] — request traces: record, persist, characterize (rate, mix,
+//!   interarrival law, key skew) and synthesize matching workload models.
+
+pub mod generator;
+pub mod mix;
+pub mod request;
+pub mod tenant;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::{ClosedLoop, OpenLoop};
+pub use mix::{Mix, OpKind};
+pub use request::Request;
+pub use tenant::TenantWorkload;
+pub use trace::{Characterization, Trace, TraceEntry};
+pub use zipf::Zipf;

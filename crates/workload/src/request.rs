@@ -1,0 +1,69 @@
+//! The request alphabet.
+
+use serde::{Deserialize, Serialize};
+
+/// One storage request issued by a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing tenant (index into the scenario's tenant list).
+    pub tenant: usize,
+    /// Object key (drives placement and popularity).
+    pub key: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// True for writes (updates hit every replica / the write quorum).
+    pub write: bool,
+    /// True for sequential access (scans); false for point ops.
+    pub sequential: bool,
+}
+
+impl Request {
+    /// A point read.
+    pub fn read(tenant: usize, key: u64, bytes: u64) -> Self {
+        Request {
+            tenant,
+            key,
+            bytes,
+            write: false,
+            sequential: false,
+        }
+    }
+
+    /// A point write.
+    pub fn write(tenant: usize, key: u64, bytes: u64) -> Self {
+        Request {
+            tenant,
+            key,
+            bytes,
+            write: true,
+            sequential: false,
+        }
+    }
+
+    /// A sequential scan of `bytes` starting at `key`.
+    pub fn scan(tenant: usize, key: u64, bytes: u64) -> Self {
+        Request {
+            tenant,
+            key,
+            bytes,
+            write: false,
+            sequential: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let r = Request::read(0, 7, 4096);
+        assert!(!r.write && !r.sequential);
+        let w = Request::write(1, 7, 4096);
+        assert!(w.write && !w.sequential);
+        let s = Request::scan(2, 0, 1 << 20);
+        assert!(!s.write && s.sequential);
+        assert_eq!(s.bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,296 @@
+//! Binding sweep axes onto the scenario configuration surface.
+//!
+//! Each axis name maps to one knob of `windtunnel::Scenario`. Categorical
+//! hardware axes resolve through the part catalog, so a query can say
+//! `nic IN ["1g", "10g"]` instead of spelling out specs.
+
+use crate::error::WtqlError;
+use windtunnel::cluster::Scenario;
+use windtunnel::hw::catalog;
+use windtunnel::sw::{Placement, RedundancyScheme};
+use wt_store::ParamValue;
+
+/// The sweep axes the binder understands, with whether SLA satisfaction is
+/// monotone non-decreasing in the axis value (the §4.2 pruning lever).
+pub const AXES: &[(&str, bool)] = &[
+    ("replication", true),
+    ("nic", true),
+    ("disk", false),
+    ("placement", false),
+    ("repair_parallel", true),
+    ("mem_gb", true),
+    ("racks", true),
+    ("nodes_per_rack", true),
+    ("oversubscription", false),
+    ("objects", false),
+    ("object_gb", false),
+    ("erasure_k", false),
+    ("erasure_m", true),
+    ("detection_delay_s", false),
+    ("switch_failures", false),
+    ("seed", false),
+];
+
+/// True if SLA satisfaction is (declared) monotone non-decreasing in this
+/// axis — e.g. more replication or a faster NIC never makes an SLA pass
+/// become a fail, all else equal.
+pub fn is_monotone(axis: &str) -> bool {
+    AXES.iter().any(|(name, mono)| *name == axis && *mono)
+}
+
+/// True if the binder knows this axis.
+pub fn is_known_axis(axis: &str) -> bool {
+    AXES.iter().any(|(name, _)| *name == axis)
+}
+
+/// A numeric sort key for ordering runs "best-first" along a monotone
+/// axis (higher = more likely to pass SLAs).
+pub fn monotone_rank(axis: &str, value: &ParamValue) -> f64 {
+    match (axis, value) {
+        ("nic", ParamValue::Str(s)) => match s.as_str() {
+            "1g" => 1.0,
+            "10g" => 10.0,
+            "40g" => 40.0,
+            _ => 0.0,
+        },
+        (_, v) => v.as_num().unwrap_or(0.0),
+    }
+}
+
+/// Applies one `(axis, value)` assignment to a scenario.
+pub fn apply_assignment(
+    scenario: &mut Scenario,
+    axis: &str,
+    value: &ParamValue,
+) -> Result<(), WtqlError> {
+    let num = |v: &ParamValue| {
+        v.as_num()
+            .ok_or_else(|| WtqlError::Semantic(format!("axis '{axis}' needs a numeric value")))
+    };
+    let string = |v: &ParamValue| match v {
+        ParamValue::Str(s) => Ok(s.clone()),
+        _ => Err(WtqlError::Semantic(format!(
+            "axis '{axis}' needs a string value"
+        ))),
+    };
+    match axis {
+        "replication" => {
+            scenario.redundancy = RedundancyScheme::replication(num(value)? as usize);
+        }
+        "erasure_k" => {
+            let k = num(value)? as usize;
+            let m = match scenario.redundancy {
+                RedundancyScheme::Erasure(s) => s.m,
+                _ => 2,
+            };
+            scenario.redundancy = RedundancyScheme::erasure(k, m);
+        }
+        "erasure_m" => {
+            let m = num(value)? as usize;
+            let k = match scenario.redundancy {
+                RedundancyScheme::Erasure(s) => s.k,
+                _ => 6,
+            };
+            scenario.redundancy = RedundancyScheme::erasure(k, m);
+        }
+        "nic" => {
+            let nic = match string(value)?.as_str() {
+                "1g" => catalog::nic_1g(),
+                "10g" => catalog::nic_10g(),
+                "40g" => catalog::nic_40g(),
+                other => return Err(WtqlError::Semantic(format!("unknown NIC model '{other}'"))),
+            };
+            scenario.topology.node.nic = nic;
+        }
+        "disk" => {
+            let disk = match string(value)?.as_str() {
+                "hdd" => catalog::hdd_7200_4t(),
+                "ssd" => catalog::ssd_sata_1t(),
+                "nvme" => catalog::ssd_nvme_2t(),
+                other => return Err(WtqlError::Semantic(format!("unknown disk model '{other}'"))),
+            };
+            let count = scenario.topology.node.disks.len();
+            scenario.topology.node.disks = vec![disk; count];
+        }
+        "placement" => {
+            scenario.placement = match string(value)?.as_str() {
+                "R" | "random" => Placement::Random,
+                "RR" | "roundrobin" => Placement::RoundRobin,
+                "CS" | "copyset" => Placement::Copyset { scatter_width: 4 },
+                "RA" | "rackaware" => Placement::RackAware {
+                    nodes_per_rack: scenario.topology.nodes_per_rack,
+                },
+                other => {
+                    return Err(WtqlError::Semantic(format!(
+                        "unknown placement policy '{other}'"
+                    )))
+                }
+            };
+        }
+        "repair_parallel" => {
+            scenario.repair.max_parallel = num(value)?.max(1.0) as usize;
+        }
+        "detection_delay_s" => {
+            scenario.repair.detection_delay_s = num(value)?;
+        }
+        "mem_gb" => {
+            scenario.topology.node.mem = catalog::mem_ddr3(num(value)?);
+        }
+        "racks" => {
+            scenario.topology.racks = num(value)? as usize;
+        }
+        "nodes_per_rack" => {
+            scenario.topology.nodes_per_rack = num(value)? as usize;
+        }
+        "oversubscription" => {
+            scenario.topology.oversubscription = num(value)?;
+        }
+        "objects" => {
+            scenario.objects = num(value)? as u64;
+        }
+        "object_gb" => {
+            scenario.object_bytes = (num(value)? * (1u64 << 30) as f64) as u64;
+        }
+        "switch_failures" => match value {
+            ParamValue::Bool(b) => scenario.switch_failures = *b,
+            _ => {
+                return Err(WtqlError::Semantic(
+                    "axis 'switch_failures' needs TRUE or FALSE".into(),
+                ))
+            }
+        },
+        "seed" => {
+            scenario.seed = num(value)? as u64;
+        }
+        other => {
+            return Err(WtqlError::Semantic(format!("unknown sweep axis '{other}'")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use windtunnel::ScenarioBuilder;
+
+    fn base() -> Scenario {
+        ScenarioBuilder::new("base")
+            .racks(3)
+            .nodes_per_rack(10)
+            .build()
+    }
+
+    #[test]
+    fn replication_axis() {
+        let mut s = base();
+        apply_assignment(&mut s, "replication", &ParamValue::Num(5.0)).unwrap();
+        assert_eq!(s.redundancy.width(), 5);
+    }
+
+    #[test]
+    fn nic_axis_resolves_catalog() {
+        let mut s = base();
+        apply_assignment(&mut s, "nic", &ParamValue::Str("1g".into())).unwrap();
+        assert_eq!(s.topology.node.nic.bandwidth_gbps, 1.0);
+        apply_assignment(&mut s, "nic", &ParamValue::Str("40g".into())).unwrap();
+        assert_eq!(s.topology.node.nic.bandwidth_gbps, 40.0);
+        assert!(apply_assignment(&mut s, "nic", &ParamValue::Str("100g".into())).is_err());
+    }
+
+    #[test]
+    fn disk_axis_replaces_all_disks() {
+        let mut s = base();
+        let count = s.topology.node.disks.len();
+        apply_assignment(&mut s, "disk", &ParamValue::Str("nvme".into())).unwrap();
+        assert_eq!(s.topology.node.disks.len(), count);
+        assert!(s
+            .topology
+            .node
+            .disks
+            .iter()
+            .all(|d| d.name == "ssd-nvme-2t"));
+    }
+
+    #[test]
+    fn placement_axis() {
+        let mut s = base();
+        apply_assignment(&mut s, "placement", &ParamValue::Str("RR".into())).unwrap();
+        assert_eq!(s.placement, Placement::RoundRobin);
+        apply_assignment(&mut s, "placement", &ParamValue::Str("CS".into())).unwrap();
+        assert!(matches!(s.placement, Placement::Copyset { .. }));
+        apply_assignment(&mut s, "placement", &ParamValue::Str("RA".into())).unwrap();
+        assert_eq!(
+            s.placement,
+            Placement::RackAware {
+                nodes_per_rack: s.topology.nodes_per_rack
+            }
+        );
+    }
+
+    #[test]
+    fn erasure_axes_compose() {
+        let mut s = base();
+        apply_assignment(&mut s, "erasure_k", &ParamValue::Num(10.0)).unwrap();
+        apply_assignment(&mut s, "erasure_m", &ParamValue::Num(4.0)).unwrap();
+        assert_eq!(s.redundancy.width(), 14);
+        assert_eq!(s.redundancy.label(), "rs(10,4)");
+    }
+
+    #[test]
+    fn numeric_axes() {
+        let mut s = base();
+        apply_assignment(&mut s, "repair_parallel", &ParamValue::Num(8.0)).unwrap();
+        assert_eq!(s.repair.max_parallel, 8);
+        apply_assignment(&mut s, "mem_gb", &ParamValue::Num(256.0)).unwrap();
+        assert_eq!(s.topology.node.mem.capacity_gb, 256.0);
+        apply_assignment(&mut s, "objects", &ParamValue::Num(500.0)).unwrap();
+        assert_eq!(s.objects, 500);
+        apply_assignment(&mut s, "object_gb", &ParamValue::Num(2.0)).unwrap();
+        assert_eq!(s.object_bytes, 2 << 30);
+        apply_assignment(&mut s, "seed", &ParamValue::Num(77.0)).unwrap();
+        assert_eq!(s.seed, 77);
+    }
+
+    #[test]
+    fn unknown_axis_rejected() {
+        let mut s = base();
+        let e = apply_assignment(&mut s, "warp_drive", &ParamValue::Num(1.0)).unwrap_err();
+        assert!(e.to_string().contains("unknown sweep axis"));
+    }
+
+    #[test]
+    fn wrong_value_type_rejected() {
+        let mut s = base();
+        assert!(apply_assignment(&mut s, "replication", &ParamValue::Str("three".into())).is_err());
+        assert!(apply_assignment(&mut s, "nic", &ParamValue::Num(10.0)).is_err());
+    }
+
+    #[test]
+    fn switch_failures_axis() {
+        let mut s = base();
+        apply_assignment(&mut s, "switch_failures", &ParamValue::Bool(true)).unwrap();
+        assert!(s.switch_failures);
+        apply_assignment(&mut s, "switch_failures", &ParamValue::Bool(false)).unwrap();
+        assert!(!s.switch_failures);
+        assert!(apply_assignment(&mut s, "switch_failures", &ParamValue::Num(1.0)).is_err());
+    }
+
+    #[test]
+    fn monotonicity_registry() {
+        assert!(is_monotone("replication"));
+        assert!(is_monotone("nic"));
+        assert!(!is_monotone("placement"));
+        assert!(is_known_axis("disk"));
+        assert!(!is_known_axis("nonsense"));
+    }
+
+    #[test]
+    fn monotone_rank_orders_nics() {
+        let r1 = monotone_rank("nic", &ParamValue::Str("1g".into()));
+        let r10 = monotone_rank("nic", &ParamValue::Str("10g".into()));
+        let r40 = monotone_rank("nic", &ParamValue::Str("40g".into()));
+        assert!(r1 < r10 && r10 < r40);
+        assert_eq!(monotone_rank("replication", &ParamValue::Num(5.0)), 5.0);
+    }
+}

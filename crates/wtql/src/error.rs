@@ -1,0 +1,66 @@
+//! WTQL error type.
+
+use std::fmt;
+
+/// Anything that can go wrong between query text and executed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WtqlError {
+    /// Lexical error: unexpected character.
+    Lex {
+        /// Byte offset in the query text.
+        at: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// Parse error: unexpected token.
+    Parse {
+        /// Byte offset where the problem was noticed.
+        at: usize,
+        /// What the parser expected.
+        expected: String,
+        /// What it found.
+        found: String,
+    },
+    /// Semantic error: unknown sweep axis, bad value type, etc.
+    Semantic(String),
+}
+
+impl fmt::Display for WtqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WtqlError::Lex { at, found } => {
+                write!(f, "lex error at byte {at}: unexpected character {found:?}")
+            }
+            WtqlError::Parse {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parse error at byte {at}: expected {expected}, found {found}"
+            ),
+            WtqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WtqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = WtqlError::Lex { at: 3, found: '$' };
+        assert!(e.to_string().contains("byte 3"));
+        let e = WtqlError::Parse {
+            at: 10,
+            expected: "IN".into(),
+            found: "OUT".into(),
+        };
+        assert!(e.to_string().contains("expected IN"));
+        let e = WtqlError::Semantic("unknown axis 'foo'".into());
+        assert!(e.to_string().contains("unknown axis"));
+    }
+}

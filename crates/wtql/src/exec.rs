@@ -1,0 +1,722 @@
+//! The query executor: parallel run dispatch, dominance pruning, early
+//! abort (§4.2).
+
+use crate::ast::{Constraint, Query};
+use crate::bind::apply_assignment;
+use crate::error::WtqlError;
+use crate::plan::{Assignment, Plan};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use windtunnel::cluster::Scenario;
+use windtunnel::des::time::SimDuration;
+use windtunnel::WindTunnel;
+
+/// Execution knobs (overridable from the query's OPTIONS clause).
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// Monotone dominance pruning on/off.
+    pub prune: bool,
+    /// Probe-and-abort hopeless runs.
+    pub early_abort: bool,
+    /// Fraction of the horizon the probe simulates.
+    pub probe_fraction: f64,
+    /// Availability slack below the bound before the heuristic abort
+    /// fires (sound aborts on monotone metrics ignore this).
+    pub abort_margin: f64,
+    /// Independent replications per configuration; numeric metrics are
+    /// averaged over seeds (variance reduction for the bursty availability
+    /// metrics). 1 = single run.
+    pub replications: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            prune: true,
+            early_abort: false,
+            probe_fraction: 0.1,
+            abort_margin: 0.01,
+            replications: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Reads overrides from the query's OPTIONS clause
+    /// (`OPTIONS threads = 4, prune = FALSE, early_abort = TRUE`).
+    pub fn from_query(query: &Query) -> Self {
+        let mut o = ExecOptions::default();
+        for (key, value) in &query.options {
+            match key.as_str() {
+                "threads" => {
+                    if let Some(x) = value.as_num() {
+                        o.threads = (x as usize).max(1);
+                    }
+                }
+                "prune" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.prune = *b;
+                    }
+                }
+                "early_abort" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.early_abort = *b;
+                    }
+                }
+                "probe_fraction" => {
+                    if let Some(x) = value.as_num() {
+                        o.probe_fraction = x.clamp(0.01, 0.9);
+                    }
+                }
+                "abort_margin" => {
+                    if let Some(x) = value.as_num() {
+                        o.abort_margin = x.max(0.0);
+                    }
+                }
+                "replications" => {
+                    if let Some(x) = value.as_num() {
+                        o.replications = (x as usize).max(1);
+                    }
+                }
+                _ => {} // unknown options are ignored, like SQL hints
+            }
+        }
+        o
+    }
+}
+
+/// One configuration's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRow {
+    /// The configuration.
+    pub assignment: Assignment,
+    /// Output metrics (empty for pruned rows).
+    pub metrics: BTreeMap<String, f64>,
+    /// All constraints satisfied.
+    pub passes: bool,
+    /// Skipped without simulation (dominated by a failed config).
+    pub pruned: bool,
+    /// Aborted on the probe horizon.
+    pub aborted: bool,
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// One row per configuration, in plan order.
+    pub rows: Vec<RunRow>,
+    /// Index of the objective-best passing row, if any.
+    pub best: Option<usize>,
+    /// Runs fully simulated.
+    pub executed: usize,
+    /// Runs pruned by dominance.
+    pub pruned: usize,
+    /// Runs aborted on the probe.
+    pub aborted: usize,
+    /// Total discrete events simulated (cost proxy).
+    pub total_sim_events: u64,
+}
+
+impl QueryOutcome {
+    /// The best row, if an objective was given and some row passed.
+    pub fn best_row(&self) -> Option<&RunRow> {
+        self.best.map(|i| &self.rows[i])
+    }
+
+    /// Rows that satisfied all constraints.
+    pub fn passing(&self) -> Vec<&RunRow> {
+        self.rows.iter().filter(|r| r.passes).collect()
+    }
+}
+
+const AVAIL_METRICS: &[&str] = &[
+    "availability",
+    "nines",
+    "unavailability_events",
+    "objects_lost",
+    "node_failures",
+    "rebuilds_completed",
+    "mean_rebuild_wait_s",
+    "sim_events",
+];
+
+/// Metrics whose value can only grow as the horizon extends; a probe that
+/// already violates an upper bound on one of these makes the full run's
+/// violation certain — the *sound* early abort.
+const MONOTONE_IN_TIME: &[&str] = &["objects_lost", "unavailability_events", "node_failures"];
+
+fn is_perf_metric(name: &str) -> bool {
+    name.ends_with("_p50_s")
+        || name.ends_with("_p95_s")
+        || name.ends_with("_p99_s")
+        || name.ends_with("_mean_s")
+        || name.ends_with("_throughput")
+        || name.ends_with("_failed")
+}
+
+fn is_avail_metric(name: &str) -> bool {
+    AVAIL_METRICS.contains(&name)
+}
+
+fn validate_metrics(query: &Query) -> Result<(), WtqlError> {
+    let all: Vec<&str> = query
+        .explore
+        .iter()
+        .map(String::as_str)
+        .chain(query.constraints.iter().map(|c| c.metric.as_str()))
+        .chain(query.objective.iter().map(|o| o.metric.as_str()))
+        .collect();
+    for m in all {
+        if !(is_avail_metric(m)
+            || is_perf_metric(m)
+            || m == "tco_usd_per_year"
+            || m == "usd_per_usable_gb_year")
+        {
+            return Err(WtqlError::Semantic(format!("unknown metric '{m}'")));
+        }
+    }
+    Ok(())
+}
+
+/// Executes a query against a base scenario through a wind tunnel.
+///
+/// Every fully-simulated run also lands in the tunnel's result store.
+pub fn run_query(
+    query: &Query,
+    base: &Scenario,
+    tunnel: &WindTunnel,
+    opts: &ExecOptions,
+) -> Result<QueryOutcome, WtqlError> {
+    validate_metrics(query)?;
+    let plan = Plan::build(query)?;
+    let n = plan.len();
+
+    let needs_avail = query
+        .explore
+        .iter()
+        .map(String::as_str)
+        .chain(query.constraints.iter().map(|c| c.metric.as_str()))
+        .chain(query.objective.iter().map(|o| o.metric.as_str()))
+        .any(is_avail_metric);
+    let needs_perf = query
+        .explore
+        .iter()
+        .map(String::as_str)
+        .chain(query.constraints.iter().map(|c| c.metric.as_str()))
+        .chain(query.objective.iter().map(|o| o.metric.as_str()))
+        .any(is_perf_metric);
+
+    let work: Mutex<std::collections::VecDeque<usize>> = Mutex::new((0..n).collect());
+    let failed: RwLock<Vec<usize>> = RwLock::new(Vec::new());
+    let rows: Mutex<Vec<Option<RunRow>>> = Mutex::new(vec![None; n]);
+
+    let worker = || {
+        loop {
+            let idx = {
+                let mut q = work.lock();
+                match q.pop_front() {
+                    Some(i) => i,
+                    None => return,
+                }
+            };
+            let assignment = &plan.configs[idx];
+
+            // Dominance check against already-failed configurations.
+            if opts.prune {
+                let dominated = failed
+                    .read()
+                    .iter()
+                    .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
+                if dominated {
+                    rows.lock()[idx] = Some(RunRow {
+                        assignment: assignment.clone(),
+                        metrics: BTreeMap::new(),
+                        passes: false,
+                        pruned: true,
+                        aborted: false,
+                    });
+                    continue;
+                }
+            }
+
+            let row = evaluate(
+                query,
+                base,
+                tunnel,
+                assignment,
+                needs_avail,
+                needs_perf,
+                opts,
+            );
+            let row = match row {
+                Ok(r) => r,
+                Err(_) => RunRow {
+                    assignment: assignment.clone(),
+                    metrics: BTreeMap::new(),
+                    passes: false,
+                    pruned: false,
+                    aborted: false,
+                },
+            };
+            if !row.passes && !query.constraints.is_empty() && opts.prune {
+                failed.write().push(idx);
+            }
+            rows.lock()[idx] = Some(row);
+        }
+    };
+
+    if opts.threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..opts.threads {
+                scope.spawn(worker);
+            }
+        });
+    }
+
+    let rows: Vec<RunRow> = rows
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index evaluated"))
+        .collect();
+    let executed = rows.iter().filter(|r| !r.pruned && !r.aborted).count();
+    let pruned = rows.iter().filter(|r| r.pruned).count();
+    let aborted = rows.iter().filter(|r| r.aborted).count();
+    let total_sim_events = rows
+        .iter()
+        .filter_map(|r| r.metrics.get("sim_events"))
+        .sum::<f64>() as u64;
+
+    let best = query.objective.as_ref().and_then(|obj| {
+        rows.iter()
+            .enumerate()
+            .filter(|(_, r)| r.passes && r.metrics.contains_key(&obj.metric))
+            .min_by(|(_, a), (_, b)| {
+                let (x, y) = (a.metrics[&obj.metric], b.metrics[&obj.metric]);
+                let ord = x.partial_cmp(&y).expect("finite metrics");
+                if obj.minimize {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            })
+            .map(|(i, _)| i)
+    });
+
+    Ok(QueryOutcome {
+        rows,
+        best,
+        executed,
+        pruned,
+        aborted,
+        total_sim_events,
+    })
+}
+
+/// Simulates one configuration and evaluates the constraints.
+fn evaluate(
+    query: &Query,
+    base: &Scenario,
+    tunnel: &WindTunnel,
+    assignment: &Assignment,
+    needs_avail: bool,
+    needs_perf: bool,
+    opts: &ExecOptions,
+) -> Result<RunRow, WtqlError> {
+    let mut scenario = base.clone();
+    for (axis, value) in assignment {
+        apply_assignment(&mut scenario, axis, value)?;
+    }
+    scenario.name = assignment
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    let breakdown = tunnel.cost_model().cost(&scenario.topology);
+    metrics.insert("tco_usd_per_year".into(), breakdown.tco_usd_per_year);
+    // Cost per GB a customer can actually store: redundancy overhead eats
+    // raw capacity, so rep5 *is* dearer than rep3 on identical hardware.
+    let usable_gb = breakdown.raw_storage_gb / scenario.redundancy.overhead();
+    metrics.insert(
+        "usd_per_usable_gb_year".into(),
+        breakdown.tco_usd_per_year / usable_gb,
+    );
+
+    let mut aborted = false;
+    // Probe phase (first replication only): abort hopeless runs early.
+    if needs_avail && opts.early_abort {
+        let model = WindTunnel::availability_model(&scenario);
+        let probe_horizon = SimDuration::from_years(scenario.horizon_years * opts.probe_fraction);
+        let probe = model.run(scenario.seed, probe_horizon);
+        let hopeless = query.constraints.iter().any(|c| {
+            probe_violates_surely(c, &probe) || probe_violates_heuristically(c, &probe, opts)
+        });
+        if hopeless {
+            record_avail_metrics(&mut metrics, &probe);
+            aborted = true;
+        }
+    }
+    if !aborted {
+        // Accumulate metric sums over replications, then average.
+        let reps = opts.replications.max(1);
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let base_seed = scenario.seed;
+        for rep in 0..reps {
+            let mut rep_scenario = scenario.clone();
+            rep_scenario.seed = base_seed.wrapping_add(rep as u64 * 7919);
+            let mut rep_metrics: BTreeMap<String, f64> = BTreeMap::new();
+            if needs_avail {
+                let result = tunnel.run_availability(&rep_scenario);
+                record_avail_metrics(&mut rep_metrics, &result);
+            }
+            if needs_perf && !rep_scenario.tenants.is_empty() {
+                let result = tunnel.run_perf(&rep_scenario, false);
+                for t in &result.tenants {
+                    rep_metrics.insert(format!("{}_p50_s", t.name), t.p50_s);
+                    rep_metrics.insert(format!("{}_p95_s", t.name), t.p95_s);
+                    rep_metrics.insert(format!("{}_p99_s", t.name), t.p99_s);
+                    rep_metrics.insert(format!("{}_mean_s", t.name), t.mean_s);
+                    rep_metrics.insert(format!("{}_throughput", t.name), t.throughput);
+                    rep_metrics.insert(format!("{}_failed", t.name), t.failed as f64);
+                }
+            }
+            for (k, v) in rep_metrics {
+                *sums.entry(k).or_insert(0.0) += v;
+            }
+        }
+        for (k, v) in sums {
+            metrics.insert(k, v / reps as f64);
+        }
+    }
+
+    let passes = !aborted
+        && query
+            .constraints
+            .iter()
+            .all(|c| metrics.get(&c.metric).is_some_and(|&v| c.satisfied(v)));
+
+    Ok(RunRow {
+        assignment: assignment.clone(),
+        metrics,
+        passes,
+        pruned: false,
+        aborted,
+    })
+}
+
+fn record_avail_metrics(
+    metrics: &mut BTreeMap<String, f64>,
+    r: &windtunnel::cluster::AvailabilityResult,
+) {
+    metrics.insert("availability".into(), r.availability);
+    metrics.insert("nines".into(), r.nines);
+    metrics.insert(
+        "unavailability_events".into(),
+        r.unavailability_events as f64,
+    );
+    metrics.insert("objects_lost".into(), r.objects_lost as f64);
+    metrics.insert("node_failures".into(), r.node_failures as f64);
+    metrics.insert("rebuilds_completed".into(), r.rebuilds_completed as f64);
+    metrics.insert("mean_rebuild_wait_s".into(), r.mean_rebuild_wait_s);
+    metrics.insert("sim_events".into(), r.sim_events as f64);
+}
+
+/// Sound abort: the probe already violates an upper bound on a metric
+/// that can only grow with the horizon.
+fn probe_violates_surely(c: &Constraint, probe: &windtunnel::cluster::AvailabilityResult) -> bool {
+    if !MONOTONE_IN_TIME.contains(&c.metric.as_str()) {
+        return false;
+    }
+    let value = match c.metric.as_str() {
+        "objects_lost" => probe.objects_lost as f64,
+        "unavailability_events" => probe.unavailability_events as f64,
+        "node_failures" => probe.node_failures as f64,
+        _ => return false,
+    };
+    matches!(
+        c.cmp,
+        crate::ast::Comparison::Le | crate::ast::Comparison::Lt
+    ) && !c.satisfied(value)
+}
+
+/// Heuristic abort: the probe's availability sits more than the margin
+/// below an availability floor.
+fn probe_violates_heuristically(
+    c: &Constraint,
+    probe: &windtunnel::cluster::AvailabilityResult,
+    opts: &ExecOptions,
+) -> bool {
+    if c.metric != "availability" {
+        return false;
+    }
+    matches!(
+        c.cmp,
+        crate::ast::Comparison::Ge | crate::ast::Comparison::Gt
+    ) && probe.availability < c.bound - opts.abort_margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use windtunnel::ScenarioBuilder;
+
+    fn base() -> Scenario {
+        ScenarioBuilder::new("base")
+            .racks(1)
+            .nodes_per_rack(10)
+            .objects(200)
+            .horizon_years(0.3)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn explore_runs_whole_grid() {
+        let q =
+            parse(r#"EXPLORE availability SWEEP replication IN [1, 3], placement IN ["R", "RR"]"#)
+                .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.executed, 4);
+        assert_eq!(out.pruned, 0);
+        assert!(out
+            .rows
+            .iter()
+            .all(|r| r.metrics.contains_key("availability")));
+        // Store captured every run.
+        assert_eq!(tunnel.store().len(), 4);
+    }
+
+    #[test]
+    fn replication_improves_availability_in_results() {
+        let q = parse("EXPLORE availability SWEEP replication IN [1, 3]").unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = base();
+        // Force enough failures to matter.
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(30.0 * 86_400.0);
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        // Plan order: replication 3 first (monotone descending).
+        let a3 = out.rows[0].metrics["availability"];
+        let a1 = out.rows[1].metrics["availability"];
+        assert!(a3 > a1, "rep3 {a3} should beat rep1 {a1}");
+    }
+
+    #[test]
+    fn pruning_skips_dominated_configs() {
+        // An unsatisfiable availability floor: the best config fails, so
+        // everything dominated by it is pruned without simulation.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [1, 2, 3] \
+             SUBJECT TO availability >= 1.0 AND unavailability_events <= 0",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = base();
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(10.0 * 86_400.0);
+        sc.repair.detection_delay_s = 24.0 * 3600.0; // repairs too slow
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.passing().is_empty());
+        assert!(
+            out.pruned >= 1,
+            "dominated configs should be pruned: {out:?}"
+        );
+        assert!(out.executed < 3);
+    }
+
+    #[test]
+    fn prune_disabled_runs_everything() {
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [1, 2, 3] \
+             SUBJECT TO availability >= 1.0 AND unavailability_events <= 0 \
+             OPTIONS prune = FALSE",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = base();
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(10.0 * 86_400.0);
+        sc.repair.detection_delay_s = 24.0 * 3600.0;
+        let opts = ExecOptions::from_query(&q);
+        assert!(!opts.prune);
+        let out = run_query(&q, &sc, &tunnel, &opts).unwrap();
+        assert_eq!(out.executed, 3);
+        assert_eq!(out.pruned, 0);
+    }
+
+    #[test]
+    fn usable_gb_cost_separates_replication_factors() {
+        let q = parse(
+            "EXPLORE usd_per_usable_gb_year \
+             SWEEP replication IN [2, 3] \
+             MINIMIZE usd_per_usable_gb_year",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap();
+        // Same hardware, but rep3 stores 2/3 of what rep2 can.
+        let cost = |n: f64| {
+            out.rows
+                .iter()
+                .find(|r| r.assignment[0].1.as_num() == Some(n))
+                .unwrap()
+                .metrics["usd_per_usable_gb_year"]
+        };
+        assert!((cost(3.0) / cost(2.0) - 1.5).abs() < 1e-9);
+        let best = out.best_row().unwrap();
+        assert_eq!(best.assignment[0].1.as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn objective_selects_cheapest_passing() {
+        let q = parse(
+            "EXPLORE availability, tco_usd_per_year \
+             SWEEP replication IN [1, 3], nodes_per_rack IN [10, 20] \
+             SUBJECT TO availability >= 0.5 \
+             MINIMIZE tco_usd_per_year",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap();
+        let best = out.best_row().expect("some config passes");
+        // Cheapest = fewest nodes.
+        let nodes = best
+            .assignment
+            .iter()
+            .find(|(k, _)| k == "nodes_per_rack")
+            .unwrap()
+            .1
+            .as_num()
+            .unwrap();
+        assert_eq!(nodes, 10.0);
+        for r in out.passing() {
+            assert!(r.metrics["tco_usd_per_year"] >= best.metrics["tco_usd_per_year"]);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_passing_set() {
+        let q = parse(
+            r#"EXPLORE availability SWEEP replication IN [1, 3], placement IN ["R", "RR"] SUBJECT TO availability >= 0.0"#,
+        )
+        .unwrap();
+        let tunnel_a = WindTunnel::new();
+        let serial = run_query(&q, &base(), &tunnel_a, &ExecOptions::default()).unwrap();
+        let tunnel_b = WindTunnel::new();
+        let par = run_query(
+            &q,
+            &base(),
+            &tunnel_b,
+            &ExecOptions {
+                threads: 4,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        // Same rows in the same plan order with identical metrics
+        // (determinism is per-config, so thread interleaving is invisible).
+        let key = |rows: &[RunRow]| {
+            rows.iter()
+                .filter(|r| !r.pruned)
+                .map(|r| (r.assignment.clone(), r.metrics.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&serial.rows), key(&par.rows));
+    }
+
+    #[test]
+    fn early_abort_saves_events() {
+        // objects_lost is monotone in time: a dying cluster's probe already
+        // violates the durability constraint, so the full run is skipped.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [1] \
+             SUBJECT TO objects_lost <= 0 \
+             OPTIONS early_abort = TRUE, probe_fraction = 0.05",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = base();
+        // A cluster that loses data almost immediately.
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(86_400.0);
+        sc.topology.node.repair = windtunnel::dist::Dist::deterministic(30.0 * 86_400.0);
+        sc.repair.detection_delay_s = 10.0 * 86_400.0;
+        let opts = ExecOptions::from_query(&q);
+        assert!(opts.early_abort);
+        let out = run_query(&q, &sc, &tunnel, &opts).unwrap();
+        assert_eq!(out.aborted, 1, "{out:?}");
+        assert!(!out.rows[0].passes);
+        // The aborted row still carries probe metrics.
+        assert!(out.rows[0].metrics["objects_lost"] > 0.0);
+    }
+
+    #[test]
+    fn replications_average_and_record_every_run() {
+        let q = parse("EXPLORE availability SWEEP replication IN [3] OPTIONS replications = 3")
+            .unwrap();
+        let opts = ExecOptions::from_query(&q);
+        assert_eq!(opts.replications, 3);
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &opts).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // Three availability runs landed in the store.
+        assert_eq!(tunnel.store().len(), 3);
+        // The averaged metric equals the mean of the recorded runs.
+        let mean_recorded = tunnel.store().with(|s| {
+            s.records()
+                .iter()
+                .map(|r| r.get_metric("availability").unwrap())
+                .sum::<f64>()
+                / 3.0
+        });
+        assert!((out.rows[0].metrics["availability"] - mean_recorded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_metric_rejected() {
+        let q = parse("EXPLORE qubits SWEEP replication IN [3]").unwrap();
+        let tunnel = WindTunnel::new();
+        let e = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap_err();
+        assert!(e.to_string().contains("unknown metric"));
+    }
+
+    #[test]
+    fn perf_metrics_runs_perf_engine() {
+        let q = parse("EXPLORE shop_p95_s SWEEP disk IN [\"ssd\", \"hdd\"]").unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = ScenarioBuilder::new("perf-base")
+            .racks(1)
+            .nodes_per_rack(10)
+            .disks_per_node(4)
+            .tenant(windtunnel::workload::TenantWorkload::oltp(
+                "shop", 100.0, 1_000,
+            ))
+            .horizon_years(0.00001)
+            .build();
+        sc.horizon_years = 0.00001; // ~5 simulated minutes
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        for r in &out.rows {
+            assert!(r.metrics.contains_key("shop_p95_s"), "{r:?}");
+        }
+        // SSD beats HDD on p95 (plan puts them in deterministic order:
+        // categorical tie-break is lexicographic on the debug string).
+        let p95_of = |needle: &str| {
+            out.rows
+                .iter()
+                .find(|r| r.assignment[0].1.to_string() == needle)
+                .unwrap()
+                .metrics["shop_p95_s"]
+        };
+        assert!(p95_of("ssd") < p95_of("hdd"));
+    }
+}

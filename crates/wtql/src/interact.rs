@@ -1,0 +1,189 @@
+//! Declarative model-interaction graph (§4.1).
+//!
+//! "When a new model is added to the simulator, its interactions with the
+//! existing models should be declaratively specified. … The underlying
+//! simulation engine can then automatically optimize and parallelize the
+//! query execution based on the user's declarations."
+//!
+//! [`ModelGraph`] holds those declarations: models are nodes, declared
+//! interactions are edges. The engine derives what it needs from graph
+//! queries: `independent(a, b)` (may the two models be simulated without
+//! synchronizing?), `affected_set(m)` (what must be re-examined when `m`
+//! changes — the paper's data-transfer footprint example), and
+//! `independent_groups()` (connected components = units that can run in
+//! parallel).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A declared set of simulation models and their interactions.
+#[derive(Debug, Clone, Default)]
+pub struct ModelGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl ModelGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a model with no interactions yet.
+    pub fn model(&mut self, name: &str) -> &mut Self {
+        self.edges.entry(name.to_string()).or_default();
+        self
+    }
+
+    /// Declares that two models interact (must be simulated in a common
+    /// event ordering). Symmetric; implicitly declares both models.
+    pub fn interacts(&mut self, a: &str, b: &str) -> &mut Self {
+        assert_ne!(a, b, "a model trivially interacts with itself");
+        self.edges
+            .entry(a.to_string())
+            .or_default()
+            .insert(b.to_string());
+        self.edges
+            .entry(b.to_string())
+            .or_default()
+            .insert(a.to_string());
+        self
+    }
+
+    /// All declared models.
+    pub fn models(&self) -> Vec<&str> {
+        self.edges.keys().map(String::as_str).collect()
+    }
+
+    /// True if the two models are declared (directly) interacting.
+    pub fn directly_interacts(&self, a: &str, b: &str) -> bool {
+        self.edges.get(a).is_some_and(|s| s.contains(b))
+    }
+
+    /// True if the models are independent: no interaction path connects
+    /// them, so their events can be simulated/parallelized separately.
+    pub fn independent(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return false;
+        }
+        !self.affected_set(a).contains(b)
+    }
+
+    /// The transitive closure of interactions from `m` (including `m`):
+    /// everything whose state can be influenced by `m`'s events.
+    pub fn affected_set(&self, m: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        if self.edges.contains_key(m) {
+            seen.insert(m.to_string());
+            queue.push_back(m.to_string());
+        }
+        while let Some(cur) = queue.pop_front() {
+            if let Some(neighbors) = self.edges.get(&cur) {
+                for n in neighbors {
+                    if seen.insert(n.clone()) {
+                        queue.push_back(n.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Connected components: maximal groups that must share an event
+    /// ordering. Distinct groups are parallelizable.
+    pub fn independent_groups(&self) -> Vec<BTreeSet<String>> {
+        let mut remaining: BTreeSet<String> = self.edges.keys().cloned().collect();
+        let mut groups = Vec::new();
+        while let Some(seed) = remaining.iter().next().cloned() {
+            let group = self.affected_set(&seed);
+            for g in &group {
+                remaining.remove(g);
+            }
+            groups.push(group);
+        }
+        groups
+    }
+
+    /// The default wind tunnel declaration: the interactions the paper
+    /// itself enumerates — a data transfer touches the two endpoint nodes'
+    /// disks/NICs and the switch on the path; workload execution interacts
+    /// with the transfer when they share a machine; disk failures are
+    /// independent of switch failures.
+    pub fn default_windtunnel() -> Self {
+        let mut g = ModelGraph::new();
+        g.interacts("transfer", "src_node.nic")
+            .interacts("transfer", "dst_node.nic")
+            .interacts("transfer", "src_node.disk")
+            .interacts("transfer", "dst_node.disk")
+            .interacts("transfer", "rack_switch")
+            .interacts("workload", "src_node.disk")
+            .interacts("workload", "src_node.nic")
+            .model("disk.failure")
+            .model("switch.failure");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_disk_vs_switch_failures_independent() {
+        let g = ModelGraph::default_windtunnel();
+        // "the failure model of the hard disk is independent of the
+        // failure model of the network switch"
+        assert!(g.independent("disk.failure", "switch.failure"));
+    }
+
+    #[test]
+    fn paper_example_transfer_interacts_with_colocated_workload() {
+        let g = ModelGraph::default_windtunnel();
+        // "a model that simulates a data transfer … is not independent of a
+        // model that simulates a workload executed on that machine"
+        assert!(!g.independent("transfer", "workload"));
+        assert!(g.directly_interacts("transfer", "src_node.nic"));
+    }
+
+    #[test]
+    fn affected_set_is_transitive() {
+        let mut g = ModelGraph::new();
+        g.interacts("a", "b").interacts("b", "c").model("d");
+        let set = g.affected_set("a");
+        assert!(set.contains("a") && set.contains("b") && set.contains("c"));
+        assert!(!set.contains("d"));
+    }
+
+    #[test]
+    fn independent_groups_partition() {
+        let mut g = ModelGraph::new();
+        g.interacts("a", "b").interacts("c", "d").model("e");
+        let groups = g.independent_groups();
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        // Every pair from distinct groups is independent.
+        assert!(g.independent("a", "c"));
+        assert!(g.independent("b", "e"));
+        assert!(!g.independent("a", "b"));
+    }
+
+    #[test]
+    fn self_is_never_independent() {
+        let mut g = ModelGraph::new();
+        g.model("a");
+        assert!(!g.independent("a", "a"));
+    }
+
+    #[test]
+    fn unknown_models_have_empty_affected_sets() {
+        let g = ModelGraph::new();
+        assert!(g.affected_set("ghost").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "trivially")]
+    fn self_edge_rejected() {
+        let mut g = ModelGraph::new();
+        g.interacts("a", "a");
+    }
+}

@@ -1,0 +1,286 @@
+//! WTQL tokenizer.
+
+use crate::error::WtqlError;
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub at: usize,
+    /// Token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds. Keywords are case-insensitive and lexed as `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word, normalized to uppercase (EXPLORE, SWEEP, IN, …).
+    Keyword(String),
+    /// An identifier (metric or axis name), case preserved.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<=`, `>=`, `<`, `>`, `=`
+    Cmp(String),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "EXPLORE", "SWEEP", "IN", "WHERE", "SUBJECT", "TO", "MINIMIZE", "MAXIMIZE", "AND", "OPTIONS",
+    "TRUE", "FALSE",
+];
+
+/// Tokenizes WTQL source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, WtqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `--` to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let at = i;
+        match c {
+            ',' => {
+                out.push(Token {
+                    at,
+                    kind: TokenKind::Comma,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token {
+                    at,
+                    kind: TokenKind::LBracket,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token {
+                    at,
+                    kind: TokenKind::RBracket,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    at,
+                    kind: TokenKind::LParen,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    at,
+                    kind: TokenKind::RParen,
+                });
+                i += 1;
+            }
+            '<' | '>' | '=' => {
+                let mut op = c.to_string();
+                if (c == '<' || c == '>') && bytes.get(i + 1) == Some(&b'=') {
+                    op.push('=');
+                    i += 1;
+                }
+                out.push(Token {
+                    at,
+                    kind: TokenKind::Cmp(op),
+                });
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(WtqlError::Parse {
+                        at,
+                        expected: "closing quote".into(),
+                        found: "end of input".into(),
+                    });
+                }
+                out.push(Token {
+                    at,
+                    kind: TokenKind::Str(src[start..i].to_string()),
+                });
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: f64 = text.parse().map_err(|_| WtqlError::Parse {
+                    at,
+                    expected: "number".into(),
+                    found: text.to_string(),
+                })?;
+                out.push(Token {
+                    at,
+                    kind: TokenKind::Number(value),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token {
+                        at,
+                        kind: TokenKind::Keyword(upper),
+                    });
+                } else {
+                    out.push(Token {
+                        at,
+                        kind: TokenKind::Ident(word.to_string()),
+                    });
+                }
+            }
+            other => return Err(WtqlError::Lex { at, found: other }),
+        }
+    }
+    out.push(Token {
+        at: src.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("explore SWEEP Subject to"),
+            vec![
+                TokenKind::Keyword("EXPLORE".into()),
+                TokenKind::Keyword("SWEEP".into()),
+                TokenKind::Keyword("SUBJECT".into()),
+                TokenKind::Keyword("TO".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"3 0.9999 1e-3 "10g""#),
+            vec![
+                TokenKind::Number(3.0),
+                TokenKind::Number(0.9999),
+                TokenKind::Number(1e-3),
+                TokenKind::Str("10g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            kinds("<= >= < > ="),
+            vec![
+                TokenKind::Cmp("<=".into()),
+                TokenKind::Cmp(">=".into()),
+                TokenKind::Cmp("<".into()),
+                TokenKind::Cmp(">".into()),
+                TokenKind::Cmp("=".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("replication IN [3, 5]"),
+            vec![
+                TokenKind::Ident("replication".into()),
+                TokenKind::Keyword("IN".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(3.0),
+                TokenKind::Comma,
+                TokenKind::Number(5.0),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("EXPLORE -- the metrics\n availability"),
+            vec![
+                TokenKind::Keyword("EXPLORE".into()),
+                TokenKind::Ident("availability".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex(r#""oops"#).is_err());
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        match lex("a $ b") {
+            Err(WtqlError::Lex { found, .. }) => assert_eq!(found, '$'),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].at, 0);
+        assert_eq!(toks[1].at, 3);
+    }
+}

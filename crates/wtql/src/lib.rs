@@ -1,0 +1,46 @@
+//! # wt-wtql — declarative what-if queries over the wind tunnel
+//!
+//! The paper's §4.1–§4.2 research agenda, implemented:
+//!
+//! * **A declarative language** ([`lexer`], [`parser`], [`ast`]): WTQL, a
+//!   small SQL-flavored language for design questions —
+//!
+//!   ```text
+//!   EXPLORE availability, tco_usd_per_year
+//!   SWEEP replication IN [3, 5],
+//!         nic IN ["1g", "10g"],
+//!         placement IN ["R", "RR"]
+//!   SUBJECT TO availability >= 0.9999
+//!   MINIMIZE tco_usd_per_year
+//!   ```
+//!
+//! * **Scenario binding** ([`bind`]): sweep axes map onto the
+//!   `windtunnel::Scenario` configuration surface (catalog parts,
+//!   replication, placement, repair…).
+//! * **Simulation at scale** ([`plan`], [`exec`]): the run-ordering
+//!   optimizer exploits declared monotonicity for **dominance pruning**
+//!   (the paper's "if the SLA fails on a 10 Gb network it will fail on
+//!   1 Gb" example), runs configurations in parallel with crossbeam, and
+//!   **aborts hopeless runs early** on a short probe horizon.
+//! * **Model interactions** ([`interact`]): the declarative interaction
+//!   graph that tells the engine which component models are independent —
+//!   the paper's modularity/parallelization hook.
+//!
+//! Every executed run lands in the shared result store (`wt-store`).
+
+pub mod ast;
+pub mod bind;
+pub mod error;
+pub mod exec;
+pub mod interact;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{Comparison, Constraint, Objective, Query, SweepAxis};
+pub use bind::apply_assignment;
+pub use error::WtqlError;
+pub use exec::{run_query, ExecOptions, QueryOutcome, RunRow};
+pub use interact::ModelGraph;
+pub use parser::parse;
+pub use plan::{Assignment, Plan};

@@ -1,0 +1,356 @@
+//! Recursive-descent parser for WTQL.
+//!
+//! Grammar (clauses in order; all but EXPLORE and SWEEP optional):
+//!
+//! ```text
+//! query      := explore sweep where? subject? objective? options?
+//! explore    := EXPLORE ident ("," ident)*
+//! sweep      := SWEEP axis ("," axis)*
+//! axis       := ident IN "[" value ("," value)* "]"
+//! where      := WHERE filter (AND filter)*
+//! filter     := ident cmp value
+//! subject    := SUBJECT TO constraint ("," constraint | AND constraint)*
+//! constraint := ident cmp number
+//! objective  := (MINIMIZE | MAXIMIZE) ident
+//! options    := OPTIONS ident "=" value ("," ident "=" value)*
+//! value      := number | string | TRUE | FALSE
+//! ```
+
+use crate::ast::{Comparison, Constraint, Filter, Objective, Query, SweepAxis};
+use crate::error::WtqlError;
+use crate::lexer::{lex, Token, TokenKind};
+use wt_store::ParamValue;
+
+/// Parses WTQL text into a [`Query`].
+pub fn parse(src: &str) -> Result<Query, WtqlError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at(&self) -> usize {
+        self.tokens[self.pos].at
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, expected: &str) -> WtqlError {
+        WtqlError::Parse {
+            at: self.at(),
+            expected: expected.to_string(),
+            found: format!("{:?}", self.peek()),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), WtqlError> {
+        match self.peek() {
+            TokenKind::Keyword(k) if k == kw => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err(kw)),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, WtqlError> {
+        match self.peek() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.err("identifier")),
+        }
+    }
+
+    fn value(&mut self) -> Result<ParamValue, WtqlError> {
+        match self.peek().clone() {
+            TokenKind::Number(x) => {
+                self.bump();
+                Ok(ParamValue::Num(x))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(ParamValue::Str(s))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(ParamValue::Bool(true))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(ParamValue::Bool(false))
+            }
+            _ => Err(self.err("value (number, string, TRUE or FALSE)")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, WtqlError> {
+        match self.peek() {
+            TokenKind::Number(x) => {
+                let x = *x;
+                self.bump();
+                Ok(x)
+            }
+            _ => Err(self.err("number")),
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Comparison, WtqlError> {
+        match self.peek().clone() {
+            TokenKind::Cmp(op) => {
+                self.bump();
+                Ok(match op.as_str() {
+                    "<=" => Comparison::Le,
+                    ">=" => Comparison::Ge,
+                    "<" => Comparison::Lt,
+                    ">" => Comparison::Gt,
+                    "=" => Comparison::Eq,
+                    _ => unreachable!("lexer emits only known operators"),
+                })
+            }
+            _ => Err(self.err("comparison operator")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, WtqlError> {
+        // EXPLORE m1, m2, ...
+        self.expect_keyword("EXPLORE")?;
+        let mut explore = vec![self.ident()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            explore.push(self.ident()?);
+        }
+
+        // SWEEP axis, axis, ...
+        self.expect_keyword("SWEEP")?;
+        let mut sweeps = vec![self.axis()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            sweeps.push(self.axis()?);
+        }
+
+        // WHERE f AND f ...
+        let mut filters = Vec::new();
+        if self.eat_keyword("WHERE") {
+            filters.push(self.filter()?);
+            while self.eat_keyword("AND") {
+                filters.push(self.filter()?);
+            }
+        }
+
+        // SUBJECT TO c, c ...
+        let mut constraints = Vec::new();
+        if self.eat_keyword("SUBJECT") {
+            self.expect_keyword("TO")?;
+            constraints.push(self.constraint()?);
+            loop {
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else if !self.eat_keyword("AND") {
+                    break;
+                }
+                constraints.push(self.constraint()?);
+            }
+        }
+
+        // MINIMIZE / MAXIMIZE metric
+        let objective = if self.eat_keyword("MINIMIZE") {
+            Some(Objective {
+                metric: self.ident()?,
+                minimize: true,
+            })
+        } else if self.eat_keyword("MAXIMIZE") {
+            Some(Objective {
+                metric: self.ident()?,
+                minimize: false,
+            })
+        } else {
+            None
+        };
+
+        // OPTIONS k = v, ...
+        let mut options = Vec::new();
+        if self.eat_keyword("OPTIONS") {
+            loop {
+                let key = self.ident()?;
+                match self.cmp()? {
+                    Comparison::Eq => {}
+                    _ => return Err(self.err("'=' in OPTIONS")),
+                }
+                options.push((key, self.value()?));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        match self.peek() {
+            TokenKind::Eof => Ok(Query {
+                explore,
+                sweeps,
+                filters,
+                constraints,
+                objective,
+                options,
+            }),
+            _ => Err(self.err("end of query")),
+        }
+    }
+
+    fn axis(&mut self) -> Result<SweepAxis, WtqlError> {
+        let param = self.ident()?;
+        self.expect_keyword("IN")?;
+        match self.peek() {
+            TokenKind::LBracket => {
+                self.bump();
+            }
+            _ => return Err(self.err("'['")),
+        }
+        let mut values = vec![self.value()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            values.push(self.value()?);
+        }
+        match self.peek() {
+            TokenKind::RBracket => {
+                self.bump();
+            }
+            _ => return Err(self.err("']'")),
+        }
+        Ok(SweepAxis { param, values })
+    }
+
+    fn filter(&mut self) -> Result<Filter, WtqlError> {
+        let param = self.ident()?;
+        let cmp = self.cmp()?;
+        let value = self.value()?;
+        Ok(Filter { param, cmp, value })
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, WtqlError> {
+        let metric = self.ident()?;
+        let cmp = self.cmp()?;
+        let bound = self.number()?;
+        Ok(Constraint { metric, cmp, bound })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+        EXPLORE availability, tco_usd_per_year
+        SWEEP replication IN [3, 5],
+              nic IN ["1g", "10g"],
+              placement IN ["R", "RR"]
+        WHERE nodes = 30
+        SUBJECT TO availability >= 0.9999, objects_lost <= 0
+        MINIMIZE tco_usd_per_year
+        OPTIONS probe_fraction = 0.1
+    "#;
+
+    #[test]
+    fn parses_full_query() {
+        let q = parse(FULL).unwrap();
+        assert_eq!(q.explore, vec!["availability", "tco_usd_per_year"]);
+        assert_eq!(q.sweeps.len(), 3);
+        assert_eq!(q.sweeps[0].param, "replication");
+        assert_eq!(q.sweeps[0].values.len(), 2);
+        assert_eq!(q.sweeps[1].values[1], ParamValue::Str("10g".into()));
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.constraints.len(), 2);
+        assert_eq!(q.constraints[0].metric, "availability");
+        assert_eq!(q.constraints[0].cmp, Comparison::Ge);
+        let obj = q.objective.as_ref().unwrap();
+        assert!(obj.minimize);
+        assert_eq!(obj.metric, "tco_usd_per_year");
+        assert_eq!(q.option_num("probe_fraction"), Some(0.1));
+        assert_eq!(q.grid_size(), 8);
+    }
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("EXPLORE availability SWEEP replication IN [3]").unwrap();
+        assert_eq!(q.explore.len(), 1);
+        assert!(q.filters.is_empty());
+        assert!(q.constraints.is_empty());
+        assert!(q.objective.is_none());
+    }
+
+    #[test]
+    fn maximize_objective() {
+        let q = parse("EXPLORE a SWEEP x IN [1] MAXIMIZE a").unwrap();
+        assert!(!q.objective.unwrap().minimize);
+    }
+
+    #[test]
+    fn boolean_values() {
+        let q = parse("EXPLORE a SWEEP parallel IN [TRUE, FALSE]").unwrap();
+        assert_eq!(
+            q.sweeps[0].values,
+            vec![ParamValue::Bool(true), ParamValue::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn subject_to_with_and() {
+        let q = parse("EXPLORE a SWEEP x IN [1] SUBJECT TO a >= 1 AND b <= 2").unwrap();
+        assert_eq!(q.constraints.len(), 2);
+    }
+
+    #[test]
+    fn missing_explore_rejected() {
+        assert!(parse("SWEEP x IN [1]").is_err());
+    }
+
+    #[test]
+    fn missing_bracket_rejected() {
+        let e = parse("EXPLORE a SWEEP x IN 3").unwrap_err();
+        assert!(e.to_string().contains("'['"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse("EXPLORE a SWEEP x IN [1] banana").unwrap_err();
+        assert!(e.to_string().contains("end of query"), "{e}");
+    }
+
+    #[test]
+    fn constraint_requires_number() {
+        assert!(parse(r#"EXPLORE a SWEEP x IN [1] SUBJECT TO a >= "high""#).is_err());
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let q = parse("EXPLORE a -- pick a metric\nSWEEP x IN [1] -- one arm").unwrap();
+        assert_eq!(q.grid_size(), 1);
+    }
+}

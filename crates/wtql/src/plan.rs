@@ -1,0 +1,347 @@
+//! Query planning: grid expansion, filtering, and the §4.2 run-ordering
+//! optimization.
+//!
+//! The optimizer sorts configurations *best-first along monotone axes*
+//! (fastest NIC, highest replication first). When a run fails its
+//! constraints, every configuration that is equal on all non-monotone
+//! axes and no better on every monotone axis is **dominated** — it cannot
+//! pass either, and is pruned without simulating (the paper's
+//! "the simulation run with the 10Gb configuration should precede the run
+//! with the 1Gb configuration", generalized to many dimensions).
+
+use crate::ast::Query;
+use crate::bind::{is_known_axis, is_monotone, monotone_rank};
+use crate::error::WtqlError;
+use wt_store::ParamValue;
+
+/// One concrete configuration: ordered `(axis, value)` pairs, in the
+/// query's sweep-axis order.
+pub type Assignment = Vec<(String, ParamValue)>;
+
+/// An executable plan: the filtered, ordered configuration list plus the
+/// monotonicity metadata the executor needs for pruning.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Configurations in execution order (best-first on monotone axes).
+    pub configs: Vec<Assignment>,
+    /// Indices (into each assignment) of monotone axes.
+    pub monotone_idx: Vec<usize>,
+    /// Indices of non-monotone (categorical) axes.
+    pub categorical_idx: Vec<usize>,
+}
+
+impl Plan {
+    /// Builds the plan for a query: expands the sweep grid, applies WHERE
+    /// filters, and orders runs for maximal pruning opportunity.
+    pub fn build(query: &Query) -> Result<Plan, WtqlError> {
+        for axis in &query.sweeps {
+            if !is_known_axis(&axis.param) {
+                return Err(WtqlError::Semantic(format!(
+                    "unknown sweep axis '{}'",
+                    axis.param
+                )));
+            }
+            if axis.values.is_empty() {
+                return Err(WtqlError::Semantic(format!(
+                    "sweep axis '{}' has no values",
+                    axis.param
+                )));
+            }
+        }
+        let mut dupes = std::collections::BTreeSet::new();
+        for axis in &query.sweeps {
+            if !dupes.insert(axis.param.as_str()) {
+                return Err(WtqlError::Semantic(format!(
+                    "sweep axis '{}' appears twice",
+                    axis.param
+                )));
+            }
+        }
+
+        // Cartesian product.
+        let mut configs: Vec<Assignment> = vec![Vec::new()];
+        for axis in &query.sweeps {
+            let mut next = Vec::with_capacity(configs.len() * axis.values.len());
+            for base in &configs {
+                for v in &axis.values {
+                    let mut c = base.clone();
+                    c.push((axis.param.clone(), v.clone()));
+                    next.push(c);
+                }
+            }
+            configs = next;
+        }
+
+        // WHERE filters apply to swept axes (constant axes are handled by
+        // the caller's base scenario).
+        configs.retain(|c| {
+            query.filters.iter().all(|f| {
+                match c.iter().find(|(k, _)| *k == f.param) {
+                    Some((_, v)) => match (v.as_num(), f.value.as_num()) {
+                        (Some(lhs), Some(rhs)) => f.cmp.eval(lhs, rhs),
+                        _ => v == &f.value,
+                    },
+                    // Filter on an un-swept param: no basis to exclude here.
+                    None => true,
+                }
+            })
+        });
+
+        let monotone_idx: Vec<usize> = query
+            .sweeps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| is_monotone(&a.param))
+            .map(|(i, _)| i)
+            .collect();
+        let categorical_idx: Vec<usize> = (0..query.sweeps.len())
+            .filter(|i| !monotone_idx.contains(i))
+            .collect();
+
+        // Best-first ordering: sort descending by the monotone ranks.
+        let mut ordered = configs;
+        ordered.sort_by(|a, b| {
+            let ka = Self::rank_key(a, &monotone_idx);
+            let kb = Self::rank_key(b, &monotone_idx);
+            kb.partial_cmp(&ka).expect("finite ranks").then_with(|| {
+                // Stable tie-break on the categorical values for determinism.
+                format!("{a:?}").cmp(&format!("{b:?}"))
+            })
+        });
+
+        Ok(Plan {
+            configs: ordered,
+            monotone_idx,
+            categorical_idx,
+        })
+    }
+
+    fn rank_key(c: &Assignment, monotone_idx: &[usize]) -> Vec<f64> {
+        monotone_idx
+            .iter()
+            .map(|&i| monotone_rank(&c[i].0, &c[i].1))
+            .collect()
+    }
+
+    /// True if `candidate` is dominated by a *failed* configuration
+    /// `failed`: identical on every categorical axis and no better on any
+    /// monotone axis. Such a candidate cannot satisfy the constraints
+    /// either (under the declared monotonicity) and is skipped.
+    pub fn dominated_by_failure(&self, candidate: &Assignment, failed: &Assignment) -> bool {
+        if candidate.len() != failed.len() {
+            return false;
+        }
+        for &i in &self.categorical_idx {
+            if candidate[i] != failed[i] {
+                return false;
+            }
+        }
+        self.monotone_idx.iter().all(|&i| {
+            monotone_rank(&candidate[i].0, &candidate[i].1)
+                <= monotone_rank(&failed[i].0, &failed[i].1)
+        })
+    }
+
+    /// A human-readable plan description — WTQL's `EXPLAIN`.
+    pub fn explain(&self, query: &Query) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "plan: {} configuration(s)", self.configs.len());
+        let _ = writeln!(out, "  grid before WHERE: {}", query.grid_size());
+        let monotone: Vec<&str> = self
+            .monotone_idx
+            .iter()
+            .map(|&i| query.sweeps[i].param.as_str())
+            .collect();
+        let categorical: Vec<&str> = self
+            .categorical_idx
+            .iter()
+            .map(|&i| query.sweeps[i].param.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  monotone axes (best-first order, dominance pruning): {}",
+            if monotone.is_empty() {
+                "none".to_string()
+            } else {
+                monotone.join(", ")
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  categorical axes (exhaustive): {}",
+            if categorical.is_empty() {
+                "none".to_string()
+            } else {
+                categorical.join(", ")
+            }
+        );
+        for c in &query.constraints {
+            let _ = writeln!(
+                out,
+                "  constraint: {} {} {}",
+                c.metric,
+                c.cmp.as_str(),
+                c.bound
+            );
+        }
+        if let Some(obj) = &query.objective {
+            let _ = writeln!(
+                out,
+                "  objective: {} {}",
+                if obj.minimize { "MINIMIZE" } else { "MAXIMIZE" },
+                obj.metric
+            );
+        }
+        let preview = self.configs.iter().take(3);
+        for (i, cfg) in preview.enumerate() {
+            let desc: Vec<String> = cfg.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "  run[{i}]: {}", desc.join(", "));
+        }
+        if self.configs.len() > 3 {
+            let _ = writeln!(out, "  ... {} more", self.configs.len() - 3);
+        }
+        out
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when no configurations survived filtering.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn plan_of(src: &str) -> Plan {
+        Plan::build(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grid_expansion() {
+        let p = plan_of(r#"EXPLORE a SWEEP replication IN [3, 5], placement IN ["R", "RR"]"#);
+        assert_eq!(p.len(), 4);
+        // Every config has both axes.
+        for c in &p.configs {
+            assert_eq!(c.len(), 2);
+            assert_eq!(c[0].0, "replication");
+            assert_eq!(c[1].0, "placement");
+        }
+    }
+
+    #[test]
+    fn best_first_ordering_on_monotone_axes() {
+        let p = plan_of(r#"EXPLORE a SWEEP nic IN ["1g", "10g", "40g"]"#);
+        let order: Vec<String> = p.configs.iter().map(|c| c[0].1.to_string()).collect();
+        assert_eq!(order, vec!["40g", "10g", "1g"], "fastest first");
+    }
+
+    #[test]
+    fn replication_descends() {
+        let p = plan_of("EXPLORE a SWEEP replication IN [3, 5, 7]");
+        let order: Vec<f64> = p.configs.iter().map(|c| c[0].1.as_num().unwrap()).collect();
+        assert_eq!(order, vec![7.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn where_filters_configs() {
+        let p = plan_of(r#"EXPLORE a SWEEP replication IN [3, 5, 7] WHERE replication >= 5"#);
+        assert_eq!(p.len(), 2);
+        assert!(p.configs.iter().all(|c| c[0].1.as_num().unwrap() >= 5.0));
+    }
+
+    #[test]
+    fn dominance_within_categorical_group() {
+        let p = plan_of(r#"EXPLORE a SWEEP nic IN ["1g", "10g"], placement IN ["R", "RR"]"#);
+        let failed_10g_r: Assignment = vec![
+            ("nic".into(), ParamValue::Str("10g".into())),
+            ("placement".into(), ParamValue::Str("R".into())),
+        ];
+        let cand_1g_r: Assignment = vec![
+            ("nic".into(), ParamValue::Str("1g".into())),
+            ("placement".into(), ParamValue::Str("R".into())),
+        ];
+        let cand_1g_rr: Assignment = vec![
+            ("nic".into(), ParamValue::Str("1g".into())),
+            ("placement".into(), ParamValue::Str("RR".into())),
+        ];
+        // 1g/R is dominated by the failed 10g/R (paper's example).
+        assert!(p.dominated_by_failure(&cand_1g_r, &failed_10g_r));
+        // Different placement: not comparable.
+        assert!(!p.dominated_by_failure(&cand_1g_rr, &failed_10g_r));
+        // The failed config does not dominate a *better* one.
+        let cand_10g_r = failed_10g_r.clone();
+        assert!(
+            p.dominated_by_failure(&cand_10g_r, &failed_10g_r),
+            "equal is dominated"
+        );
+    }
+
+    #[test]
+    fn multi_dimensional_dominance() {
+        let p = plan_of(r#"EXPLORE a SWEEP replication IN [3, 5], repair_parallel IN [1, 8]"#);
+        let failed: Assignment = vec![
+            ("replication".into(), ParamValue::Num(5.0)),
+            ("repair_parallel".into(), ParamValue::Num(8.0)),
+        ];
+        // Everything is ≤ the best config on both axes → all dominated.
+        for c in &p.configs {
+            assert!(p.dominated_by_failure(c, &failed), "{c:?}");
+        }
+        // But a mixed config does not dominate across axes.
+        let failed_mixed: Assignment = vec![
+            ("replication".into(), ParamValue::Num(3.0)),
+            ("repair_parallel".into(), ParamValue::Num(8.0)),
+        ];
+        let cand: Assignment = vec![
+            ("replication".into(), ParamValue::Num(5.0)),
+            ("repair_parallel".into(), ParamValue::Num(1.0)),
+        ];
+        assert!(!p.dominated_by_failure(&cand, &failed_mixed));
+    }
+
+    #[test]
+    fn unknown_axis_rejected() {
+        let q = parse("EXPLORE a SWEEP quantum IN [1]").unwrap();
+        assert!(Plan::build(&q).is_err());
+    }
+
+    #[test]
+    fn duplicate_axis_rejected() {
+        let q = parse("EXPLORE a SWEEP replication IN [1], replication IN [2]").unwrap();
+        let e = Plan::build(&q).unwrap_err();
+        assert!(e.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let q = parse(
+            r#"EXPLORE availability SWEEP replication IN [3, 5], placement IN ["R", "RR"]
+               SUBJECT TO availability >= 0.999 MINIMIZE tco_usd_per_year"#,
+        )
+        .unwrap();
+        let p = Plan::build(&q).unwrap();
+        let text = p.explain(&q);
+        assert!(text.contains("4 configuration"));
+        assert!(text.contains("monotone axes"));
+        assert!(text.contains("replication"));
+        assert!(text.contains("constraint: availability >= 0.999"));
+        assert!(text.contains("MINIMIZE tco_usd_per_year"));
+        assert!(text.contains("run[0]: replication=5"));
+        assert!(text.contains("... 1 more"));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = plan_of(r#"EXPLORE a SWEEP placement IN ["RR", "R"], replication IN [5, 3]"#);
+        let b = plan_of(r#"EXPLORE a SWEEP placement IN ["RR", "R"], replication IN [5, 3]"#);
+        assert_eq!(a.configs, b.configs);
+    }
+}

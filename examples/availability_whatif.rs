@@ -1,0 +1,86 @@
+//! The paper's §1 worked example as library code: is 5-way replication
+//! worth it, or does 4-way plus a better repair path meet the same SLA
+//! for 20% less storage?
+//!
+//! ```sh
+//! cargo run --release -p wt-bench --example availability_whatif
+//! ```
+
+use windtunnel::prelude::*;
+
+fn scenario(
+    name: &str,
+    replication: usize,
+    nic: windtunnel::hw::NicSpec,
+    repair: RepairPolicy,
+) -> Scenario {
+    let mut s = ScenarioBuilder::new(name)
+        .racks(3)
+        .nodes_per_rack(10)
+        .nic(nic)
+        .replication(replication)
+        .repair(repair)
+        .objects(1_000)
+        .object_gb(16.0)
+        .horizon_years(0.5)
+        .seed(7)
+        .build();
+    // Stress the repair path: failures every ~40 machine-days.
+    s.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+    s
+}
+
+fn main() {
+    let tunnel = WindTunnel::new();
+    let sla = SlaSet::new().availability(0.9995).durability(0.0);
+
+    let arms = vec![
+        scenario(
+            "rep5-1g-serial",
+            5,
+            catalog::nic_1g(),
+            RepairPolicy::serial(),
+        ),
+        scenario(
+            "rep4-1g-serial",
+            4,
+            catalog::nic_1g(),
+            RepairPolicy::serial(),
+        ),
+        scenario(
+            "rep4-10g-serial",
+            4,
+            catalog::nic_10g(),
+            RepairPolicy::serial(),
+        ),
+        scenario(
+            "rep4-10g-par16",
+            4,
+            catalog::nic_10g(),
+            RepairPolicy::parallel(16),
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>8} {:>12} {:>8}",
+        "design", "availability", "nines", "TCO $/yr", "SLA"
+    );
+    for scenario in &arms {
+        let a = tunnel.assess(scenario, &sla);
+        let avail = a.availability.as_ref().expect("availability ran");
+        println!(
+            "{:<18} {:>12.6} {:>8.2} {:>12.0} {:>8}",
+            a.scenario,
+            avail.availability,
+            avail.nines,
+            a.tco_usd_per_year,
+            if a.passes() { "met" } else { "MISSED" }
+        );
+    }
+    println!();
+    println!(
+        "takeaway: the cheaper 4-way design misses the SLA with the stock repair\n\
+         path but meets it once the repair network or parallelism improves —\n\
+         the §1 hardware/software interdependency, measured instead of guessed."
+    );
+}

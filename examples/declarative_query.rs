@@ -1,0 +1,82 @@
+//! Querying the wind tunnel declaratively (paper §4.1): express the
+//! design question in WTQL, let the optimizer order and prune the runs.
+//!
+//! ```sh
+//! cargo run --release -p wt-bench --example declarative_query
+//! ```
+
+use windtunnel::prelude::*;
+use wt_wtql::{parse, run_query, ExecOptions};
+
+fn main() {
+    let query_text = r#"
+        -- Which replication factor and network meet four nines at the
+        -- lowest yearly cost?
+        EXPLORE availability, tco_usd_per_year
+        SWEEP replication IN [2, 3, 5],
+              nic IN ["1g", "10g"],
+              repair_parallel IN [1, 16]
+        SUBJECT TO availability >= 0.9999, objects_lost <= 0
+        MINIMIZE tco_usd_per_year
+    "#;
+    println!("WTQL query:{query_text}");
+
+    let mut base = ScenarioBuilder::new("whatif-base")
+        .racks(3)
+        .nodes_per_rack(10)
+        .objects(1_000)
+        .object_gb(16.0)
+        .horizon_years(0.25)
+        .seed(11)
+        .build();
+    base.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+
+    let query = parse(query_text).expect("valid WTQL");
+    let tunnel = WindTunnel::new();
+    let outcome = run_query(&query, &base, &tunnel, &ExecOptions::default()).expect("query runs");
+
+    println!(
+        "grid: {} configs | executed: {} | pruned by dominance: {}",
+        outcome.rows.len(),
+        outcome.executed,
+        outcome.pruned
+    );
+    println!();
+    for row in &outcome.rows {
+        let cfg: Vec<String> = row
+            .assignment
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let avail = row
+            .metrics
+            .get("availability")
+            .map(|a| format!("{a:.6}"))
+            .unwrap_or_else(|| "(pruned)".into());
+        println!(
+            "  {:<55} availability={:<10} {}",
+            cfg.join(", "),
+            avail,
+            if row.pruned {
+                "pruned"
+            } else if row.passes {
+                "PASS"
+            } else {
+                "fail"
+            }
+        );
+    }
+    println!();
+    match outcome.best_row() {
+        Some(best) => println!(
+            "answer: {} at ${:.0}/yr",
+            best.assignment
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            best.metrics["tco_usd_per_year"]
+        ),
+        None => println!("answer: nothing on this grid meets the SLA"),
+    }
+}

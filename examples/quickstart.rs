@@ -1,0 +1,65 @@
+//! Quickstart: build a data center scenario, run it through the wind
+//! tunnel, and check it against an SLA set.
+//!
+//! ```sh
+//! cargo run --release -p wt-bench --example quickstart
+//! ```
+
+use windtunnel::prelude::*;
+
+fn main() {
+    // A 3-rack, 30-node cluster of HDD storage servers on a 10G network,
+    // storing 5,000 one-GB customer objects with 3-way replication.
+    let scenario = ScenarioBuilder::new("starter-dc")
+        .racks(3)
+        .nodes_per_rack(10)
+        .disk(catalog::hdd_7200_4t())
+        .disks_per_node(12)
+        .nic(catalog::nic_10g())
+        .replication(3)
+        .placement(Placement::Random)
+        .repair(RepairPolicy::parallel(8))
+        .objects(5_000)
+        .object_gb(1.0)
+        .horizon_years(1.0)
+        .seed(42)
+        .build();
+
+    // The SLAs the provider sold.
+    let slas = SlaSet::new().availability(0.9999).durability(0.0);
+
+    // Run exactly the simulations those SLAs need.
+    let tunnel = WindTunnel::new();
+    let assessment = tunnel.assess(&scenario, &slas);
+
+    let avail = assessment.availability.as_ref().expect("availability ran");
+    println!("scenario            : {}", assessment.scenario);
+    println!(
+        "simulated horizon   : {:.1} days",
+        avail.horizon_s / 86_400.0
+    );
+    println!("node failures       : {}", avail.node_failures);
+    println!("rebuilds completed  : {}", avail.rebuilds_completed);
+    println!(
+        "availability        : {:.6} ({:.1} nines)",
+        avail.availability, avail.nines
+    );
+    println!("objects lost        : {}", avail.objects_lost);
+    println!(
+        "hardware TCO        : ${:.0}/year",
+        assessment.tco_usd_per_year
+    );
+    println!();
+    if assessment.passes() {
+        println!("verdict: design meets all SLAs");
+    } else {
+        println!("verdict: SLA violations:");
+        for v in &assessment.violations {
+            println!("  - {v}");
+        }
+    }
+    println!(
+        "(runs recorded in the result store: {})",
+        tunnel.store().len()
+    );
+}

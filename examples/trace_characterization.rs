@@ -1,0 +1,84 @@
+//! Workload characterization (paper §3): record a request trace, measure
+//! its key characteristics, synthesize a matching model, and verify the
+//! synthetic tenant reproduces the original's simulated performance.
+//!
+//! ```sh
+//! cargo run --release -p wt-bench --example trace_characterization
+//! ```
+
+use windtunnel::cluster::PerfModel;
+use windtunnel::prelude::*;
+use windtunnel::workload::{OpenLoop, Trace};
+use windtunnel::WindTunnel;
+
+fn p95_of(tenant: TenantWorkload) -> f64 {
+    let scenario = ScenarioBuilder::new("char")
+        .racks(1)
+        .nodes_per_rack(10)
+        .disk(catalog::ssd_sata_1t())
+        .disks_per_node(4)
+        .build();
+    let mut model: PerfModel = WindTunnel::perf_model(
+        &Scenario {
+            tenants: vec![tenant],
+            ..scenario
+        },
+        false,
+    );
+    model.horizon_s = 120.0;
+    model.run(17).tenants[0].p95_s
+}
+
+fn main() {
+    // The "production" workload we only get to observe through its trace.
+    let mut production = TenantWorkload::oltp("prod", 350.0, 100_000);
+    production.arrivals = OpenLoop::bursty(350.0, 4.0);
+
+    let trace = Trace::record(&production, 300.0, 7);
+    println!(
+        "recorded {} requests over {:.0}s",
+        trace.len(),
+        trace.duration_s()
+    );
+
+    let c = trace.characterize();
+    println!();
+    println!("characterization:");
+    println!("  rate            : {:.1} req/s", c.rate_rps);
+    println!(
+        "  reads/writes    : {:.1}% / {:.1}%",
+        c.read_fraction * 100.0,
+        c.write_fraction * 100.0
+    );
+    println!("  mean payload    : {:.0} B", c.mean_bytes);
+    println!(
+        "  interarrivals   : best fit = {}, Poisson-like = {}",
+        c.interarrival_family, c.poisson_like
+    );
+    println!("  hot-1%-key share: {:.1}%", c.hot_key_share * 100.0);
+
+    // Synthesize a model tenant from the measurements alone.
+    let synthetic = c.to_workload("synthetic", 100_000, 1024);
+
+    // Does the synthetic workload behave like the original in the tunnel?
+    let p95_prod = p95_of(production);
+    let p95_synth = p95_of(synthetic);
+    println!();
+    println!(
+        "simulated p95, production trace model : {:.3} ms",
+        p95_prod * 1e3
+    );
+    println!(
+        "simulated p95, synthesized model      : {:.3} ms",
+        p95_synth * 1e3
+    );
+    println!(
+        "p95 agreement: {:.0}%. The synthesis matches rate, mix, skew and the\n\
+         first two interarrival moments (SCV {:.1}); residual gap comes from\n\
+         burst *shape* beyond two moments — visible here, and exactly the kind\n\
+         of model-fidelity question the paper says the wind tunnel should be\n\
+         used to investigate ('how much detail the models must capture').",
+        100.0 * (1.0 - (p95_prod - p95_synth).abs() / p95_prod.max(p95_synth)),
+        c.interarrival_scv
+    );
+}

@@ -1,0 +1,55 @@
+//! Integration: the Figure 1 experiment end-to-end, asserting the
+//! qualitative relationships the paper's figure shows.
+
+use wt_cluster::UnavailabilityExperiment;
+use wt_sw::Placement;
+
+fn exp(n_nodes: usize, n: usize, placement: Placement) -> UnavailabilityExperiment {
+    UnavailabilityExperiment {
+        trials: 500,
+        ..UnavailabilityExperiment::figure1(n_nodes, 10_000, n, placement, 2014)
+    }
+}
+
+#[test]
+fn figure1_qualitative_shape() {
+    // n = 5 strictly more resilient than n = 3 at the crossover point.
+    let r3 = exp(10, 3, Placement::Random).run_at(2).p_unavailable;
+    let r5 = exp(10, 5, Placement::Random).run_at(2).p_unavailable;
+    assert!(r5 < r3, "n=5 ({r5}) should beat n=3 ({r3}) at f=2");
+
+    // Random >= RoundRobin for the same (n, N).
+    let rand = exp(30, 3, Placement::Random).run_at(4).p_unavailable;
+    let rr = exp(30, 3, Placement::RoundRobin).run_at(4).p_unavailable;
+    assert!(rand >= rr, "Random ({rand}) >= RoundRobin ({rr})");
+
+    // Smaller cluster saturates sooner under RoundRobin.
+    let rr10 = exp(10, 3, Placement::RoundRobin).run_at(3).p_unavailable;
+    let rr30 = exp(30, 3, Placement::RoundRobin).run_at(3).p_unavailable;
+    assert!(rr10 >= rr30, "RR N=10 ({rr10}) >= RR N=30 ({rr30})");
+}
+
+#[test]
+fn figure1_star_series() {
+    // The paper's '*' notation: with 10,000 users, Random placement gives
+    // indistinguishable curves for N=10 and N=30.
+    for f in 0..=6 {
+        let p10 = exp(10, 3, Placement::Random).run_at(f).p_unavailable;
+        let p30 = exp(30, 3, Placement::Random).run_at(f).p_unavailable;
+        assert!(
+            (p10 - p30).abs() < 0.05,
+            "R-n3 curves should coincide at f={f}: {p10} vs {p30}"
+        );
+    }
+}
+
+#[test]
+fn figure1_monotone_and_bounded() {
+    let curve = exp(10, 5, Placement::RoundRobin).run();
+    assert_eq!(curve.len(), 11);
+    assert_eq!(curve[0].p_unavailable, 0.0);
+    assert_eq!(curve[10].p_unavailable, 1.0);
+    for w in curve.windows(2) {
+        assert!(w[1].p_unavailable >= w[0].p_unavailable - 0.1);
+    }
+}
