@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the statistical machinery out and the API in: benches compile
+//! unchanged (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! groups, `iter`/`iter_batched`, `Throughput::Bytes`) and run a simple
+//! warmup + timed-samples loop, printing mean and best-sample timings
+//! (plus throughput when configured) to stdout. No plots, no baselines,
+//! no outlier analysis — wall-clock numbers for the EXPERIMENTS.md
+//! tables come from the `e*` binaries, not from here.
+
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration setup cost class; the stand-in times setup outside the
+/// measured closure either way, so this only exists for API parity.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input: real criterion batches many per allocation.
+    SmallInput,
+    /// Large input: real criterion runs one per batch.
+    LargeInput,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, None, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (retained for API parity; output is streamed).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the routine.
+pub struct Bencher {
+    /// Total time spent in the measured routine for this sample.
+    elapsed: Duration,
+    /// Iterations the routine ran for this sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample takes ≥ ~5 ms,
+    // so per-call timer overhead stays negligible for fast routines.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+
+    let best = per_iter[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let mut line = format!(
+        "{id:<45} mean {:>12}  best {:>12}  ({} samples x {iters} iters)",
+        fmt_time(mean),
+        fmt_time(best),
+        per_iter.len()
+    );
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let rate = bytes as f64 / mean;
+        line.push_str(&format!("  {:.1} MiB/s", rate / (1024.0 * 1024.0)));
+    }
+    if let Some(Throughput::Elements(n)) = throughput {
+        line.push_str(&format!("  {:.0} elem/s", n as f64 / mean));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn_a, fn_b)`
+/// or the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses. The build environment has no network access to crates.io, so the
+//! workspace vendors the trait surface it needs; the actual generators
+//! (xoshiro256++ etc.) are implemented in `wt-des::rng`, which only needs
+//! the [`RngCore`] trait to interoperate.
+
+/// The core of a random number generator: raw integer output plus byte
+/// filling. Mirrors `rand::RngCore`.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring the tiny part
+/// of `rand::Rng` that simulation code tends to reach for.
+pub trait Rng: RngCore {
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `bool`.
+    fn random_bool_even(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_and_ext_methods_work() {
+        let mut g = Lcg(42);
+        let u = g.random_f64();
+        assert!((0.0..1.0).contains(&u));
+        let mut buf = [0u8; 7];
+        g.fill_bytes(&mut buf);
+        let r: &mut dyn RngCore = &mut g;
+        let _ = r.next_u32();
+    }
+}

@@ -1,0 +1,486 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
+//! build must work with an empty registry cache). The parser only needs
+//! the *shape* of the item — field names and arities — because generated
+//! code leans on type inference: `Deserialize::from_value(...)` in a
+//! struct-literal position resolves the field type without ever spelling
+//! it, which sidesteps type re-tokenization entirely.
+//!
+//! Supported shapes: named-field structs, tuple/newtype structs, enums
+//! with unit/tuple/struct variants (serde's externally-tagged layout:
+//! unit → `"Variant"`, payload → `{"Variant": ...}`), and
+//! `#[serde(untagged)]` enums (variants tried in declaration order).
+//! Generic items are rejected; other `#[serde(...)]` attributes are
+//! ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(ts: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut untagged = false;
+
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            untagged |= attr_is_serde_untagged(g);
+        }
+        i += 2;
+    }
+    i = skip_visibility(&tokens, i);
+
+    let kw = expect_ident(&tokens, i);
+    let name = expect_ident(&tokens, i + 1);
+    i += 2;
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum `{name}` has no body"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+
+    Input {
+        name,
+        untagged,
+        kind,
+    }
+}
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn attr_is_serde_untagged(g: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref w) if w.to_string() == "untagged"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    loop {
+        while is_punct(tokens.get(i), '#') {
+            i += 2;
+        }
+        i = skip_visibility(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 2; // name and ':'
+
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    loop {
+        while is_punct(tokens.get(i), '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Consume through the trailing comma (also skips `= discriminant`).
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// The key a field/variant serializes under (raw identifiers drop `r#`).
+fn json_name(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{}\"), ::serde::Serialize::to_value(&self.{f})),",
+                        json_name(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_arm(name, v, input.untagged))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant, untagged: bool) -> String {
+    let vn = &v.name;
+    let tag = json_name(vn);
+    let wrap = |inner: String| {
+        if untagged {
+            inner
+        } else {
+            format!("::serde::Value::Object(vec![(String::from(\"{tag}\"), {inner})])")
+        }
+    };
+    match &v.shape {
+        Shape::Unit => {
+            let payload = if untagged {
+                "::serde::Value::Null".to_string()
+            } else {
+                format!("::serde::Value::Str(String::from(\"{tag}\"))")
+            };
+            format!("{name}::{vn} => {payload},")
+        }
+        Shape::Tuple(1) => {
+            let payload = wrap("::serde::Serialize::to_value(f0)".to_string());
+            format!("{name}::{vn}(f0) => {payload},")
+        }
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i}),"))
+                .collect();
+            let payload = wrap(format!("::serde::Value::Array(vec![{items}])"));
+            format!("{name}::{vn}({}) => {payload},", binds.join(", "))
+        }
+        Shape::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{}\"), ::serde::Serialize::to_value({f})),",
+                        json_name(f)
+                    )
+                })
+                .collect();
+            let payload = wrap(format!("::serde::Value::Object(vec![{pairs}])"));
+            format!("{name}::{vn} {{ {} }} => {payload},", fields.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => named_struct_body(name, name, fields, "v"),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => tuple_body(name, name, *n, "v"),
+        Kind::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => Ok({name}), \
+             other => Err(::serde::Error::custom(format!(\
+             \"expected null for unit struct {name}, got {{other:?}}\"))) }}"
+        ),
+        Kind::Enum(variants) if input.untagged => untagged_enum_body(name, variants),
+        Kind::Enum(variants) => tagged_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// A `Result<Self, Error>` expression parsing `src` (a `&Value` binding)
+/// into a named-field struct or struct variant `ctor`.
+fn named_struct_body(type_name: &str, ctor: &str, fields: &[String], src: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let key = json_name(f);
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field(flds, \"{key}\"))\
+                 .map_err(|e| ::serde::Error::in_field(\"{key}\", e))?,"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let flds = match {src}.as_object() {{ \
+           Some(f) => f, \
+           None => return Err(::serde::Error::custom(format!(\
+             \"expected object for {type_name}, got {{:?}}\", {src}))), \
+         }}; \
+         Ok({ctor} {{ {inits} }}) }}"
+    )
+}
+
+/// A `Result<Self, Error>` expression parsing `src` into a tuple struct or
+/// tuple variant `ctor` of arity `n`.
+fn tuple_body(type_name: &str, ctor: &str, n: usize, src: &str) -> String {
+    let inits: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+        .collect();
+    format!(
+        "{{ let items = match {src}.as_array() {{ \
+           Some(a) => a, \
+           None => return Err(::serde::Error::custom(format!(\
+             \"expected array for {type_name}, got {{:?}}\", {src}))), \
+         }}; \
+         if items.len() != {n} {{ \
+           return Err(::serde::Error::custom(format!(\
+             \"expected {n} elements for {type_name}, got {{}}\", items.len()))); \
+         }} \
+         Ok({ctor}({inits})) }}"
+    )
+}
+
+/// A `Result<Self, Error>` expression parsing `src` as variant `v`'s
+/// payload (the value under the external tag, or the whole value when
+/// untagged).
+fn variant_payload(name: &str, v: &Variant, src: &str) -> String {
+    let ctor = format!("{name}::{}", v.name);
+    match &v.shape {
+        Shape::Unit => format!(
+            "match {src} {{ ::serde::Value::Null => Ok({ctor}), \
+             other => Err(::serde::Error::custom(format!(\
+             \"expected null payload for {ctor}, got {{other:?}}\"))) }}"
+        ),
+        Shape::Tuple(1) => format!("Ok({ctor}(::serde::Deserialize::from_value({src})?))"),
+        Shape::Tuple(n) => tuple_body(&ctor, &ctor, *n, src),
+        Shape::Struct(fields) => named_struct_body(&ctor, &ctor, fields, src),
+    }
+}
+
+fn tagged_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{}\" => Ok({name}::{}),", json_name(&v.name), v.name))
+        .collect();
+    let str_arm = if unit_arms.is_empty() {
+        format!(
+            "::serde::Value::Str(s) => Err(::serde::Error::custom(format!(\
+             \"unknown variant {{s}} for {name}\"))),"
+        )
+    } else {
+        format!(
+            "::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} \
+             other => Err(::serde::Error::custom(format!(\
+             \"unknown variant {{other}} for {name}\"))), }},"
+        )
+    };
+
+    let payload_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{}\" => {},",
+                json_name(&v.name),
+                variant_payload(name, v, "payload")
+            )
+        })
+        .collect();
+    let obj_arm = if payload_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Object(flds) if flds.len() == 1 => {{ \
+               let (tag, payload) = &flds[0]; \
+               match tag.as_str() {{ {payload_arms} \
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant {{other}} for {name}\"))), }} }},"
+        )
+    };
+
+    format!(
+        "match v {{ {str_arm} {obj_arm} \
+         other => Err(::serde::Error::custom(format!(\
+         \"expected variant of {name}, got {{other:?}}\"))), }}"
+    )
+}
+
+fn untagged_enum_body(name: &str, variants: &[Variant]) -> String {
+    let attempts: String = variants
+        .iter()
+        .map(|v| {
+            format!(
+                "if let Ok(x) = (|| -> Result<Self, ::serde::Error> {{ {} }})() \
+                 {{ return Ok(x); }}",
+                variant_payload(name, v, "v")
+            )
+        })
+        .collect();
+    format!(
+        "{{ {attempts} \
+         Err(::serde::Error::custom(format!(\
+         \"no variant of untagged {name} matched {{:?}}\", v))) }}"
+    )
+}

@@ -5,6 +5,7 @@
 //! coverage: nodes only, nodes + per-disk failures, nodes + disks +
 //! ToR switches.
 
+use windtunnel::farm::Farm;
 use wt_bench::{banner, Table};
 use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
 use wt_cluster::{AvailabilityModel, RebuildModel};
@@ -75,30 +76,51 @@ fn main() {
         "switch fails",
         "rebuilds",
     ]);
+    // Every (arm, seed) replication is one farm item; per-arm aggregates
+    // fold in run order (availability averaged, counters summed).
+    let reps = 4u64;
+    let points: Vec<(usize, u64)> = (0..arms.len())
+        .flat_map(|a| (0..reps).map(move |seed| (a, seed)))
+        .collect();
+    #[derive(Clone, Copy, Default)]
+    struct Agg {
+        avail: f64,
+        ev: u64,
+        nf: u64,
+        df: u64,
+        sf: u64,
+        rb: u64,
+    }
+    let aggs: Vec<Agg> = Farm::from_env().run_fold(
+        0,
+        &points,
+        |&(a, seed), _ctx| arms[a].1.run(seed, SimDuration::from_years(1.0)),
+        vec![Agg::default(); arms.len()],
+        |mut aggs, idx, r| {
+            let (a, _) = points[idx];
+            let agg = &mut aggs[a];
+            agg.avail += r.availability / reps as f64;
+            agg.ev += r.unavailability_events;
+            agg.nf += r.node_failures;
+            agg.df += r.disk_failures;
+            agg.sf += r.switch_failures;
+            agg.rb += r.rebuilds_completed;
+            aggs
+        },
+    );
+
     let mut unavail = Vec::new();
-    for (name, m) in &arms {
-        let reps = 4;
-        let mut avail = 0.0;
-        let (mut ev, mut nf, mut df, mut sf, mut rb) = (0u64, 0u64, 0u64, 0u64, 0u64);
-        for seed in 0..reps {
-            let r = m.run(seed, SimDuration::from_years(1.0));
-            avail += r.availability / reps as f64;
-            ev += r.unavailability_events;
-            nf += r.node_failures;
-            df += r.disk_failures;
-            sf += r.switch_failures;
-            rb += r.rebuilds_completed;
-        }
+    for ((name, _), agg) in arms.iter().zip(&aggs) {
         table.row(vec![
             name.to_string(),
-            format!("{avail:.7}"),
-            ev.to_string(),
-            nf.to_string(),
-            df.to_string(),
-            sf.to_string(),
-            rb.to_string(),
+            format!("{:.7}", agg.avail),
+            agg.ev.to_string(),
+            agg.nf.to_string(),
+            agg.df.to_string(),
+            agg.sf.to_string(),
+            agg.rb.to_string(),
         ]);
-        unavail.push((name.to_string(), 1.0 - avail, ev));
+        unavail.push((name.to_string(), 1.0 - agg.avail, agg.ev));
     }
     table.print();
 

@@ -5,8 +5,10 @@
 //! Arms: rep5 baseline (1G, serial repair) vs rep4 with (a) nothing,
 //! (b) 10G network, (c) parallel repair, (d) both. The paper's claim:
 //! the repair-path improvements can lift the cheaper design back over
-//! the SLA line.
+//! the SLA line. The (arm, seed) grid runs on the shared
+//! `windtunnel::farm` executor and merges per arm in run order.
 
+use windtunnel::farm::Farm;
 use wt_bench::{banner, Table};
 use wt_cluster::results::AvailabilityResult;
 use wt_cluster::{AvailabilityModel, RebuildModel};
@@ -42,24 +44,26 @@ fn arm(n: usize, gbps: f64, parallel: usize) -> AvailabilityModel {
     }
 }
 
-fn run(m: &AvailabilityModel) -> AvailabilityResult {
-    // Average three seeds for stability.
-    let seeds = [11u64, 22, 33];
-    let mut acc: Option<AvailabilityResult> = None;
-    for &s in &seeds {
-        let r = m.run(s, SimDuration::from_days(200.0));
-        acc = Some(match acc {
-            None => r,
-            Some(mut a) => {
-                a.availability = (a.availability + r.availability) / 2.0;
-                a.unavailability_events += r.unavailability_events;
-                a.objects_lost += r.objects_lost;
-                a.node_failures += r.node_failures;
-                a
-            }
-        });
-    }
-    acc.expect("at least one seed")
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+/// Merges one seed's run into the arm's aggregate: availability is an
+/// equal-weight mean over seeds (the old running `(a+r)/2` pairwise
+/// average silently over-weighted later seeds), counters sum.
+fn merge(acc: Option<AvailabilityResult>, r: AvailabilityResult) -> Option<AvailabilityResult> {
+    Some(match acc {
+        None => {
+            let mut a = r;
+            a.availability /= SEEDS.len() as f64;
+            a
+        }
+        Some(mut a) => {
+            a.availability += r.availability / SEEDS.len() as f64;
+            a.unavailability_events += r.unavailability_events;
+            a.objects_lost += r.objects_lost;
+            a.node_failures += r.node_failures;
+            a
+        }
+    })
 }
 
 fn main() {
@@ -77,6 +81,23 @@ fn main() {
         ("rep4 10G parallel16", arm(4, 10.0, 16), 4.0),
     ];
 
+    // One farm item per (arm, seed): seeds of the same arm fold into one
+    // aggregate row, in run order, as results stream in.
+    let points: Vec<(usize, u64)> = (0..arms.len())
+        .flat_map(|a| SEEDS.iter().map(move |&s| (a, s)))
+        .collect();
+    let merged: Vec<Option<AvailabilityResult>> = Farm::from_env().run_fold(
+        0,
+        &points,
+        |&(a, seed), _ctx| arms[a].1.run(seed, SimDuration::from_days(200.0)),
+        vec![None; arms.len()],
+        |mut accs, idx, r| {
+            let (a, _) = points[idx];
+            accs[a] = merge(accs[a].take(), r);
+            accs
+        },
+    );
+
     let mut table = Table::new(&[
         "config",
         "availability",
@@ -85,8 +106,8 @@ fn main() {
         "storage overhead",
     ]);
     let mut results = Vec::new();
-    for (name, model, overhead) in &arms {
-        let r = run(model);
+    for ((name, _, overhead), r) in arms.iter().zip(merged) {
+        let r = r.expect("every arm simulated");
         table.row(vec![
             name.to_string(),
             format!("{:.6}", r.availability),

@@ -1,5 +1,9 @@
 //! **E7 — simulation at scale (§4.2)**: parallel run execution speedup,
 //! and events saved by aborting hopeless runs on a probe horizon.
+//!
+//! The `threads` knob sizes the shared `windtunnel::farm` worker pool
+//! that `run_query` dispatches onto; results are identical at every
+//! setting, only the wall-clock moves.
 
 use windtunnel::prelude::*;
 use wt_bench::{banner, Table};
@@ -34,7 +38,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host parallelism: {cores} core(s) — ideal speedup is min(threads, {cores})");
-    let mut table = Table::new(&["threads", "wall", "speedup", "ideal", "runs"]);
+    let mut table = Table::new(&["farm workers", "wall", "speedup", "ideal", "runs"]);
     let mut t1 = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let tunnel = WindTunnel::new();

@@ -3,11 +3,13 @@
 //!
 //! Reproduces the paper's only quantitative artifact: 10,000 customers,
 //! quorum protocol, series {Random, RoundRobin} × {n=3, n=5} ×
-//! {N=10, N=30}.
+//! {N=10, N=30}. All curve points run on the shared `windtunnel::farm`
+//! executor; `--workers N` sets the pool size (default: host cores, or
+//! `WT_WORKERS`) and the table is bitwise-identical for any value.
 
-use wt_bench::{banner, fmt_p, Table};
-use wt_cluster::UnavailabilityExperiment;
-use wt_sw::Placement;
+use windtunnel::farm::Farm;
+use wt_bench::fig1::{compute, Fig1Config};
+use wt_bench::{banner, fmt_p};
 
 fn main() {
     banner(
@@ -16,83 +18,47 @@ fn main() {
          N=10 saturates sooner than N=30",
     );
 
-    let users = 10_000;
-    let seed = 2014;
-    let series: Vec<(usize, usize, Placement)> = vec![
-        (10, 3, Placement::Random),
-        (10, 3, Placement::RoundRobin),
-        (30, 3, Placement::Random),
-        (30, 3, Placement::RoundRobin),
-        (10, 5, Placement::Random),
-        (10, 5, Placement::RoundRobin),
-        (30, 5, Placement::Random),
-        (30, 5, Placement::RoundRobin),
-    ];
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let farm = match flag_value("--workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(w) => Farm::new(w),
+            Err(_) => {
+                eprintln!("error: --workers expects a number, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => Farm::from_env(),
+    };
 
-    let mut headers: Vec<String> = vec!["failures".to_string()];
-    headers.extend(
-        series
-            .iter()
-            .map(|(n_nodes, n, p)| format!("{}-n{}-N{}", p.label(), n, n_nodes)),
+    let config = Fig1Config::paper();
+    let t0 = std::time::Instant::now();
+    let curves = compute(&config, &farm);
+    let wall = t0.elapsed().as_secs_f64();
+    curves.table().print();
+    println!(
+        "\ncomputed on {} farm worker(s) in {wall:.2}s",
+        farm.workers()
     );
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new(&header_refs);
-
-    // Curves, computed per series up to the largest cluster size.
-    let max_f = 12; // the interesting range: beyond this everything saturates
-    let curves: Vec<Vec<f64>> = series
-        .iter()
-        .map(|&(n_nodes, n, placement)| {
-            let exp = UnavailabilityExperiment::figure1(n_nodes, users, n, placement, seed);
-            (0..=max_f)
-                .map(|f| {
-                    if f > n_nodes {
-                        1.0
-                    } else {
-                        exp.run_at(f).p_unavailable
-                    }
-                })
-                .collect()
-        })
-        .collect();
-
-    for f in 0..=max_f {
-        let mut row = vec![f.to_string()];
-        row.extend(curves.iter().map(|c| fmt_p(c[f])));
-        table.row(row);
-    }
-    table.print();
 
     // Optional: `fig1 --csv <path>` writes the raw series for plotting.
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        if let Some(path) = args.get(pos + 1) {
-            let mut csv = headers.join(",");
-            csv.push('\n');
-            for f in 0..=max_f {
-                csv.push_str(&f.to_string());
-                for c in &curves {
-                    csv.push(',');
-                    csv.push_str(&format!("{}", c[f]));
-                }
-                csv.push('\n');
-            }
-            std::fs::write(path, csv).expect("write csv");
-            println!("\nseries written to {path}");
+    if let Some(path) = flag_value("--csv") {
+        if let Err(e) = std::fs::write(path, curves.csv()) {
+            eprintln!("error: failed to write --csv {path}: {e}");
+            std::process::exit(1);
         }
+        println!("series written to {path}");
     }
 
     // The qualitative checks the paper's Figure 1 makes visually.
-    let col = |n_nodes: usize, n: usize, p: &str| -> usize {
-        series
-            .iter()
-            .position(|(nn, r, pl)| *nn == n_nodes && *r == n && pl.label() == p)
-            .expect("series exists")
-    };
     println!();
     // n=5 is safe where n=3 is already certain to lose someone (f=2).
-    let r3 = curves[col(10, 3, "R")][2];
-    let r5 = curves[col(10, 5, "R")][2];
+    let r3 = curves.curves[curves.col(10, 3, "R")][2];
+    let r5 = curves.curves[curves.col(10, 5, "R")][2];
     println!(
         "check: at f=2, Random n=5 below n=3: {} < {} -> {}",
         fmt_p(r5),
@@ -100,16 +66,16 @@ fn main() {
         r5 < r3
     );
     let f = 3;
-    let rr3_30 = curves[col(30, 3, "RR")][f];
-    let r3_30 = curves[col(30, 3, "R")][f];
+    let rr3_30 = curves.curves[curves.col(30, 3, "RR")][f];
+    let r3_30 = curves.curves[curves.col(30, 3, "R")][f];
     println!(
         "check: at f={f}, Random >= RoundRobin on N=30 n=3: {} >= {} -> {}",
         fmt_p(r3_30),
         fmt_p(rr3_30),
         r3_30 >= rr3_30
     );
-    let rr10 = curves[col(10, 3, "RR")][f];
-    let rr30 = curves[col(30, 3, "RR")][f];
+    let rr10 = curves.curves[curves.col(10, 3, "RR")][f];
+    let rr30 = curves.curves[curves.col(30, 3, "RR")][f];
     println!(
         "check: at f={f}, RR on N=10 above RR on N=30: {} >= {} -> {}",
         fmt_p(rr10),
@@ -119,7 +85,9 @@ fn main() {
     // The paper's '*' series: with 10,000 users, Random placement occupies
     // essentially every replica set, so the N=10 and N=30 curves coincide
     // (the figure draws them as a single 'R-n-*' line).
-    let star3 =
-        (0..=max_f).all(|f| (curves[col(10, 3, "R")][f] - curves[col(30, 3, "R")][f]).abs() < 0.02);
+    let star3 = (0..=config.max_f).all(|f| {
+        (curves.curves[curves.col(10, 3, "R")][f] - curves.curves[curves.col(30, 3, "R")][f]).abs()
+            < 0.02
+    });
     println!("check: Random n=3 curves for N=10 and N=30 coincide ('*') -> {star3}");
 }

@@ -1,0 +1,176 @@
+//! The Figure 1 computation, shared by the `fig1` binary and the farm
+//! determinism integration test.
+//!
+//! All curve points — every (series, failure-count) pair — run through
+//! the shared `windtunnel::farm` executor as one flat work list, so the
+//! whole figure parallelizes across cores while the rendered table stays
+//! bitwise-identical for any worker count.
+
+use crate::{fmt_p, Table};
+use windtunnel::farm::Farm;
+use wt_cluster::UnavailabilityExperiment;
+use wt_sw::Placement;
+
+/// One curve: cluster size `N`, replication `n`, placement policy.
+pub type Series = (usize, usize, Placement);
+
+/// Configuration of the Figure 1 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Customers (the paper uses 10,000).
+    pub users: u64,
+    /// Root seed shared by every series.
+    pub seed: u64,
+    /// Largest failure count plotted (curves run `f = 0..=max_f`).
+    pub max_f: usize,
+    /// Monte-Carlo trials per point (`None` = the experiment default).
+    pub trials: Option<u32>,
+    /// The curves, in column order.
+    pub series: Vec<Series>,
+}
+
+impl Fig1Config {
+    /// The paper's full figure: {R, RR} × {n=3, n=5} × {N=10, N=30}.
+    pub fn paper() -> Self {
+        Fig1Config {
+            users: 10_000,
+            seed: 2014,
+            max_f: 12,
+            trials: None,
+            series: vec![
+                (10, 3, Placement::Random),
+                (10, 3, Placement::RoundRobin),
+                (30, 3, Placement::Random),
+                (30, 3, Placement::RoundRobin),
+                (10, 5, Placement::Random),
+                (10, 5, Placement::RoundRobin),
+                (30, 5, Placement::Random),
+                (30, 5, Placement::RoundRobin),
+            ],
+        }
+    }
+
+    /// The figure's smallest series (N=10, n=3, Random) at reduced trial
+    /// count — the cheap configuration the determinism test sweeps.
+    pub fn smallest() -> Self {
+        Fig1Config {
+            users: 1_000,
+            seed: 2014,
+            max_f: 10,
+            trials: Some(400),
+            series: vec![(10, 3, Placement::Random)],
+        }
+    }
+
+    /// Column headers: `failures` plus one label per series.
+    pub fn headers(&self) -> Vec<String> {
+        let mut headers = vec!["failures".to_string()];
+        headers.extend(
+            self.series
+                .iter()
+                .map(|(n_nodes, n, p)| format!("{}-n{}-N{}", p.label(), n, n_nodes)),
+        );
+        headers
+    }
+}
+
+/// The computed curves, one `Vec<f64>` of length `max_f + 1` per series.
+#[derive(Debug, Clone)]
+pub struct Fig1Curves {
+    /// The configuration that produced the curves.
+    pub config: Fig1Config,
+    /// `curves[series][f]` = P(data unavailability) at `f` failures.
+    pub curves: Vec<Vec<f64>>,
+}
+
+/// Computes every curve point on the farm: the work list is the flattened
+/// (series, f) grid, so even a single series spreads over all workers.
+pub fn compute(config: &Fig1Config, farm: &Farm) -> Fig1Curves {
+    let points: Vec<(usize, usize)> = (0..config.series.len())
+        .flat_map(|s| (0..=config.max_f).map(move |f| (s, f)))
+        .collect();
+    let values = farm.run(config.seed, &points, |&(s, f), _ctx| {
+        let (n_nodes, n, placement) = config.series[s];
+        if f > n_nodes {
+            return 1.0;
+        }
+        let mut exp =
+            UnavailabilityExperiment::figure1(n_nodes, config.users, n, placement, config.seed);
+        if let Some(trials) = config.trials {
+            exp.trials = trials;
+        }
+        exp.run_at(f).p_unavailable
+    });
+    let curves = values
+        .chunks(config.max_f + 1)
+        .map(<[f64]>::to_vec)
+        .collect();
+    Fig1Curves {
+        config: config.clone(),
+        curves,
+    }
+}
+
+impl Fig1Curves {
+    /// The figure as a fixed-width table (rows = failure counts).
+    pub fn table(&self) -> Table {
+        let headers = self.config.headers();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for f in 0..=self.config.max_f {
+            let mut row = vec![f.to_string()];
+            row.extend(self.curves.iter().map(|c| fmt_p(c[f])));
+            table.row(row);
+        }
+        table
+    }
+
+    /// The raw series as CSV (full float precision, for plotting).
+    pub fn csv(&self) -> String {
+        let mut csv = self.config.headers().join(",");
+        csv.push('\n');
+        for f in 0..=self.config.max_f {
+            csv.push_str(&f.to_string());
+            for c in &self.curves {
+                csv.push(',');
+                csv.push_str(&format!("{}", c[f]));
+            }
+            csv.push('\n');
+        }
+        csv
+    }
+
+    /// The column index of a series, for the qualitative checks.
+    pub fn col(&self, n_nodes: usize, n: usize, placement_label: &str) -> usize {
+        self.config
+            .series
+            .iter()
+            .position(|(nn, r, pl)| *nn == n_nodes && *r == n && pl.label() == placement_label)
+            .expect("series exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_config_has_expected_shape() {
+        let cfg = Fig1Config::smallest();
+        let curves = compute(&cfg, &Farm::serial());
+        assert_eq!(curves.curves.len(), 1);
+        assert_eq!(curves.curves[0].len(), cfg.max_f + 1);
+        assert_eq!(curves.curves[0][0], 0.0, "f=0 never loses quorum");
+        assert_eq!(*curves.curves[0].last().unwrap(), 1.0, "f=N is certain");
+    }
+
+    #[test]
+    fn csv_and_table_are_consistent() {
+        let curves = compute(&Fig1Config::smallest(), &Farm::serial());
+        let csv = curves.csv();
+        assert_eq!(csv.lines().count(), curves.config.max_f + 2);
+        assert!(csv.starts_with("failures,R-n3-N10\n"));
+        let table = curves.table().render();
+        assert_eq!(table.lines().count(), curves.config.max_f + 3);
+    }
+}

@@ -3,9 +3,10 @@
 //! One binary per experiment from EXPERIMENTS.md (`fig1`, `e2_repair_whatif`
 //! … `e10_logmodel`), each regenerating the corresponding figure/use-case
 //! of the paper, plus Criterion micro-benchmarks for the ablations listed
-//! in DESIGN.md §6. This library holds the output formatting shared by the
+//! in DESIGN.md §7. This library holds the output formatting shared by the
 //! binaries.
 
+pub mod fig1;
 pub mod queuesim;
 
 use std::fmt::Write as _;

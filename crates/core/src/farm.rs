@@ -1,0 +1,290 @@
+//! The run farm: a deterministic parallel executor for simulation runs.
+//!
+//! Every entry point that sweeps a set of runs — the figure binaries, the
+//! experiment (`e*`) binaries, and the WTQL executor — funnels through
+//! [`Farm`] instead of hand-rolling a thread pool. The farm guarantees a
+//! property the bespoke pools could not: **results are bitwise-identical
+//! regardless of worker count or scheduling**, because
+//!
+//! 1. every run's RNG seed is derived from the *item index* alone (a
+//!    splitmix64 substream of the root seed, see [`substream_seed`]), not
+//!    from which worker picks the item up, and
+//! 2. per-run results are folded **in item order**: workers stream
+//!    `(index, result)` pairs to the caller, which holds a small reorder
+//!    buffer and applies the fold callback strictly at the next expected
+//!    index — a streaming merge, with no `Vec<RunResult>` barrier and no
+//!    lock around the aggregate.
+//!
+//! Work distribution is chunked self-scheduling: idle workers claim the
+//! next fixed-size chunk of indices from a shared atomic cursor, so a
+//! worker that lands a cheap chunk immediately steals more work instead
+//! of idling behind a static partition. Chunk boundaries depend only on
+//! the item count, never on the worker count.
+//!
+//! ```
+//! use windtunnel::farm::Farm;
+//!
+//! let farm = Farm::new(4);
+//! let squares = farm.run(42, &[1u64, 2, 3, 4, 5], |&x, _ctx| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Per-run context handed to the work closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunCtx {
+    /// This run's position in the item slice (also the fold order).
+    pub index: usize,
+    /// This run's RNG seed: a substream of the farm call's root seed,
+    /// derived from `index` alone so scheduling cannot perturb it.
+    pub seed: u64,
+}
+
+/// Derives the seed for run `index` from `root`: both words pass through
+/// splitmix64 finalizers, so adjacent indices (and adjacent roots) land on
+/// uncorrelated streams. Matches the engine convention of one independent
+/// RNG substream per run.
+pub fn substream_seed(root: u64, index: u64) -> u64 {
+    mix64(root ^ mix64(index.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A parallel run executor with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct Farm {
+    workers: usize,
+}
+
+impl Default for Farm {
+    /// A farm sized to the host (`from_env`).
+    fn default() -> Self {
+        Farm::from_env()
+    }
+}
+
+impl Farm {
+    /// A farm with `workers` threads (0 is clamped to 1).
+    pub fn new(workers: usize) -> Self {
+        Farm {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-threaded farm (runs on the caller's thread).
+    pub fn serial() -> Self {
+        Farm::new(1)
+    }
+
+    /// Worker count from the `WT_WORKERS` environment variable when set,
+    /// otherwise the host's available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("WT_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Farm::new(workers)
+    }
+
+    /// Number of worker threads this farm uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `work` over every item and collects the results in item order.
+    ///
+    /// `root_seed` seeds each run's [`RunCtx::seed`] substream. The output
+    /// is bitwise-identical for any worker count.
+    pub fn run<T, R, F>(&self, root_seed: u64, items: &[T], work: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, RunCtx) -> R + Sync,
+    {
+        let acc = Vec::with_capacity(items.len());
+        self.run_fold(root_seed, items, work, acc, |mut v, _idx, r| {
+            v.push(r);
+            v
+        })
+    }
+
+    /// Runs `work` over every item, folding each result into `init` **in
+    /// item order** as results stream in (no barrier: the fold for item
+    /// `i` runs as soon as items `0..=i` have all completed, while later
+    /// items are still executing).
+    ///
+    /// The fold runs on the calling thread, so the accumulator needs no
+    /// synchronization; combined with index-derived seeds this makes the
+    /// final accumulator bitwise-identical for any worker count.
+    pub fn run_fold<T, R, A, F, G>(
+        &self,
+        root_seed: u64,
+        items: &[T],
+        work: F,
+        init: A,
+        mut fold: G,
+    ) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, RunCtx) -> R + Sync,
+        G: FnMut(A, usize, R) -> A,
+    {
+        let n = items.len();
+        let ctx = |index: usize| RunCtx {
+            index,
+            seed: substream_seed(root_seed, index as u64),
+        };
+        if self.workers == 1 || n <= 1 {
+            let mut acc = init;
+            for (i, item) in items.iter().enumerate() {
+                acc = fold(acc, i, work(item, ctx(i)));
+            }
+            return acc;
+        }
+
+        let chunk = chunk_size(n);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        // `Option` dance: the scope closure mutably captures the
+        // accumulator but must move it through the fold callback.
+        let mut acc = Some(init);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let work = &work;
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    let end = (start + chunk).min(n);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        let result = work(item, ctx(i));
+                        if tx.send((i, result)).is_err() {
+                            return; // receiver gone: caller is unwinding
+                        }
+                    }
+                });
+            }
+            drop(tx); // the receive loop ends when the last worker exits
+
+            let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+            let mut next = 0usize;
+            for (i, result) in rx {
+                pending.insert(i, result);
+                while let Some(ready) = pending.remove(&next) {
+                    let a = acc.take().expect("accumulator in flight");
+                    acc = Some(fold(a, next, ready));
+                    next += 1;
+                }
+            }
+            assert_eq!(next, n, "farm lost {} result(s)", n - next);
+        });
+        acc.expect("accumulator present after scope")
+    }
+}
+
+/// Chunk size for self-scheduling: a pure function of the item count so
+/// chunk boundaries never depend on worker count. Small enough to balance
+/// uneven run times, large enough to keep cursor traffic negligible.
+fn chunk_size(n: usize) -> usize {
+    (n / 64).clamp(1, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn collects_in_item_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let farm = Farm::new(8);
+        let out = farm.run(7, &items, |&x, _| x * 3);
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_results_for_any_worker_count() {
+        let items: Vec<u64> = (0..200).collect();
+        let gold = Farm::new(1).run(99, &items, |&x, ctx| {
+            (ctx.index, ctx.seed, x.wrapping_mul(ctx.seed))
+        });
+        for workers in [2, 3, 8] {
+            let got = Farm::new(workers).run(99, &items, |&x, ctx| {
+                (ctx.index, ctx.seed, x.wrapping_mul(ctx.seed))
+            });
+            assert_eq!(got, gold, "worker count {workers} diverged");
+        }
+    }
+
+    #[test]
+    fn fold_sees_indices_in_order_without_barrier() {
+        let items: Vec<u64> = (0..300).collect();
+        let farm = Farm::new(4);
+        let seen = farm.run_fold(
+            0,
+            &items,
+            |&x, _| x,
+            Vec::new(),
+            |mut seen: Vec<usize>, idx, _| {
+                seen.push(idx);
+                seen
+            },
+        );
+        assert_eq!(seen, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_are_index_derived_and_distinct() {
+        let a = substream_seed(1, 0);
+        let b = substream_seed(1, 1);
+        let c = substream_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls.
+        assert_eq!(a, substream_seed(1, 0));
+    }
+
+    #[test]
+    fn all_items_executed_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        Farm::new(6).run(3, &items, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let farm = Farm::new(4);
+        let empty: Vec<u64> = Vec::new();
+        assert!(farm.run(0, &empty, |&x, _| x).is_empty());
+        assert_eq!(farm.run(0, &[5u64], |&x, _| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn chunking_is_worker_independent() {
+        // Indirectly covered by identical_results_for_any_worker_count;
+        // here pin the function itself so a refactor can't silently make
+        // it depend on anything but n.
+        assert_eq!(chunk_size(1), 1);
+        assert_eq!(chunk_size(64), 1);
+        assert_eq!(chunk_size(640), 10);
+        assert_eq!(chunk_size(1 << 20), 32);
+    }
+}

@@ -38,10 +38,12 @@
 //! ```
 
 pub mod builder;
+pub mod farm;
 pub mod runner;
 pub mod sla;
 
 pub use builder::ScenarioBuilder;
+pub use farm::{Farm, RunCtx};
 pub use runner::{Assessment, WindTunnel};
 pub use sla::{Sla, SlaSet};
 
@@ -59,6 +61,7 @@ pub use wt_workload as workload;
 /// Everything a scenario author typically needs.
 pub mod prelude {
     pub use crate::builder::ScenarioBuilder;
+    pub use crate::farm::{Farm, RunCtx};
     pub use crate::runner::{Assessment, WindTunnel};
     pub use crate::sla::{Sla, SlaSet};
     pub use wt_cluster::{AvailabilityResult, PerfResult, Scenario, UnavailabilityExperiment};

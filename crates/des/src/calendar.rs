@@ -1,5 +1,5 @@
 //! A calendar queue (Brown 1988): the classic O(1)-amortized alternative
-//! to the binary-heap future-event list, kept here for the DESIGN.md §6
+//! to the binary-heap future-event list, kept here for the DESIGN.md §7
 //! ablation. Same contract as [`crate::EventQueue`]: earliest time first,
 //! FIFO among equal timestamps.
 //!
@@ -252,23 +252,62 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
         /// The calendar queue agrees exactly with the binary-heap queue on
-        /// any interleaving of pushes and pops.
+        /// any interleaving of pushes and pops — including pushes landing
+        /// on days *earlier* than the last popped event's day (the cursor
+        /// must rewind, not starve them for a lap) and push/pop bursts that
+        /// drive the load factor across both resize thresholds.
         #[test]
         fn equivalent_to_heap_queue(
-            ops in proptest::collection::vec((any::<bool>(), 0u32..10_000), 1..400)
+            ops in proptest::collection::vec((0u8..4, 0u32..10_000), 1..400)
         ) {
             let mut cal = CalendarQueue::new();
             let mut heap = EventQueue::new();
-            for (i, (push, time)) in ops.into_iter().enumerate() {
-                if push {
-                    let t = SimTime::from_secs(f64::from(time) / 10.0);
-                    cal.push(t, i);
-                    heap.push(t, i);
-                } else {
-                    prop_assert_eq!(cal.pop(), heap.pop());
+            let mut seq = 0usize;
+            let mut last_pop = 0.0f64;
+            let mut push_both = |cal: &mut CalendarQueue<usize>,
+                                 heap: &mut EventQueue<usize>,
+                                 secs: f64| {
+                let t = SimTime::from_secs(secs);
+                cal.push(t, seq);
+                heap.push(t, seq);
+                seq += 1;
+            };
+            for (op, val) in ops {
+                match op {
+                    // Push at an arbitrary time.
+                    0 => push_both(&mut cal, &mut heap, f64::from(val) / 10.0),
+                    // Push *behind* the last popped time: lands on an
+                    // earlier calendar day than the cursor's once the
+                    // offset exceeds the bucket width.
+                    1 => push_both(
+                        &mut cal,
+                        &mut heap,
+                        (last_pop - f64::from(val) / 10.0).max(0.0),
+                    ),
+                    // Burst of closely spaced pushes: shoves the load
+                    // factor over the doubling threshold mid-sequence.
+                    2 => {
+                        for j in 0..8 {
+                            push_both(
+                                &mut cal,
+                                &mut heap,
+                                f64::from(val) / 10.0 + f64::from(j) * 0.3,
+                            );
+                        }
+                    }
+                    // Pop (repeated pops cross the halving threshold).
+                    _ => {
+                        let (a, b) = (cal.pop(), heap.pop());
+                        if let Some((t, _)) = b {
+                            last_pop = t.as_secs();
+                        }
+                        prop_assert_eq!(a, b);
+                    }
                 }
                 prop_assert_eq!(cal.len(), heap.len());
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
             }
             // Drain both; must match exactly (time order + FIFO ties).
             loop {

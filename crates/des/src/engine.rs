@@ -44,6 +44,7 @@ pub struct Ctx<'a, E> {
     queue: &'a mut EventQueue<E>,
     rng: &'a mut RngFactory,
     stop: &'a mut bool,
+    executed: u64,
 }
 
 impl<E> Ctx<'_, E> {
@@ -58,12 +59,16 @@ impl<E> Ctx<'_, E> {
     }
 
     /// Schedules `event` at an absolute time. Panics if `at` is in the past —
-    /// causality violations are model bugs, not recoverable conditions.
+    /// causality violations are model bugs, not recoverable conditions. The
+    /// message carries the queue length and executed-event count so a trace
+    /// of the offending run can be cut to size before replaying it.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.now,
-            "cannot schedule into the past: {at} < {}",
-            self.now
+            "cannot schedule into the past: {at} < {} (queue: {} pending, {} events executed)",
+            self.now,
+            self.queue.len(),
+            self.executed
         );
         self.queue.push(at, event);
     }
@@ -81,6 +86,11 @@ impl<E> Ctx<'_, E> {
     /// Number of events currently pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of events the run has executed so far (including this one).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
     }
 }
 
@@ -165,6 +175,7 @@ impl<M: Model> Simulation<M> {
             queue: &mut self.queue,
             rng: &mut self.rng,
             stop: &mut stop,
+            executed: self.executed,
         };
         self.model.handle(ev, &mut ctx);
         true
@@ -201,6 +212,7 @@ impl<M: Model> Simulation<M> {
                 queue: &mut self.queue,
                 rng: &mut self.rng,
                 stop: &mut stop,
+                executed: self.executed,
             };
             self.model.handle(ev, &mut ctx);
             if stop {
@@ -322,6 +334,35 @@ mod tests {
         sim.schedule_at(SimTime::ZERO, ());
         sim.run();
         sim.schedule_at(SimTime::ZERO, ());
+    }
+
+    /// Schedules forward until t=2, then tries to schedule back at t=0.
+    struct PastScheduler;
+    impl Model for PastScheduler {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            if ev == 2 {
+                ctx.schedule_at(SimTime::ZERO, 99);
+            } else {
+                ctx.schedule_in(SimDuration::from_secs(1.0), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn past_panic_reports_queue_and_executed_counts() {
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = Simulation::new(PastScheduler, 1);
+            sim.schedule_at(SimTime::ZERO, 0);
+            sim.schedule_at(SimTime::from_secs(10.0), 7); // stays pending
+            sim.run();
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("cannot schedule into the past"), "{msg}");
+        // Events at t = 0, 1, 2 executed; the t = 10 event still queued.
+        assert!(msg.contains("1 pending"), "{msg}");
+        assert!(msg.contains("3 events executed"), "{msg}");
     }
 
     #[test]

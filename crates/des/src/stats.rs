@@ -38,6 +38,11 @@ impl Counter {
     pub fn count(&self) -> u64 {
         self.n
     }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.n += other.n;
+    }
 }
 
 /// Streaming mean/variance over individual observations, using Welford's
@@ -157,6 +162,10 @@ pub struct TimeWeighted {
     start: SimTime,
     integral: f64,
     max_level: f64,
+    /// Integrated level and elapsed span folded in from merged gauges
+    /// (other runs' windows); see [`TimeWeighted::merge`].
+    merged_integral: f64,
+    merged_span: f64,
 }
 
 impl TimeWeighted {
@@ -168,6 +177,8 @@ impl TimeWeighted {
             start,
             integral: 0.0,
             max_level: level,
+            merged_integral: 0.0,
+            merged_span: 0.0,
         }
     }
 
@@ -197,14 +208,33 @@ impl TimeWeighted {
         self.max_level
     }
 
-    /// Time average of the level over `[start, now]`.
+    /// Time average of the level over `[start, now]`, plus any merged-in
+    /// windows.
     pub fn average(&self, now: SimTime) -> f64 {
-        let total = now.since(self.start).as_secs();
+        let total = now.since(self.start).as_secs() + self.merged_span;
         if total == 0.0 {
             return self.level;
         }
-        let integral = self.integral + self.level * now.since(self.last_change).as_secs();
+        let integral = self.integral
+            + self.merged_integral
+            + self.level * now.since(self.last_change).as_secs();
         integral / total
+    }
+
+    /// Folds another gauge's fully-observed window `[other.start,
+    /// other_end]` into this one, so [`TimeWeighted::average`] becomes the
+    /// span-weighted average over both windows. The current level and
+    /// `start` of `self` are untouched; only the integral, span, and max
+    /// are combined. Used by the run farm to aggregate gauges across
+    /// independent runs.
+    pub fn merge(&mut self, other: &TimeWeighted, other_end: SimTime) {
+        self.merged_integral += other.integral
+            + other.merged_integral
+            + other.level * other_end.since(other.last_change).as_secs();
+        self.merged_span += other_end.since(other.start).as_secs() + other.merged_span;
+        if other.max_level > self.max_level {
+            self.max_level = other.max_level;
+        }
     }
 }
 
@@ -401,6 +431,24 @@ impl BatchMeans {
             / (k - 1) as f64;
         Some(t_quantile_975(k - 1) * (var / k as f64).sqrt())
     }
+
+    /// Merges another accumulator with the same batch size: completed
+    /// batches are appended, and the two in-progress tallies are combined
+    /// (flushed as one batch once they jointly reach `batch_size` — batch
+    /// means tolerates the occasional oversized batch). Merge in a fixed
+    /// order (e.g. run index) for reproducible confidence intervals.
+    pub fn merge(&mut self, other: &BatchMeans) {
+        assert_eq!(
+            self.batch_size, other.batch_size,
+            "batch size mismatch in BatchMeans::merge"
+        );
+        self.batches.extend_from_slice(&other.batches);
+        self.current.merge(&other.current);
+        if self.current.count() >= self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Tally::new();
+        }
+    }
 }
 
 /// 97.5% quantile of Student's t with `df` degrees of freedom (two-sided 95%
@@ -568,6 +616,67 @@ mod tests {
         }
         assert_eq!(bm.batches(), 1);
         assert!(bm.half_width_95().is_none());
+    }
+
+    #[test]
+    fn counter_merge_adds() {
+        let mut a = Counter::new();
+        a.add(3);
+        let mut b = Counter::new();
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn time_weighted_merge_is_span_weighted() {
+        let t = |s| SimTime::from_secs(s);
+        // Gauge A: level 2 over [0, 10] → integral 20.
+        let mut a = TimeWeighted::new(t(0.0), 2.0);
+        // Gauge B: level 6 over [0, 30] → integral 180.
+        let b = TimeWeighted::new(t(0.0), 6.0);
+        a.merge(&b, t(30.0));
+        // Combined: (20 + 180) / (10 + 30) = 5.0.
+        assert!((a.average(t(10.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(a.max_level(), 6.0);
+        // A's own window keeps evolving after the merge.
+        a.merge(&TimeWeighted::new(t(0.0), 0.0), t(0.0)); // empty window no-op
+        assert!((a.average(t(10.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_merge_matches_batches() {
+        let mut whole = BatchMeans::new(10);
+        let mut a = BatchMeans::new(10);
+        let mut b = BatchMeans::new(10);
+        for i in 0..100 {
+            let x = (i as f64).cos();
+            whole.record(x);
+            if i < 40 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.batches(), whole.batches());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        // In-progress remainders combine and flush once they fill a batch.
+        let mut c = BatchMeans::new(10);
+        let mut d = BatchMeans::new(10);
+        for i in 0..6 {
+            c.record(i as f64);
+            d.record(i as f64 + 6.0);
+        }
+        c.merge(&d);
+        assert_eq!(c.batches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn batch_means_merge_rejects_mismatched_sizes() {
+        let mut a = BatchMeans::new(10);
+        a.merge(&BatchMeans::new(20));
     }
 
     #[test]

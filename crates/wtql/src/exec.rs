@@ -5,10 +5,11 @@ use crate::ast::{Constraint, Query};
 use crate::bind::apply_assignment;
 use crate::error::WtqlError;
 use crate::plan::{Assignment, Plan};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use windtunnel::cluster::Scenario;
 use windtunnel::des::time::SimDuration;
+use windtunnel::farm::Farm;
 use windtunnel::WindTunnel;
 
 /// Execution knobs (overridable from the query's OPTIONS clause).
@@ -209,80 +210,56 @@ pub fn run_query(
         .chain(query.objective.iter().map(|o| o.metric.as_str()))
         .any(is_perf_metric);
 
-    let work: Mutex<std::collections::VecDeque<usize>> = Mutex::new((0..n).collect());
+    // The shared run farm handles dispatch and in-order collection; the
+    // pruning decision stays inside the work closure because it consults
+    // the live set of failed configurations (best-effort: a config is
+    // skipped only if a dominating failure finished before it started).
     let failed: RwLock<Vec<usize>> = RwLock::new(Vec::new());
-    let rows: Mutex<Vec<Option<RunRow>>> = Mutex::new(vec![None; n]);
+    let indices: Vec<usize> = (0..n).collect();
+    let rows: Vec<RunRow> = Farm::new(opts.threads).run(base.seed, &indices, |&idx, _ctx| {
+        let assignment = &plan.configs[idx];
 
-    let worker = || {
-        loop {
-            let idx = {
-                let mut q = work.lock();
-                match q.pop_front() {
-                    Some(i) => i,
-                    None => return,
-                }
-            };
-            let assignment = &plan.configs[idx];
-
-            // Dominance check against already-failed configurations.
-            if opts.prune {
-                let dominated = failed
-                    .read()
-                    .iter()
-                    .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
-                if dominated {
-                    rows.lock()[idx] = Some(RunRow {
-                        assignment: assignment.clone(),
-                        metrics: BTreeMap::new(),
-                        passes: false,
-                        pruned: true,
-                        aborted: false,
-                    });
-                    continue;
-                }
-            }
-
-            let row = evaluate(
-                query,
-                base,
-                tunnel,
-                assignment,
-                needs_avail,
-                needs_perf,
-                opts,
-            );
-            let row = match row {
-                Ok(r) => r,
-                Err(_) => RunRow {
+        // Dominance check against already-failed configurations.
+        if opts.prune {
+            let dominated = failed
+                .read()
+                .iter()
+                .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
+            if dominated {
+                return RunRow {
                     assignment: assignment.clone(),
                     metrics: BTreeMap::new(),
                     passes: false,
-                    pruned: false,
+                    pruned: true,
                     aborted: false,
-                },
-            };
-            if !row.passes && !query.constraints.is_empty() && opts.prune {
-                failed.write().push(idx);
+                };
             }
-            rows.lock()[idx] = Some(row);
         }
-    };
 
-    if opts.threads <= 1 {
-        worker();
-    } else {
-        std::thread::scope(|scope| {
-            for _ in 0..opts.threads {
-                scope.spawn(worker);
-            }
-        });
-    }
-
-    let rows: Vec<RunRow> = rows
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every index evaluated"))
-        .collect();
+        let row = evaluate(
+            query,
+            base,
+            tunnel,
+            assignment,
+            needs_avail,
+            needs_perf,
+            opts,
+        );
+        let row = match row {
+            Ok(r) => r,
+            Err(_) => RunRow {
+                assignment: assignment.clone(),
+                metrics: BTreeMap::new(),
+                passes: false,
+                pruned: false,
+                aborted: false,
+            },
+        };
+        if !row.passes && !query.constraints.is_empty() && opts.prune {
+            failed.write().push(idx);
+        }
+        row
+    });
     let executed = rows.iter().filter(|r| !r.pruned && !r.aborted).count();
     let pruned = rows.iter().filter(|r| r.pruned).count();
     let aborted = rows.iter().filter(|r| r.aborted).count();

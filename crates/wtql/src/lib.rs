@@ -20,8 +20,8 @@
 //! * **Simulation at scale** ([`plan`], [`exec`]): the run-ordering
 //!   optimizer exploits declared monotonicity for **dominance pruning**
 //!   (the paper's "if the SLA fails on a 10 Gb network it will fail on
-//!   1 Gb" example), runs configurations in parallel with crossbeam, and
-//!   **aborts hopeless runs early** on a short probe horizon.
+//!   1 Gb" example), runs configurations on the shared `windtunnel::farm`
+//!   executor, and **aborts hopeless runs early** on a short probe horizon.
 //! * **Model interactions** ([`interact`]): the declarative interaction
 //!   graph that tells the engine which component models are independent —
 //!   the paper's modularity/parallelization hook.
