@@ -5,11 +5,19 @@
 //! The paper's point: prediction models that ignore cluster events miss
 //! the tail; "holistic simulation can capture the impact of these events
 //! on the performance SLAs".
+//!
+//! The arms run on the shared `windtunnel::farm` executor with sharded
+//! recording (`--workers N` sizes the pool, default host cores or
+//! `WT_WORKERS`); every arm lands in the result store as an `e3-perf`
+//! record, exported with `--jsonl <path>`. Output is byte-identical for
+//! any worker count.
 
+use windtunnel::farm::Farm;
 use wt_bench::{banner, fmt_secs, Table};
 use wt_cluster::PerfModel;
 use wt_dist::Dist;
 use wt_hw::{catalog, TopologySpec};
+use wt_store::{RecordSink, RunRecord, SharedStore};
 use wt_sw::{Placement, RedundancyScheme};
 use wt_workload::TenantWorkload;
 
@@ -73,6 +81,47 @@ fn main() {
         }),
     ];
 
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|pos| args.get(pos + 1))
+    };
+    let farm = match flag_value("--workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(w) => Farm::new(w),
+            Err(_) => {
+                eprintln!("error: --workers expects a number, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => Farm::from_env(),
+    };
+
+    // Each arm simulates on a farm worker and records into a private
+    // shard; shards merge into the store in arm order, so record ids are
+    // identical for any worker count. Seed 99 is fixed per arm (the arms
+    // are the comparison, not seed replication).
+    let store = SharedStore::new();
+    let results = farm.run_recorded(0, &arms, &store, |(name, m), _ctx, shard| {
+        let r = m.run(99);
+        let shop = r.tenant("shop").expect("shop tenant present").clone();
+        let mut record = RunRecord::new("e3-perf", 99)
+            .param("arm", *name)
+            .param("inject_failures", m.inject_failures)
+            .param("tenants", m.tenants.len())
+            .metric("shop_p50_s", shop.p50_s)
+            .metric("shop_p95_s", shop.p95_s)
+            .metric("shop_p99_s", shop.p99_s)
+            .metric("shop_failed", shop.failed as f64)
+            .metric("node_failures", r.node_failures as f64);
+        if let Some(met) = shop.sla_met {
+            record = record.metric("sla_met", if met { 1.0 } else { 0.0 });
+        }
+        shard.record(record);
+        (shop, r.node_failures)
+    });
+
     let mut table = Table::new(&[
         "arm",
         "p50",
@@ -83,16 +132,14 @@ fn main() {
         "SLA p95<=50ms",
     ]);
     let mut p99s = Vec::new();
-    for (name, m) in &arms {
-        let r = m.run(99);
-        let shop = r.tenant("shop").expect("shop tenant present");
+    for ((name, _), (shop, node_failures)) in arms.iter().zip(&results) {
         table.row(vec![
             name.to_string(),
             fmt_secs(shop.p50_s),
             fmt_secs(shop.p95_s),
             fmt_secs(shop.p99_s),
             shop.failed.to_string(),
-            r.node_failures.to_string(),
+            node_failures.to_string(),
             match shop.sla_met {
                 Some(true) => "met".into(),
                 Some(false) => "VIOLATED".into(),
@@ -102,6 +149,14 @@ fn main() {
         p99s.push((name.to_string(), shop.p99_s));
     }
     table.print();
+
+    if let Some(path) = flag_value("--jsonl") {
+        if let Err(e) = store.with(|s| s.save_jsonl(std::path::Path::new(path))) {
+            eprintln!("error: failed to write --jsonl {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("runs written to {path}");
+    }
 
     println!();
     let p99 = |n: &str| p99s.iter().find(|(k, _)| k == n).expect("arm").1;

@@ -1,7 +1,13 @@
 //! **E4 — hardware provisioning (§3)**: "Should I invest in storage or
 //! memory in order to satisfy the SLAs of 95% of my customers and
 //! minimize the total operating cost?" — answered as a WTQL query.
+//!
+//! The query's 6 configurations dispatch onto the shared
+//! `windtunnel::farm` pool with sharded recording (`--workers N`,
+//! default host cores or `WT_WORKERS`); results, record ids, and output
+//! are byte-identical for any worker count.
 
+use windtunnel::farm::Farm;
 use windtunnel::prelude::*;
 use wt_bench::{banner, fmt_secs, Table};
 use wt_wtql::{parse, run_query, ExecOptions};
@@ -32,9 +38,29 @@ fn main() {
         .seed(4)
         .build();
 
+    let args: Vec<String> = std::env::args().collect();
+    let workers = match args.iter().position(|a| a == "--workers") {
+        Some(pos) => match args.get(pos + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(w)) => w,
+            _ => {
+                eprintln!("error: --workers expects a number");
+                std::process::exit(2);
+            }
+        },
+        None => Farm::from_env().workers(),
+    };
+
     let query = parse(query_text).expect("query parses");
     let tunnel = WindTunnel::new();
-    let out = run_query(&query, &base, &tunnel, &ExecOptions::default()).expect("query runs");
+    // Pruning off: on a 6-point grid it saves nothing, and which config a
+    // best-effort prune skips depends on completion order — with it off,
+    // the table is byte-identical for any worker count.
+    let opts = ExecOptions {
+        threads: workers,
+        prune: false,
+        ..ExecOptions::default()
+    };
+    let out = run_query(&query, &base, &tunnel, &opts).expect("query runs");
 
     let mut table = Table::new(&["disk", "mem GB", "p95", "TCO $/yr", "meets SLA"]);
     for row in &out.rows {

@@ -32,6 +32,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use wt_store::{SharedStore, StoreShard};
 
 /// Per-run context handed to the work closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,62 @@ impl Farm {
             v.push(r);
             v
         })
+    }
+
+    /// Runs `work` over every item with a private [`StoreShard`] per run,
+    /// merging each shard into `store` **in item order** as results
+    /// stream in — the lock-free recording path.
+    ///
+    /// Workers never touch the shared store: every record a run emits is
+    /// a plain `Vec` push into its own shard, and the fold thread merges
+    /// shards (one `SharedStore` lock acquisition per run, uncontended)
+    /// strictly at the next expected index. Record ids and snapshot
+    /// order in `store` are therefore bitwise-identical for any worker
+    /// count, exactly like the run results themselves.
+    ///
+    /// ```
+    /// use windtunnel::farm::Farm;
+    /// use wt_store::{RecordSink, RunRecord, SharedStore};
+    ///
+    /// let store = SharedStore::new();
+    /// let items: Vec<u64> = (0..10).collect();
+    /// let out = Farm::new(4).run_recorded(7, &items, &store, |&x, ctx, shard| {
+    ///     shard.record(RunRecord::new("sweep", ctx.seed).metric("x", x as f64));
+    ///     x * 2
+    /// });
+    /// assert_eq!(out.len(), 10);
+    /// // Ids follow item order regardless of which worker ran what.
+    /// let ids: Vec<u64> = store.snapshot().iter().map(|r| r.id).collect();
+    /// assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    /// ```
+    pub fn run_recorded<T, R, F>(
+        &self,
+        root_seed: u64,
+        items: &[T],
+        store: &SharedStore,
+        work: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, RunCtx, &StoreShard) -> R + Sync,
+    {
+        let results = Vec::with_capacity(items.len());
+        self.run_fold(
+            root_seed,
+            items,
+            |item, ctx| {
+                let shard = StoreShard::new();
+                let result = work(item, ctx, &shard);
+                (result, shard)
+            },
+            results,
+            |mut v, _idx, (result, shard)| {
+                store.merge_shard(shard);
+                v.push(result);
+                v
+            },
+        )
     }
 
     /// Runs `work` over every item, folding each result into `init` **in
@@ -267,6 +324,44 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn recorded_run_ids_are_worker_independent() {
+        use wt_store::{RecordSink, RunRecord, SharedStore};
+        let items: Vec<u64> = (0..100).collect();
+        let gold_store = SharedStore::new();
+        let gold = Farm::new(1).run_recorded(5, &items, &gold_store, |&x, ctx, shard| {
+            // Variable record count per run: exercises merge alignment.
+            for rep in 0..=(x % 3) {
+                shard.record(
+                    RunRecord::new("farm-test", ctx.seed)
+                        .param("x", x as f64)
+                        .metric("rep", rep as f64),
+                );
+            }
+            x
+        });
+        let gold_snap = gold_store.snapshot();
+        for workers in [4, 8] {
+            let store = SharedStore::new();
+            let out = Farm::new(workers).run_recorded(5, &items, &store, |&x, ctx, shard| {
+                for rep in 0..=(x % 3) {
+                    shard.record(
+                        RunRecord::new("farm-test", ctx.seed)
+                            .param("x", x as f64)
+                            .metric("rep", rep as f64),
+                    );
+                }
+                x
+            });
+            assert_eq!(out, gold, "results diverged at {workers} workers");
+            assert_eq!(
+                store.snapshot(),
+                gold_snap,
+                "record ids/order diverged at {workers} workers"
+            );
+        }
     }
 
     #[test]

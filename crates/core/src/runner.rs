@@ -8,7 +8,7 @@ use wt_cluster::{
 };
 use wt_des::time::SimDuration;
 use wt_hw::CostModel;
-use wt_store::{RunRecord, SharedStore};
+use wt_store::{RecordSink, RunRecord, SharedStore};
 
 /// The wind tunnel: a facade over the simulation engines plus the result
 /// store and cost model.
@@ -152,8 +152,19 @@ impl WindTunnel {
     }
 
     /// Runs the availability engine over the scenario's horizon and
-    /// records the outcome.
+    /// records the outcome into the tunnel's own store.
     pub fn run_availability(&self, scenario: &Scenario) -> AvailabilityResult {
+        self.run_availability_into(scenario, &self.store)
+    }
+
+    /// [`Self::run_availability`] recording into an explicit sink — the
+    /// lock-free path: farm workers pass their private `StoreShard` here
+    /// so recording never contends on the shared store.
+    pub fn run_availability_into(
+        &self,
+        scenario: &Scenario,
+        sink: &dyn RecordSink,
+    ) -> AvailabilityResult {
         let model = Self::availability_model(scenario);
         let horizon = SimDuration::from_years(scenario.horizon_years);
         let result = model.run(scenario.seed, horizon);
@@ -166,13 +177,25 @@ impl WindTunnel {
                 "tco_usd_per_year",
                 self.cost.cost(&scenario.topology).tco_usd_per_year,
             );
-        self.store.append(record);
+        sink.record(record);
         result
     }
 
     /// Runs the performance engine (capped at 600 simulated seconds — a
-    /// latency measurement, not a reliability horizon) and records it.
+    /// latency measurement, not a reliability horizon) and records it
+    /// into the tunnel's own store.
     pub fn run_perf(&self, scenario: &Scenario, inject_failures: bool) -> PerfResult {
+        self.run_perf_into(scenario, inject_failures, &self.store)
+    }
+
+    /// [`Self::run_perf`] recording into an explicit sink (see
+    /// [`Self::run_availability_into`]).
+    pub fn run_perf_into(
+        &self,
+        scenario: &Scenario,
+        inject_failures: bool,
+        sink: &dyn RecordSink,
+    ) -> PerfResult {
         let model = Self::perf_model(scenario, inject_failures);
         let result = model.run(scenario.seed);
         let mut record = Self::base_record(scenario, "perf").metric(
@@ -185,7 +208,7 @@ impl WindTunnel {
                 .metric(format!("{}_p99_s", t.name), t.p99_s)
                 .metric(format!("{}_throughput", t.name), t.throughput);
         }
-        self.store.append(record);
+        sink.record(record);
         result
     }
 
@@ -200,6 +223,17 @@ impl WindTunnel {
         scenario: &Scenario,
         reps: usize,
     ) -> ReplicatedAvailability {
+        self.run_availability_replicated_into(scenario, reps, &self.store)
+    }
+
+    /// [`Self::run_availability_replicated`] recording into an explicit
+    /// sink (see [`Self::run_availability_into`]).
+    pub fn run_availability_replicated_into(
+        &self,
+        scenario: &Scenario,
+        reps: usize,
+        sink: &dyn RecordSink,
+    ) -> ReplicatedAvailability {
         assert!(
             reps >= 2,
             "confidence intervals need at least 2 replications"
@@ -208,7 +242,7 @@ impl WindTunnel {
         let mut results = Vec::with_capacity(reps);
         for rep in 0..reps {
             let s = scenario.with_seed(scenario.seed.wrapping_add(rep as u64 * 7919));
-            let r = self.run_availability(&s);
+            let r = self.run_availability_into(&s, sink);
             tally.record(r.availability);
             results.push(r);
         }
@@ -234,11 +268,22 @@ impl WindTunnel {
     /// with cost attached — the unit of work a declarative query executes
     /// per configuration.
     pub fn assess(&self, scenario: &Scenario, slas: &SlaSet) -> Assessment {
+        self.assess_into(scenario, slas, &self.store)
+    }
+
+    /// [`Self::assess`] recording into an explicit sink (see
+    /// [`Self::run_availability_into`]).
+    pub fn assess_into(
+        &self,
+        scenario: &Scenario,
+        slas: &SlaSet,
+        sink: &dyn RecordSink,
+    ) -> Assessment {
         let availability = slas
             .needs_availability()
-            .then(|| self.run_availability(scenario));
+            .then(|| self.run_availability_into(scenario, sink));
         let perf = (slas.needs_perf() && !scenario.tenants.is_empty())
-            .then(|| self.run_perf(scenario, false));
+            .then(|| self.run_perf_into(scenario, false, sink));
         let violations = slas.violations(availability.as_ref(), perf.as_ref(), scenario.objects);
         Assessment {
             scenario: scenario.name.clone(),

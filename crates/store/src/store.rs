@@ -1,18 +1,39 @@
 //! The result store: append, query, persist, and similarity-search
 //! simulation runs.
+//!
+//! The store keeps records in id order (ids are assigned monotonically),
+//! which makes `get` a binary search and lets the per-experiment index
+//! hold ids rather than offsets — both stay valid under oldest-first
+//! eviction, so a capacity-bounded store serves million-run sweeps
+//! without unbounded memory growth. Parallel producers never append here
+//! directly: they record into lock-free [`crate::shard::StoreShard`]s
+//! that are merged in deterministic run order (see [`crate::shard`]).
 
 use crate::record::{ParamValue, RunRecord};
+use crate::shard::StoreShard;
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-/// An in-memory store of run records with JSON-lines persistence.
+/// An in-memory store of run records with JSON-lines persistence,
+/// id/experiment indexes, and an optional capacity bound.
 #[derive(Debug, Default)]
 pub struct ResultStore {
-    records: Vec<RunRecord>,
+    /// Records in ascending-id order (append assigns increasing ids).
+    records: VecDeque<RunRecord>,
     next_id: u64,
+    /// Ids per experiment family, in insertion (= id) order.
+    by_exp: BTreeMap<String, VecDeque<u64>>,
+    /// Keep at most this many records, evicting the oldest.
+    capacity: Option<usize>,
+    /// Records evicted so far (for telemetry and tests).
+    evicted: u64,
+    /// Write-through journal: every append streams one JSON line here.
+    journal: Option<BufWriter<std::fs::File>>,
+    /// First journal write error; write-through stops once set.
+    journal_error: Option<std::io::Error>,
 }
 
 impl ResultStore {
@@ -21,16 +42,58 @@ impl ResultStore {
         Self::default()
     }
 
+    /// An empty store that keeps at most `capacity` records, evicting the
+    /// oldest (smallest-id) record on overflow.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultStore {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Sets or clears the capacity bound, evicting immediately if the
+    /// store is already over the new bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity.map(|c| c.max(1));
+        self.enforce_capacity();
+    }
+
+    /// Records evicted by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
     /// Appends a record, assigning its id. Returns the id.
     pub fn append(&mut self, mut record: RunRecord) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         record.id = id;
-        self.records.push(record);
+        self.journal_write(&record);
+        self.push_indexed(record);
+        self.enforce_capacity();
         id
     }
 
-    /// Number of stored records.
+    /// Merges a worker shard: every buffered record is appended (ids
+    /// assigned here, in shard order). Callers that merge shards in
+    /// deterministic run order — as `windtunnel::farm` does — therefore
+    /// get identical ids and snapshot order for any worker count.
+    /// Returns the number of records merged.
+    pub fn merge_shard(&mut self, shard: StoreShard) -> u64 {
+        let records = shard.into_records();
+        let n = records.len() as u64;
+        for r in records {
+            self.append(r);
+        }
+        n
+    }
+
+    /// Number of stored records (excludes evicted ones).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -40,25 +103,37 @@ impl ResultStore {
         self.records.is_empty()
     }
 
-    /// All records (insertion order).
-    pub fn records(&self) -> &[RunRecord] {
-        &self.records
+    /// All stored records in id order.
+    pub fn records(&self) -> impl Iterator<Item = &RunRecord> {
+        self.records.iter()
     }
 
-    /// Record by id.
+    /// A full copy of the stored records, in id order.
+    pub fn snapshot(&self) -> Vec<RunRecord> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Record by id: a binary search over the id-ordered records — no
+    /// full-store scan, and no index to maintain under eviction.
     pub fn get(&self, id: u64) -> Option<&RunRecord> {
-        self.records.iter().find(|r| r.id == id)
-    }
-
-    /// Records of one experiment family.
-    pub fn by_experiment(&self, experiment: &str) -> Vec<&RunRecord> {
         self.records
-            .iter()
-            .filter(|r| r.experiment == experiment)
-            .collect()
+            .binary_search_by_key(&id, |r| r.id)
+            .ok()
+            .map(|i| &self.records[i])
     }
 
-    /// Records matching a predicate.
+    /// Records of one experiment family, via the experiment index.
+    pub fn by_experiment(&self, experiment: &str) -> Vec<&RunRecord> {
+        match self.by_exp.get(experiment) {
+            None => Vec::new(),
+            Some(ids) => ids
+                .iter()
+                .map(|&id| self.get(id).expect("indexed id present"))
+                .collect(),
+        }
+    }
+
+    /// Records matching a predicate (a scan — predicates are opaque).
     pub fn query(&self, pred: impl Fn(&RunRecord) -> bool) -> Vec<&RunRecord> {
         self.records.iter().filter(|r| pred(r)).collect()
     }
@@ -137,10 +212,12 @@ impl ResultStore {
         total
     }
 
-    /// Exports records of one experiment as CSV (params then metrics as
+    /// Streams records of one experiment as CSV (params then metrics as
     /// columns; the union of keys across records, blank where absent) —
-    /// the format the figures pipeline consumes.
-    pub fn export_csv(&self, experiment: &str) -> String {
+    /// the format the figures pipeline consumes. Writing directly to `w`
+    /// lets large experiments go to disk without building the whole CSV
+    /// in memory.
+    pub fn write_csv(&self, experiment: &str, w: &mut impl Write) -> std::io::Result<()> {
         let records = self.by_experiment(experiment);
         let mut param_keys: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         let mut metric_keys: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
@@ -148,77 +225,176 @@ impl ResultStore {
             param_keys.extend(r.params.keys().map(String::as_str));
             metric_keys.extend(r.metrics.keys().map(String::as_str));
         }
-        let mut out = String::new();
-        out.push_str("id,seed");
+        write!(w, "id,seed")?;
         for k in &param_keys {
-            out.push(',');
-            out.push_str(k);
+            write!(w, ",{k}")?;
         }
         for k in &metric_keys {
-            out.push(',');
-            out.push_str(k);
+            write!(w, ",{k}")?;
         }
-        out.push('\n');
+        writeln!(w)?;
         for r in &records {
-            out.push_str(&format!("{},{}", r.id, r.seed));
+            write!(w, "{},{}", r.id, r.seed)?;
             for k in &param_keys {
-                out.push(',');
+                w.write_all(b",")?;
                 if let Some(v) = r.params.get(*k) {
                     let cell = v.to_string();
                     // Quote cells containing separators.
                     if cell.contains(',') || cell.contains('"') {
-                        out.push('"');
-                        out.push_str(&cell.replace('"', "\"\""));
-                        out.push('"');
+                        write!(w, "\"{}\"", cell.replace('"', "\"\""))?;
                     } else {
-                        out.push_str(&cell);
+                        w.write_all(cell.as_bytes())?;
                     }
                 }
             }
             for k in &metric_keys {
-                out.push(',');
+                w.write_all(b",")?;
                 if let Some(v) = r.metrics.get(*k) {
-                    out.push_str(&format!("{v}"));
+                    write!(w, "{v}")?;
                 }
             }
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Persists all records as JSON lines.
-    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        for r in &self.records {
-            let line = serde_json::to_string(r).expect("records serialize");
-            writeln!(f, "{line}")?;
+            writeln!(w)?;
         }
         Ok(())
     }
 
+    /// [`Self::write_csv`] into a `String`, for small experiments.
+    pub fn export_csv(&self, experiment: &str) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(experiment, &mut buf)
+            .expect("in-memory write cannot fail");
+        String::from_utf8(buf).expect("CSV is UTF-8")
+    }
+
+    /// Persists all records as JSON lines (buffered, one line at a time —
+    /// the store is never serialized as a whole).
+    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for r in &self.records {
+            let line = serde_json::to_string(r).expect("records serialize");
+            writeln!(w, "{line}")?;
+        }
+        w.flush()
+    }
+
     /// Loads records from a JSON-lines file (ids are preserved; the next
-    /// id continues past the maximum loaded).
+    /// id continues past the maximum loaded). Lines are parsed one at a
+    /// time into a reused buffer, so peak memory is the records
+    /// themselves, never a second copy of the file.
     pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
-        let f = std::fs::File::open(path)?;
-        let mut records = Vec::new();
-        let mut max_id = 0u64;
-        for line in BufReader::new(f).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
+        Self::load_jsonl_bounded(path, None)
+    }
+
+    /// [`Self::load_jsonl`] with a capacity bound applied *while
+    /// streaming*: for the id-ordered files `save_jsonl` and the journal
+    /// produce, at most `capacity` records are resident at any point.
+    pub fn load_jsonl_bounded(path: &Path, capacity: Option<usize>) -> std::io::Result<Self> {
+        let mut reader = BufReader::with_capacity(1 << 16, std::fs::File::open(path)?);
+        let mut store = ResultStore::new();
+        store.capacity = capacity.map(|c| c.max(1));
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
                 continue;
             }
-            let r: RunRecord = serde_json::from_str(&line)
+            let r: RunRecord = serde_json::from_str(trimmed)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            max_id = max_id.max(r.id);
-            records.push(r);
+            store.insert_loaded(r);
         }
-        let next_id = if records.is_empty() { 0 } else { max_id + 1 };
-        Ok(ResultStore { records, next_id })
+        Ok(store)
+    }
+
+    /// Attaches a write-through journal at `path`: the current records
+    /// are written out, and every subsequent append streams one more JSON
+    /// line through a buffered writer (evictions never rewrite the file —
+    /// the journal is the append-only history). Call [`Self::flush`] to
+    /// force buffered lines to disk.
+    pub fn journal_to(&mut self, path: &Path) -> std::io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        for r in &self.records {
+            let line = serde_json::to_string(r).expect("records serialize");
+            writeln!(w, "{line}")?;
+        }
+        self.journal = Some(w);
+        self.journal_error = None;
+        Ok(())
+    }
+
+    /// Flushes the journal, surfacing any write error since the last
+    /// flush (write-through stops on the first error).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.journal_error.take() {
+            return Err(e);
+        }
+        match &mut self.journal {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn journal_write(&mut self, record: &RunRecord) {
+        if let Some(w) = &mut self.journal {
+            let line = serde_json::to_string(record).expect("records serialize");
+            if let Err(e) = writeln!(w, "{line}") {
+                self.journal_error = Some(e);
+                self.journal = None; // stop write-through after an error
+            }
+        }
+    }
+
+    /// Appends an already-id'd record, keeping the deque id-ordered even
+    /// for hand-edited (out-of-order) files.
+    fn insert_loaded(&mut self, r: RunRecord) {
+        self.next_id = self.next_id.max(r.id + 1);
+        if self.records.back().is_none_or(|b| b.id < r.id) {
+            self.push_indexed(r);
+        } else {
+            // Rare path: an out-of-order line. Insert by id.
+            let pos = self.records.partition_point(|x| x.id < r.id);
+            let ids = self.by_exp.entry(r.experiment.clone()).or_default();
+            let exp_pos = ids.partition_point(|&id| id < r.id);
+            ids.insert(exp_pos, r.id);
+            self.records.insert(pos, r);
+        }
+        self.enforce_capacity();
+    }
+
+    fn push_indexed(&mut self, record: RunRecord) {
+        self.by_exp
+            .entry(record.experiment.clone())
+            .or_default()
+            .push_back(record.id);
+        self.records.push_back(record);
+    }
+
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.records.len() > cap {
+            let old = self.records.pop_front().expect("len > cap >= 1");
+            let ids = self
+                .by_exp
+                .get_mut(&old.experiment)
+                .expect("evicted record was indexed");
+            let front = ids.pop_front();
+            debug_assert_eq!(front, Some(old.id), "index front is the oldest");
+            if ids.is_empty() {
+                self.by_exp.remove(&old.experiment);
+            }
+            self.evicted += 1;
+        }
     }
 }
 
-/// A clonable, thread-safe handle to a store — what the parallel query
-/// runner (`wt-wtql`) writes into from worker threads.
+/// A clonable, thread-safe handle to the *merged* store — what queries
+/// read and what shard merges fold into. Parallel recording does not go
+/// through this lock: workers buffer into [`StoreShard`]s and the fold
+/// thread merges them one lock acquisition per shard (see
+/// `windtunnel::farm::Farm::run_recorded`).
 #[derive(Debug, Clone, Default)]
 pub struct SharedStore {
     inner: Arc<RwLock<ResultStore>>,
@@ -230,9 +406,22 @@ impl SharedStore {
         Self::default()
     }
 
-    /// Appends a record.
+    /// A shared store with a capacity bound (oldest-first eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedStore {
+            inner: Arc::new(RwLock::new(ResultStore::with_capacity(capacity))),
+        }
+    }
+
+    /// Appends a record (takes the write lock — the contended path the
+    /// sharded recording flow avoids).
     pub fn append(&self, record: RunRecord) -> u64 {
         self.inner.write().append(record)
+    }
+
+    /// Merges a worker shard under one write-lock acquisition.
+    pub fn merge_shard(&self, shard: StoreShard) -> u64 {
+        self.inner.write().merge_shard(shard)
     }
 
     /// Number of records.
@@ -250,9 +439,15 @@ impl SharedStore {
         f(&self.inner.read())
     }
 
+    /// Runs `f` over the locked store (write access) — capacity changes,
+    /// journal attachment, flushes.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut ResultStore) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
     /// Extracts a full copy of the records.
     pub fn snapshot(&self) -> Vec<RunRecord> {
-        self.inner.read().records().to_vec()
+        self.inner.read().snapshot()
     }
 }
 
@@ -285,6 +480,7 @@ mod tests {
         s.append(rec("fig1", 5.0, "RR", 0.99));
         s.append(rec("e2", 3.0, "R", 0.95));
         assert_eq!(s.by_experiment("fig1").len(), 2);
+        assert!(s.by_experiment("nope").is_empty());
         let high = s.query(|r| r.get_metric("availability").unwrap_or(0.0) > 0.92);
         assert_eq!(high.len(), 2);
     }
@@ -369,6 +565,16 @@ mod tests {
     }
 
     #[test]
+    fn write_csv_streams_identically_to_export() {
+        let mut s = ResultStore::new();
+        s.append(rec("fig1", 3.0, "R", 0.9));
+        s.append(rec("fig1", 5.0, "RR", 0.99));
+        let mut streamed = Vec::new();
+        s.write_csv("fig1", &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), s.export_csv("fig1"));
+    }
+
+    #[test]
     fn jsonl_roundtrip() {
         let mut s = ResultStore::new();
         s.append(rec("fig1", 3.0, "R", 0.9));
@@ -378,11 +584,132 @@ mod tests {
         let path = dir.join("results.jsonl");
         s.save_jsonl(&path).unwrap();
         let loaded = ResultStore::load_jsonl(&path).unwrap();
-        assert_eq!(loaded.records(), s.records());
+        assert_eq!(loaded.snapshot(), s.snapshot());
         // Appending continues past the loaded ids.
         let mut loaded = loaded;
         let id = loaded.append(rec("fig1", 7.0, "R", 0.999));
         assert_eq!(id, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn get_handles_id_gaps_after_load() {
+        // Eviction (or hand-pruning a JSONL file) leaves gaps in the id
+        // sequence; `get` must still resolve ids on both sides of a gap
+        // and miss cleanly inside it.
+        let mut s = ResultStore::new();
+        for i in 0..6 {
+            s.append(rec("gap", i as f64, "R", 0.9));
+        }
+        let dir = std::env::temp_dir().join("wt-store-test-gaps");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gappy.jsonl");
+        s.save_jsonl(&path).unwrap();
+        // Drop ids 2 and 3 from the file.
+        let kept: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("\"id\":2") && !l.contains("\"id\":3"))
+            .map(String::from)
+            .collect();
+        std::fs::write(&path, kept.join("\n")).unwrap();
+        let loaded = ResultStore::load_jsonl(&path).unwrap();
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(loaded.get(1).unwrap().params["n"], ParamValue::Num(1.0));
+        assert_eq!(loaded.get(4).unwrap().params["n"], ParamValue::Num(4.0));
+        assert!(loaded.get(2).is_none());
+        assert!(loaded.get(3).is_none());
+        // New ids continue past the loaded maximum, not into the gap.
+        let mut loaded = loaded;
+        assert_eq!(loaded.append(rec("gap", 9.0, "R", 0.9)), 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_tolerates_out_of_order_lines() {
+        let dir = std::env::temp_dir().join("wt-store-test-ooo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shuffled.jsonl");
+        let mut s = ResultStore::new();
+        for i in 0..4 {
+            s.append(rec("ooo", i as f64, "R", 0.9));
+        }
+        let mut lines: Vec<String> = {
+            let mut buf = Vec::new();
+            for r in s.records() {
+                buf.push(serde_json::to_string(r).unwrap());
+            }
+            buf
+        };
+        lines.swap(1, 3); // file order: 0, 3, 2, 1
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let loaded = ResultStore::load_jsonl(&path).unwrap();
+        let ids: Vec<u64> = loaded.records().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "store re-sorts by id");
+        assert_eq!(loaded.by_experiment("ooo").len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_keeps_indexes_consistent() {
+        let mut s = ResultStore::with_capacity(3);
+        for i in 0..7 {
+            let exp = if i % 2 == 0 { "even" } else { "odd" };
+            s.append(rec(exp, i as f64, "R", 0.9));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 4);
+        // Ids 0..=3 evicted, 4..=6 remain.
+        for id in 0..4u64 {
+            assert!(s.get(id).is_none(), "id {id} should be evicted");
+        }
+        let ids: Vec<u64> = s.records().map(|r| r.id).collect();
+        assert_eq!(ids, vec![4, 5, 6]);
+        // The experiment index agrees exactly with a scan.
+        let even: Vec<u64> = s.by_experiment("even").iter().map(|r| r.id).collect();
+        assert_eq!(even, vec![4, 6]);
+        let odd: Vec<u64> = s.by_experiment("odd").iter().map(|r| r.id).collect();
+        assert_eq!(odd, vec![5]);
+        // New appends keep ids monotone past the evicted range.
+        assert_eq!(s.append(rec("even", 9.0, "R", 0.9)), 7);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn bounded_load_keeps_only_newest() {
+        let mut s = ResultStore::new();
+        for i in 0..10 {
+            s.append(rec("big", i as f64, "R", 0.9));
+        }
+        let dir = std::env::temp_dir().join("wt-store-test-bounded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.jsonl");
+        s.save_jsonl(&path).unwrap();
+        let loaded = ResultStore::load_jsonl_bounded(&path, Some(4)).unwrap();
+        let ids: Vec<u64> = loaded.records().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        assert_eq!(loaded.capacity(), Some(4));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_writes_through_on_append() {
+        let dir = std::env::temp_dir().join("wt-store-test-journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut s = ResultStore::new();
+        s.append(rec("j", 0.0, "R", 0.9)); // before the journal attaches
+        s.journal_to(&path).unwrap();
+        s.append(rec("j", 1.0, "R", 0.9));
+        s.append(rec("j", 2.0, "R", 0.9));
+        s.flush().unwrap();
+        let replayed = ResultStore::load_jsonl(&path).unwrap();
+        assert_eq!(replayed.snapshot(), s.snapshot());
+        // Eviction does not rewrite the journal: history is append-only.
+        s.set_capacity(Some(1));
+        s.flush().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(ResultStore::load_jsonl(&path).unwrap().len(), 3);
         std::fs::remove_file(&path).ok();
     }
 

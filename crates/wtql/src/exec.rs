@@ -11,6 +11,7 @@ use windtunnel::cluster::Scenario;
 use windtunnel::des::time::SimDuration;
 use windtunnel::farm::Farm;
 use windtunnel::WindTunnel;
+use wt_store::RecordSink;
 
 /// Execution knobs (overridable from the query's OPTIONS clause).
 #[derive(Debug, Clone)]
@@ -210,56 +211,66 @@ pub fn run_query(
         .chain(query.objective.iter().map(|o| o.metric.as_str()))
         .any(is_perf_metric);
 
-    // The shared run farm handles dispatch and in-order collection; the
-    // pruning decision stays inside the work closure because it consults
-    // the live set of failed configurations (best-effort: a config is
-    // skipped only if a dominating failure finished before it started).
+    // The shared run farm handles dispatch, in-order collection, and
+    // sharded recording: each configuration's runs land in a private
+    // `StoreShard` (no store lock on the hot path) that the farm merges
+    // into the tunnel's store in plan order — so record ids are
+    // deterministic for any thread count. The pruning decision stays
+    // inside the work closure because it consults the live set of failed
+    // configurations (best-effort: a config is skipped only if a
+    // dominating failure finished before it started).
     let failed: RwLock<Vec<usize>> = RwLock::new(Vec::new());
     let indices: Vec<usize> = (0..n).collect();
-    let rows: Vec<RunRow> = Farm::new(opts.threads).run(base.seed, &indices, |&idx, _ctx| {
-        let assignment = &plan.configs[idx];
+    let rows: Vec<RunRow> = Farm::new(opts.threads).run_recorded(
+        base.seed,
+        &indices,
+        tunnel.store(),
+        |&idx, _ctx, shard| {
+            let assignment = &plan.configs[idx];
 
-        // Dominance check against already-failed configurations.
-        if opts.prune {
-            let dominated = failed
-                .read()
-                .iter()
-                .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
-            if dominated {
-                return RunRow {
+            // Dominance check against already-failed configurations.
+            if opts.prune {
+                let dominated = failed
+                    .read()
+                    .iter()
+                    .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
+                if dominated {
+                    return RunRow {
+                        assignment: assignment.clone(),
+                        metrics: BTreeMap::new(),
+                        passes: false,
+                        pruned: true,
+                        aborted: false,
+                    };
+                }
+            }
+
+            let row = evaluate(
+                query,
+                base,
+                tunnel,
+                assignment,
+                needs_avail,
+                needs_perf,
+                opts,
+                shard,
+            );
+            let row = match row {
+                Ok(r) => r,
+                Err(_) => RunRow {
                     assignment: assignment.clone(),
                     metrics: BTreeMap::new(),
                     passes: false,
-                    pruned: true,
+                    pruned: false,
                     aborted: false,
-                };
+                },
+            };
+            if !row.passes && !query.constraints.is_empty() && opts.prune {
+                failed.write().push(idx);
             }
-        }
-
-        let row = evaluate(
-            query,
-            base,
-            tunnel,
-            assignment,
-            needs_avail,
-            needs_perf,
-            opts,
-        );
-        let row = match row {
-            Ok(r) => r,
-            Err(_) => RunRow {
-                assignment: assignment.clone(),
-                metrics: BTreeMap::new(),
-                passes: false,
-                pruned: false,
-                aborted: false,
-            },
-        };
-        if !row.passes && !query.constraints.is_empty() && opts.prune {
-            failed.write().push(idx);
-        }
-        row
-    });
+            row
+        },
+    );
     let executed = rows.iter().filter(|r| !r.pruned && !r.aborted).count();
     let pruned = rows.iter().filter(|r| r.pruned).count();
     let aborted = rows.iter().filter(|r| r.aborted).count();
@@ -294,7 +305,10 @@ pub fn run_query(
     })
 }
 
-/// Simulates one configuration and evaluates the constraints.
+/// Simulates one configuration and evaluates the constraints. Every
+/// fully-simulated run records into `sink` — the caller's per-config
+/// shard during parallel execution.
+#[allow(clippy::too_many_arguments)]
 fn evaluate(
     query: &Query,
     base: &Scenario,
@@ -303,6 +317,7 @@ fn evaluate(
     needs_avail: bool,
     needs_perf: bool,
     opts: &ExecOptions,
+    sink: &dyn RecordSink,
 ) -> Result<RunRow, WtqlError> {
     let mut scenario = base.clone();
     for (axis, value) in assignment {
@@ -349,11 +364,11 @@ fn evaluate(
             rep_scenario.seed = base_seed.wrapping_add(rep as u64 * 7919);
             let mut rep_metrics: BTreeMap<String, f64> = BTreeMap::new();
             if needs_avail {
-                let result = tunnel.run_availability(&rep_scenario);
+                let result = tunnel.run_availability_into(&rep_scenario, sink);
                 record_avail_metrics(&mut rep_metrics, &result);
             }
             if needs_perf && !rep_scenario.tenants.is_empty() {
-                let result = tunnel.run_perf(&rep_scenario, false);
+                let result = tunnel.run_perf_into(&rep_scenario, false, sink);
                 for t in &result.tenants {
                     rep_metrics.insert(format!("{}_p50_s", t.name), t.p50_s);
                     rep_metrics.insert(format!("{}_p95_s", t.name), t.p95_s);
@@ -650,7 +665,6 @@ mod tests {
         // The averaged metric equals the mean of the recorded runs.
         let mean_recorded = tunnel.store().with(|s| {
             s.records()
-                .iter()
                 .map(|r| r.get_metric("availability").unwrap())
                 .sum::<f64>()
                 / 3.0

@@ -60,7 +60,12 @@ fn store_persists_and_answers_similarity_queries() {
 
     // "Have I explored a configuration similar to a 3-rack build?" —
     // the numeric racks axis ranks 4 closest, then 1, then 10.
-    let mut target = loaded.records()[0].params.clone();
+    let mut target = loaded
+        .records()
+        .next()
+        .expect("records loaded")
+        .params
+        .clone();
     // The scenario name is unique per record; drop it so the comparison is
     // about configuration, not labels.
     target.remove("scenario");

@@ -1,0 +1,130 @@
+//! Integration: sharded recording is deterministic — the merged store's
+//! bytes (record ids, order, contents) are identical for any worker
+//! count — and the capacity bound evicts oldest-first while keeping the
+//! indexes consistent with a scan.
+
+use windtunnel::farm::Farm;
+use windtunnel::prelude::*;
+use wt_store::{RecordSink, ResultStore, RunRecord, SharedStore};
+use wt_wtql::{parse, run_query, ExecOptions};
+
+/// The merged store as JSONL bytes — the strictest equality we can ask
+/// for: ids, order, params, metrics, seeds.
+fn store_bytes(store: &SharedStore) -> String {
+    store
+        .snapshot()
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("serializes"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn sharded_store_bytes_identical_across_worker_counts() {
+    // Real availability runs, variable record count per item (replicated
+    // runs append one record per replication) — a worker-count-dependent
+    // merge would misorder ids here.
+    let scenarios: Vec<Scenario> = (0..12)
+        .map(|i| {
+            ScenarioBuilder::new(format!("shard-det-{i}"))
+                .racks(1)
+                .nodes_per_rack(6 + (i % 3))
+                .objects(100)
+                .horizon_years(0.05)
+                .seed(100 + i as u64)
+                .build()
+        })
+        .collect();
+
+    let sweep = |workers: usize| {
+        let store = SharedStore::new();
+        let tunnel = WindTunnel::new();
+        Farm::new(workers).run_recorded(7, &scenarios, &store, |sc, ctx, shard| {
+            if ctx.index % 3 == 0 {
+                tunnel.run_availability_replicated_into(sc, 2, shard);
+            } else {
+                tunnel.run_availability_into(sc, shard);
+            }
+        });
+        store_bytes(&store)
+    };
+
+    let gold = sweep(1);
+    assert!(!gold.is_empty());
+    for workers in [4, 8] {
+        assert_eq!(
+            sweep(workers),
+            gold,
+            "merged store bytes diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn wtql_store_bytes_identical_across_thread_counts() {
+    let query = parse(
+        r#"EXPLORE availability
+           SWEEP replication IN [1, 3], placement IN ["R", "RR"]"#,
+    )
+    .expect("parses");
+    let base = ScenarioBuilder::new("wtql-shard")
+        .racks(1)
+        .nodes_per_rack(10)
+        .objects(150)
+        .horizon_years(0.2)
+        .seed(9)
+        .build();
+
+    let sweep = |threads: usize| {
+        let tunnel = WindTunnel::new();
+        let opts = ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        };
+        run_query(&query, &base, &tunnel, &opts).expect("runs");
+        store_bytes(tunnel.store())
+    };
+
+    let gold = sweep(1);
+    for threads in [4, 8] {
+        assert_eq!(
+            sweep(threads),
+            gold,
+            "wtql-recorded store diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn bounded_store_evicts_oldest_under_sharded_merge() {
+    let store = SharedStore::with_capacity(10);
+    let items: Vec<u64> = (0..25).collect();
+    Farm::new(4).run_recorded(3, &items, &store, |&x, ctx, shard| {
+        shard.record(
+            RunRecord::new(if x % 2 == 0 { "even" } else { "odd" }, ctx.seed)
+                .param("x", x as f64)
+                .metric("m", x as f64),
+        );
+    });
+    store.with(|s: &ResultStore| {
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.evicted(), 15);
+        // The newest 10 survive, in id order (ids == item index here,
+        // because the merge is deterministic).
+        let ids: Vec<u64> = s.records().map(|r| r.id).collect();
+        assert_eq!(ids, (15..25).collect::<Vec<_>>());
+        for id in 0..15 {
+            assert!(s.get(id).is_none(), "id {id} should be evicted");
+        }
+        // Index-backed lookups agree exactly with a predicate scan.
+        for exp in ["even", "odd"] {
+            let indexed: Vec<u64> = s.by_experiment(exp).iter().map(|r| r.id).collect();
+            let scanned: Vec<u64> = s
+                .query(|r| r.experiment == exp)
+                .iter()
+                .map(|r| r.id)
+                .collect();
+            assert_eq!(indexed, scanned, "{exp} index diverged from scan");
+        }
+    });
+}
