@@ -1,4 +1,4 @@
-//! DES kernel micro-benchmarks: event queue throughput (the DESIGN.md §7
+//! DES kernel micro-benchmarks: event queue throughput (the DESIGN.md §8
 //! heap-vs-baseline ablation), resource-pool cycling, and RNG streams.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};

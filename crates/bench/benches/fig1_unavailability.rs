@@ -1,4 +1,4 @@
-//! Figure 1 regeneration cost, plus the DESIGN.md §7 placement ablation:
+//! Figure 1 regeneration cost, plus the DESIGN.md §8 placement ablation:
 //! how the unavailability engine scales with placement policy and
 //! replication factor.
 

@@ -1,4 +1,4 @@
-//! Erasure-coding benchmarks: the DESIGN.md §7 GF(256) multiply ablation
+//! Erasure-coding benchmarks: the DESIGN.md §8 GF(256) multiply ablation
 //! (log/antilog tables vs. shift-and-xor) and Reed–Solomon encode/decode
 //! throughput.
 

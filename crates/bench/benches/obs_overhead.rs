@@ -1,0 +1,151 @@
+//! Probe overhead: the cost of running the availability engine with the
+//! telemetry probe stack attached (`run_observed` with a `SimProbe`,
+//! wall-time histograms off — the default observability configuration)
+//! vs the probe-free `run` path.
+//!
+//! Both arms execute the identical simulation — same seeds, same event
+//! stream, bitwise-identical results — so the difference is purely the
+//! per-event probe dispatch: one label lookup, two counter bumps and a
+//! queue-depth sample. The arms are interleaved sample by sample, with
+//! the order swapped on alternate samples so clock drift and thermal
+//! effects hit both alike; each arm's best sample gives the headline
+//! number (best-of is the standard way to strip scheduler noise from a
+//! throughput floor) and the median is reported alongside.
+//!
+//! Prints one row per sample and writes the measured overhead to
+//! `BENCH_obs.json` at the workspace root (override the path with
+//! `BENCH_OBS_OUT=...`). DESIGN.md §7 budgets this at < 3%.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wt_cluster::{AvailabilityModel, RebuildModel};
+use wt_des::time::SimDuration;
+use wt_dist::Dist;
+use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+
+const DAY: f64 = 86_400.0;
+const SAMPLES: usize = 12;
+const SEEDS: u64 = 8;
+
+fn model() -> AvailabilityModel {
+    AvailabilityModel {
+        n_nodes: 30,
+        redundancy: RedundancyScheme::replication(3),
+        placement: Placement::Random,
+        objects: 2_000,
+        object_bytes: 8 << 30,
+        node_ttf: Dist::weibull_mean(0.8, 60.0 * DAY),
+        node_replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
+        rebuild: RebuildModel::Bandwidth {
+            link_gbps: 10.0,
+            share: 0.5,
+        },
+        repair: RepairPolicy {
+            max_parallel: 16,
+            bandwidth_share: 0.5,
+            detection_delay_s: 300.0,
+        },
+        switches: None,
+        disks: None,
+    }
+}
+
+fn main() {
+    let m = model();
+    let horizon = SimDuration::from_years(1.0);
+
+    // Warm-up, and the event count both arms must agree on.
+    let mut events = 0u64;
+    let mut observed_events = 0u64;
+    for seed in 0..SEEDS {
+        events += m.run(seed, horizon).sim_events;
+        let (_, t) = m.run_observed(seed, horizon, None);
+        observed_events += t.events;
+    }
+    assert_eq!(
+        events, observed_events,
+        "probed and probe-free runs must execute the same event stream"
+    );
+
+    println!("obs_overhead: {SEEDS} seeds/sample, {events} events/sample, {SAMPLES} samples");
+    println!(
+        "{:>7}  {:>12}  {:>12}",
+        "sample", "plain ev/s", "probed ev/s"
+    );
+    let mut plain_s = Vec::with_capacity(SAMPLES);
+    let mut probed_s = Vec::with_capacity(SAMPLES);
+    let time_plain = |out: &mut Vec<f64>| {
+        let t0 = Instant::now();
+        for seed in 0..SEEDS {
+            std::hint::black_box(m.run(seed, horizon));
+        }
+        out.push(t0.elapsed().as_secs_f64());
+    };
+    let time_probed = |out: &mut Vec<f64>| {
+        let t0 = Instant::now();
+        for seed in 0..SEEDS {
+            std::hint::black_box(m.run_observed(seed, horizon, None));
+        }
+        out.push(t0.elapsed().as_secs_f64());
+    };
+    for i in 0..SAMPLES {
+        // Swap arm order on alternate samples: slow drift (thermal,
+        // noisy neighbors) then penalizes each arm equally often.
+        if i % 2 == 0 {
+            time_plain(&mut plain_s);
+            time_probed(&mut probed_s);
+        } else {
+            time_probed(&mut probed_s);
+            time_plain(&mut plain_s);
+        }
+        println!(
+            "{:>7}  {:>12.0}  {:>12.0}",
+            i,
+            events as f64 / plain_s[i],
+            events as f64 / probed_s[i]
+        );
+    }
+
+    let best = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let median = |v: &[f64]| {
+        let mut sorted = v.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        (sorted[(sorted.len() - 1) / 2] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let overhead_best = 100.0 * (best(&probed_s) - best(&plain_s)) / best(&plain_s);
+    let overhead_median = 100.0 * (median(&probed_s) - median(&plain_s)) / median(&plain_s);
+    println!();
+    println!("overhead (best sample): {overhead_best:.2}%   (median): {overhead_median:.2}%");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"obs_overhead\",");
+    let _ = writeln!(json, "  \"seeds_per_sample\": {SEEDS},");
+    let _ = writeln!(json, "  \"events_per_sample\": {events},");
+    let _ = writeln!(json, "  \"samples\": {SAMPLES},");
+    let _ = writeln!(
+        json,
+        "  \"metric\": \"availability engine with SimProbe attached (wall-time feature off) vs probe-free run; identical event streams\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"plain_events_per_s_best\": {:.0},",
+        events as f64 / best(&plain_s)
+    );
+    let _ = writeln!(
+        json,
+        "  \"probed_events_per_s_best\": {:.0},",
+        events as f64 / best(&probed_s)
+    );
+    let _ = writeln!(json, "  \"overhead_pct_best\": {overhead_best:.2},");
+    let _ = writeln!(json, "  \"overhead_pct_median\": {overhead_median:.2},");
+    let _ = writeln!(json, "  \"budget_pct\": 3.0");
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_string()
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("written to {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

@@ -1,6 +1,6 @@
 //! End-to-end engine throughput: events/second of the availability and
 //! performance simulators, and the repair-policy ablation (serial vs
-//! parallel rebuild) from DESIGN.md §7.
+//! parallel rebuild) from DESIGN.md §8.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -10,10 +10,11 @@
 //! recording (`--workers N` sizes the pool, default host cores or
 //! `WT_WORKERS`); every arm lands in the result store as an `e3-perf`
 //! record, exported with `--jsonl <path>`. Output is byte-identical for
-//! any worker count.
+//! any worker count. `--trace <path>` re-runs the busiest arm with the
+//! probe stack attached and writes Chrome trace-event JSON.
 
-use windtunnel::farm::Farm;
-use wt_bench::{banner, fmt_secs, Table};
+use windtunnel::obs::TraceProbe;
+use wt_bench::{banner, export_trace, farm_from_args, flag_value, fmt_secs, Table};
 use wt_cluster::PerfModel;
 use wt_dist::Dist;
 use wt_hw::{catalog, TopologySpec};
@@ -82,21 +83,7 @@ fn main() {
     ];
 
     let args: Vec<String> = std::env::args().collect();
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|pos| args.get(pos + 1))
-    };
-    let farm = match flag_value("--workers") {
-        Some(v) => match v.parse::<usize>() {
-            Ok(w) => Farm::new(w),
-            Err(_) => {
-                eprintln!("error: --workers expects a number, got '{v}'");
-                std::process::exit(2);
-            }
-        },
-        None => Farm::from_env(),
-    };
+    let farm = farm_from_args(&args);
 
     // Each arm simulates on a farm worker and records into a private
     // shard; shards merge into the store in arm order, so record ids are
@@ -150,12 +137,23 @@ fn main() {
     }
     table.print();
 
-    if let Some(path) = flag_value("--jsonl") {
+    if let Some(path) = flag_value(&args, "--jsonl") {
         if let Err(e) = store.with(|s| s.save_jsonl(std::path::Path::new(path))) {
             eprintln!("error: failed to write --jsonl {path}: {e}");
             std::process::exit(1);
         }
         println!("runs written to {path}");
+    }
+
+    // `--trace`: re-run the busiest arm (co-location + failures) with a
+    // trace probe — the Chrome JSON shows tenant requests interleaving
+    // with node failures and repair traffic on a shared timeline.
+    if let Some(path) = flag_value(&args, "--trace") {
+        let (name, m) = arms.last().expect("arms are nonempty");
+        let mut probe = TraceProbe::new();
+        let (_, telemetry) = m.run_observed(99, Some(&mut probe));
+        eprintln!("[trace] arm '{name}': {} sim event(s)", telemetry.events);
+        export_trace(path, &mut probe, &telemetry);
     }
 
     println!();

@@ -2,13 +2,22 @@
 //! §2.2)**: where closed forms exist, the DES must match them; where the
 //! paper says closed forms break (non-exponential laws), show the
 //! exponential-assuming model drifting while the simulator keeps going.
+//!
+//! Both validation batches — the queueing table and the availability
+//! replications — run on the shared `windtunnel::farm` executor with
+//! sharded recording (`--workers N` sizes the pool, default host cores
+//! or `WT_WORKERS`). Every run lands in the result store (`e5-queue` /
+//! `e5-avail` records, the latter with full engine telemetry attached),
+//! exported with `--jsonl <path>`. stdout is byte-identical for any
+//! worker count.
 
 use wt_analytic::{Mg1, Mm1, Mmc, RepairableReplicas};
 use wt_bench::queuesim::QueueSim;
-use wt_bench::{banner, Table};
+use wt_bench::{banner, farm_from_args, flag_value, Table};
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
 use wt_dist::Dist;
+use wt_store::{RecordSink, RunRecord, SharedStore};
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
 
 const DAY: f64 = 86_400.0;
@@ -22,8 +31,11 @@ fn main() {
          case for simulation",
     );
 
+    let args: Vec<String> = std::env::args().collect();
+    let farm = farm_from_args(&args);
+    let store = SharedStore::new();
+
     // ---- Queueing validation -------------------------------------------
-    let mut table = Table::new(&["model", "sim Wq", "formula Wq", "rel err"]);
     let runs: Vec<(&str, QueueSim, f64)> = vec![
         (
             "M/M/1 (rho=0.8)",
@@ -62,13 +74,23 @@ fn main() {
             Mg1::new(8.0, Dist::deterministic(0.1)).wq(),
         ),
     ];
-    for (name, sim, want) in runs {
+    let wqs = farm.run_recorded(0, &runs, &store, |(name, sim, want), _ctx, shard| {
         let stats = sim.run(300_000, 5);
+        shard.record(
+            RunRecord::new("e5-queue", 0)
+                .param("model", *name)
+                .metric("sim_wq", stats.wq)
+                .metric("formula_wq", *want),
+        );
+        stats.wq
+    });
+    let mut table = Table::new(&["model", "sim Wq", "formula Wq", "rel err"]);
+    for ((name, _, want), wq) in runs.iter().zip(&wqs) {
         table.row(vec![
-            name.into(),
-            format!("{:.5}", stats.wq),
+            (*name).into(),
+            format!("{wq:.5}"),
             format!("{want:.5}"),
-            format!("{:.1}%", 100.0 * (stats.wq - want).abs() / want),
+            format!("{:.1}%", 100.0 * (wq - want).abs() / want),
         ]);
     }
     table.print();
@@ -94,15 +116,40 @@ fn main() {
         switches: None,
         disks: None,
     };
-    let average = |m: &AvailabilityModel, reps: u64| {
-        (0..reps)
-            .map(|s| m.run(s, SimDuration::from_years(40.0)).availability)
-            .sum::<f64>()
-            / reps as f64
+    // One flat work list: (failure law, rebuild law, rep seed) per run.
+    const REPS: u64 = 8;
+    let mut jobs: Vec<(&str, Dist, u64)> = Vec::new();
+    for law in ["exponential", "weibull"] {
+        for s in 0..REPS {
+            let ttf = match law {
+                "exponential" => Dist::exponential(LAMBDA),
+                _ => Dist::weibull_mean(0.7, 30.0 * DAY),
+            };
+            jobs.push((law, ttf, s));
+        }
+    }
+    let avails = farm.run_recorded(5, &jobs, &store, |(law, ttf, seed), _ctx, shard| {
+        let (r, t) = mk(ttf.clone()).run_observed(*seed, SimDuration::from_years(40.0), None);
+        shard.record(
+            RunRecord::new("e5-avail", *seed)
+                .param("ttf", *law)
+                .metric("availability", r.availability)
+                .metric("node_failures", r.node_failures as f64)
+                .telemetry(t),
+        );
+        (*law, r.availability)
+    });
+    let mean = |law: &str| {
+        let picked: Vec<f64> = avails
+            .iter()
+            .filter(|(l, _)| *l == law)
+            .map(|(_, a)| *a)
+            .collect();
+        picked.iter().sum::<f64>() / picked.len() as f64
     };
     let markov = RepairableReplicas::new(5, LAMBDA, MU, true).availability(3);
-    let sim_exp = average(&mk(Dist::exponential(LAMBDA)), 8);
-    let sim_weib = average(&mk(Dist::weibull_mean(0.7, 30.0 * DAY)), 8);
+    let sim_exp = mean("exponential");
+    let sim_weib = mean("weibull");
 
     let mut table = Table::new(&["model", "unavailability (1-A)"]);
     table.row(vec![
@@ -118,6 +165,14 @@ fn main() {
         format!("{:.3e}", 1.0 - sim_weib),
     ]);
     table.print();
+
+    if let Some(path) = flag_value(&args, "--jsonl") {
+        if let Err(e) = store.with(|s| s.save_jsonl(std::path::Path::new(path))) {
+            eprintln!("error: failed to write --jsonl {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("runs written to {path}");
+    }
 
     println!();
     println!(

@@ -5,11 +5,48 @@
 //! quorum protocol, series {Random, RoundRobin} × {n=3, n=5} ×
 //! {N=10, N=30}. All curve points run on the shared `windtunnel::farm`
 //! executor; `--workers N` sets the pool size (default: host cores, or
-//! `WT_WORKERS`) and the table is bitwise-identical for any value.
+//! `WT_WORKERS`) and stdout is bitwise-identical for any value (timing
+//! and worker counts go to stderr).
+//!
+//! Extra flags:
+//! * `--smoke` — the smallest series at reduced trial count (the CI
+//!   configuration), skipping the full-figure qualitative checks,
+//! * `--trace <path>` — additionally run one representative DES
+//!   availability run with the probe stack attached and write it as
+//!   Chrome trace-event JSON (open in Perfetto / `about:tracing`),
+//! * `--csv <path>` — write the raw series for plotting.
 
-use windtunnel::farm::Farm;
+use windtunnel::obs::TraceProbe;
+use windtunnel::prelude::*;
 use wt_bench::fig1::{compute, Fig1Config};
-use wt_bench::{banner, fmt_p};
+use wt_bench::{banner, export_trace, farm_from_args, flag_value, fmt_p};
+
+/// The figure itself is a Monte-Carlo quorum computation, so `--trace`
+/// records one representative DES availability run instead: the default
+/// 30-node storage cluster under failure pressure high enough to
+/// exercise the full event vocabulary (failures, rebuild queueing,
+/// repair completion).
+fn trace_representative_run(path: &str) {
+    let mut scenario = ScenarioBuilder::new("fig1-trace")
+        .racks(3)
+        .nodes_per_rack(10)
+        .objects(200)
+        .object_gb(4.0)
+        .horizon_years(0.25)
+        .seed(2014)
+        .build();
+    scenario.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+
+    let tunnel = WindTunnel::new();
+    let mut probe = TraceProbe::new();
+    let (result, telemetry) =
+        tunnel.run_availability_observed_into(&scenario, tunnel.store(), Some(&mut probe));
+    eprintln!(
+        "[trace] representative availability run: A={:.6}, {} node failure(s), {} sim event(s)",
+        result.availability, result.node_failures, telemetry.events
+    );
+    export_trace(path, &mut probe, &telemetry);
+}
 
 fn main() {
     banner(
@@ -19,39 +56,40 @@ fn main() {
     );
 
     let args: Vec<String> = std::env::args().collect();
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|pos| args.get(pos + 1))
-    };
-    let farm = match flag_value("--workers") {
-        Some(v) => match v.parse::<usize>() {
-            Ok(w) => Farm::new(w),
-            Err(_) => {
-                eprintln!("error: --workers expects a number, got '{v}'");
-                std::process::exit(2);
-            }
-        },
-        None => Farm::from_env(),
-    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let farm = farm_from_args(&args);
 
-    let config = Fig1Config::paper();
+    let config = if smoke {
+        Fig1Config::smallest()
+    } else {
+        Fig1Config::paper()
+    };
     let t0 = std::time::Instant::now();
     let curves = compute(&config, &farm);
     let wall = t0.elapsed().as_secs_f64();
     curves.table().print();
-    println!(
-        "\ncomputed on {} farm worker(s) in {wall:.2}s",
+    eprintln!(
+        "computed on {} farm worker(s) in {wall:.2}s",
         farm.workers()
     );
 
     // Optional: `fig1 --csv <path>` writes the raw series for plotting.
-    if let Some(path) = flag_value("--csv") {
+    if let Some(path) = flag_value(&args, "--csv") {
         if let Err(e) = std::fs::write(path, curves.csv()) {
             eprintln!("error: failed to write --csv {path}: {e}");
             std::process::exit(1);
         }
         println!("series written to {path}");
+    }
+
+    if let Some(path) = flag_value(&args, "--trace") {
+        trace_representative_run(path);
+    }
+
+    if smoke {
+        // The reduced grid has a single series; the full-figure
+        // cross-series checks below would index columns it lacks.
+        return;
     }
 
     // The qualitative checks the paper's Figure 1 makes visually.

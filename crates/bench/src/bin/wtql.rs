@@ -1,27 +1,36 @@
-//! `wtql` — run a WTQL what-if query against the wind tunnel from the
+//! `wtql` — run WTQL what-if queries against the wind tunnel from the
 //! command line.
 //!
 //! ```text
-//! wtql <query.wtql | -> [--base scenario.json] [--explain] [--csv out.csv]
+//! wtql <script.wtql | -> [--base scenario.json] [--explain] [--csv out.csv]
 //!      [--threads N]
+//! wtql --interactive [--base scenario.json] [--threads N]
 //! ```
 //!
-//! * the query is read from the file (or stdin with `-`),
+//! * the script is read from the file (or stdin with `-`) and may contain
+//!   any number of statements: queries, and `STATS` (print result-store
+//!   statistics — a safe no-op on an empty store),
+//! * `--interactive` starts a small REPL: end a query with a blank line or
+//!   `;`, and use the dot commands (`.stats`, `.help`, `.quit`),
 //! * `--base` loads a serialized `windtunnel::Scenario` as the fixed
 //!   part of the configuration (defaults: 30-node HDD cluster, 1,000×4 GB
 //!   objects, 3 simulated months),
 //! * `--explain` prints the optimizer plan and exits without simulating,
 //! * `--csv` exports every recorded run for external plotting.
+//!
+//! All statements in one invocation share a single result store, so a
+//! trailing `STATS` reports on everything the script ran.
 
-use std::io::Read as _;
+use std::io::{BufRead as _, Read as _, Write as _};
 use windtunnel::prelude::*;
 use wt_bench::Table;
-use wt_wtql::{parse, run_query, ExecOptions, Plan};
+use wt_wtql::{parse_script, run_query, store_stats, ExecOptions, Plan, Query, Statement};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wtql <query.wtql | -> [--base scenario.json] [--explain] \
-         [--csv out.csv] [--threads N]"
+        "usage: wtql <script.wtql | -> [--base scenario.json] [--explain] \
+         [--csv out.csv] [--threads N]\n       wtql --interactive \
+         [--base scenario.json] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -37,83 +46,28 @@ fn default_base() -> Scenario {
         .build()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        usage();
-    }
-    let mut query_path: Option<String> = None;
-    let mut base_path: Option<String> = None;
-    let mut csv_path: Option<String> = None;
-    let mut explain_only = false;
-    let mut threads = 1usize;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--base" => base_path = Some(it.next().unwrap_or_else(|| usage())),
-            "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage())),
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--explain" => explain_only = true,
-            _ if query_path.is_none() => query_path = Some(arg),
-            _ => usage(),
-        }
-    }
-    let query_path = query_path.unwrap_or_else(|| usage());
-
-    let text = if query_path == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .expect("read stdin");
-        buf
-    } else {
-        std::fs::read_to_string(&query_path)
-            .unwrap_or_else(|e| panic!("cannot read {query_path}: {e}"))
-    };
-
-    let query = match parse(&text) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    };
-    let plan = match Plan::build(&query) {
+/// Parses, plans and runs one query, printing the plan, the results table
+/// and the summary line. Returns false when the query failed.
+fn execute_query(query: &Query, base: &Scenario, tunnel: &WindTunnel, threads: usize) -> bool {
+    let plan = match Plan::build(query) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            return false;
         }
     };
-    println!("{}", plan.explain(&query));
-    if explain_only {
-        return;
-    }
+    println!("{}", plan.explain(query));
 
-    let base = match &base_path {
-        Some(p) => {
-            let json = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
-            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{p}: bad scenario: {e}"))
-        }
-        None => default_base(),
-    };
-
-    let mut opts = ExecOptions::from_query(&query);
+    let mut opts = ExecOptions::from_query(query);
     if threads > 1 {
         opts.threads = threads;
     }
-    let tunnel = WindTunnel::new();
     let t0 = std::time::Instant::now();
-    let outcome = match run_query(&query, &base, &tunnel, &opts) {
+    let outcome = match run_query(query, base, tunnel, &opts) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            return false;
         }
     };
     let wall = t0.elapsed();
@@ -171,6 +125,171 @@ fn main() {
         println!("best: {}", desc.join(", "));
     } else if query.objective.is_some() {
         println!("best: none (no configuration satisfied the constraints)");
+    }
+    true
+}
+
+/// Runs every statement in a script against a shared tunnel. `STATS`
+/// statements print store statistics (safe anywhere, including first).
+/// Returns false if any query failed.
+fn execute_script(text: &str, base: &Scenario, tunnel: &WindTunnel, threads: usize) -> bool {
+    let statements = match parse_script(text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for stmt in &statements {
+        match stmt {
+            Statement::Stats => print!("{}", store_stats(tunnel.store())),
+            Statement::Query(q) => ok &= execute_query(q, base, tunnel, threads),
+        }
+    }
+    ok
+}
+
+const REPL_HELP: &str = "\
+WTQL interactive mode. Statements run against one shared result store.
+  <query>     end with a blank line (or a line ending in ';') to run
+  STATS       print result-store statistics (also works inside scripts)
+  .stats      same as STATS
+  .help       this text
+  .quit       exit (also .exit or ctrl-d)";
+
+/// The interactive loop: dot commands run immediately; query text
+/// accumulates until a blank line or a trailing `;` submits it.
+fn repl(base: &Scenario, tunnel: &WindTunnel, threads: usize) {
+    println!("{REPL_HELP}");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    let submit = |buffer: &mut String| {
+        let text = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        if !text.is_empty() {
+            execute_script(&text, base, tunnel, threads);
+        }
+    };
+    loop {
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "wtql> "
+            } else {
+                "  ... "
+            }
+        );
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            ".quit" | ".exit" => break,
+            ".help" => println!("{REPL_HELP}"),
+            ".stats" => print!("{}", store_stats(tunnel.store())),
+            "" => submit(&mut buffer),
+            _ => {
+                buffer.push_str(&line);
+                if trimmed.ends_with(';') {
+                    submit(&mut buffer);
+                }
+            }
+        }
+    }
+    submit(&mut buffer);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut query_path: Option<String> = None;
+    let mut base_path: Option<String> = None;
+    let mut csv_path: Option<String> = None;
+    let mut explain_only = false;
+    let mut interactive = false;
+    let mut threads = 1usize;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--base" => base_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--explain" => explain_only = true,
+            "--interactive" | "-i" => interactive = true,
+            _ if query_path.is_none() => query_path = Some(arg),
+            _ => usage(),
+        }
+    }
+
+    let base = match &base_path {
+        Some(p) => {
+            let json = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{p}: bad scenario: {e}"))
+        }
+        None => default_base(),
+    };
+    let tunnel = WindTunnel::new();
+
+    if interactive {
+        if query_path.is_some() || explain_only || csv_path.is_some() {
+            usage();
+        }
+        repl(&base, &tunnel, threads);
+        return;
+    }
+
+    let query_path = query_path.unwrap_or_else(|| usage());
+    let text = if query_path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&query_path)
+            .unwrap_or_else(|e| panic!("cannot read {query_path}: {e}"))
+    };
+
+    if explain_only {
+        match parse_script(&text) {
+            Ok(stmts) => {
+                for stmt in &stmts {
+                    if let Statement::Query(q) = stmt {
+                        match Plan::build(q) {
+                            Ok(p) => println!("{}", p.explain(q)),
+                            Err(e) => {
+                                eprintln!("{e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if !execute_script(&text, &base, &tunnel, threads) {
+        std::process::exit(1);
     }
 
     if let Some(path) = csv_path {

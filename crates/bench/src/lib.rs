@@ -3,13 +3,67 @@
 //! One binary per experiment from EXPERIMENTS.md (`fig1`, `e2_repair_whatif`
 //! … `e10_logmodel`), each regenerating the corresponding figure/use-case
 //! of the paper, plus Criterion micro-benchmarks for the ablations listed
-//! in DESIGN.md §7. This library holds the output formatting shared by the
+//! in DESIGN.md §8. This library holds the output formatting shared by the
 //! binaries.
 
 pub mod fig1;
 pub mod queuesim;
 
 use std::fmt::Write as _;
+use windtunnel::farm::Farm;
+use windtunnel::obs::{RunTelemetry, TraceProbe};
+
+/// Returns the value following flag `name` in `args`, if present.
+pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|pos| args.get(pos + 1))
+}
+
+/// The shared `--workers N` flag: an explicit pool size when given,
+/// otherwise the environment default (`WT_WORKERS`, then host cores).
+/// Exits with a usage error on a non-numeric value.
+pub fn farm_from_args(args: &[String]) -> Farm {
+    match flag_value(args, "--workers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(w) => Farm::new(w),
+            Err(_) => {
+                eprintln!("error: --workers expects a number, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => Farm::from_env(),
+    }
+}
+
+/// Writes a recorded run as Chrome trace-event JSON (`--trace <path>`)
+/// and reports the span/event round trip on stderr — stderr so that
+/// experiment stdout stays byte-identical with tracing on or off.
+///
+/// Exits nonzero when the trace disagrees with the engine's event count
+/// or the file cannot be written; the CI smoke job relies on this.
+pub fn export_trace(path: &str, probe: &mut TraceProbe, telemetry: &RunTelemetry) {
+    let spans = probe.span_count() as u64;
+    if spans != telemetry.events {
+        eprintln!(
+            "error: trace holds {spans} span(s) but the engine executed {} event(s)",
+            telemetry.events
+        );
+        std::process::exit(1);
+    }
+    let mut buf = Vec::new();
+    probe
+        .write_chrome_json(&mut buf)
+        .expect("in-memory trace serialization cannot fail");
+    if let Err(e) = std::fs::write(path, &buf) {
+        eprintln!("error: failed to write --trace {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[trace] {spans} span(s), peak queue depth {}, stop: {} -> {path}",
+        telemetry.peak_queue_depth, telemetry.stop_reason
+    );
+}
 
 /// A fixed-width text table, printed to stdout by the experiment binaries
 /// so EXPERIMENTS.md can paste results directly.

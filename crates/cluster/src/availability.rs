@@ -104,6 +104,42 @@ pub struct AvailabilityModel {
 impl AvailabilityModel {
     /// Runs the simulation for `horizon` and summarizes.
     pub fn run(&self, seed: u64, horizon: SimDuration) -> AvailabilityResult {
+        let mut sim = self.seeded_sim(seed);
+        let end = SimTime::ZERO + horizon;
+        sim.run_until(end);
+        let events = sim.events_executed();
+        sim.into_model().finish(end, events)
+    }
+
+    /// Like [`run`](Self::run), but with a probe attached: returns the same
+    /// result (probes are one-way and cannot perturb the simulation) plus a
+    /// [`RunTelemetry`](wt_des::obs::RunTelemetry) summary. When `extra` is
+    /// given (e.g. a `TraceProbe`), it observes the same event stream.
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        horizon: SimDuration,
+        extra: Option<&mut dyn wt_des::obs::Probe>,
+    ) -> (AvailabilityResult, wt_des::obs::RunTelemetry) {
+        let mut sim = self.seeded_sim(seed);
+        let end = SimTime::ZERO + horizon;
+        let mut sp = wt_des::obs::SimProbe::new();
+        let reason = match extra {
+            Some(p) => {
+                let mut tee = wt_des::obs::Tee(&mut sp, p);
+                sim.run_until_probed(end, &mut tee)
+            }
+            None => sim.run_until_probed(end, &mut sp),
+        };
+        let telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        let events = sim.events_executed();
+        (sim.into_model().finish(end, events), telemetry)
+    }
+
+    /// Builds the simulation and seeds the initial failure events — the
+    /// shared front half of [`run`](Self::run) and
+    /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
+    fn seeded_sim(&self, seed: u64) -> Simulation<AvailState> {
         let mut sim = Simulation::new(AvailState::new(self, seed), seed);
         // Seed each node's first failure.
         let factory = RngFactory::new(seed);
@@ -134,10 +170,7 @@ impl AvailabilityModel {
                 }
             }
         }
-        let end = SimTime::ZERO + horizon;
-        sim.run_until(end);
-        let events = sim.events_executed();
-        sim.into_model().finish(end, events)
+        sim
     }
 }
 
@@ -257,8 +290,9 @@ impl AvailState {
     /// Re-evaluates operability/durability of `object` after a change.
     /// Operability counts *reachable* replicas (a rack behind a dead
     /// switch serves nothing); durability counts *intact* replicas (data
-    /// behind a dead switch is not lost).
-    fn update_object(&mut self, object: u32, now: SimTime) {
+    /// behind a dead switch is not lost). Returns `true` iff the object
+    /// became lost in this call (for the caller's `object_lost` mark).
+    fn update_object(&mut self, object: u32, now: SimTime) -> bool {
         let redundancy = self.cfg.redundancy;
         let width = redundancy.width();
         let (up, intact, was_operable, lost) = {
@@ -272,7 +306,7 @@ impl AvailState {
             )
         };
         if lost {
-            return;
+            return false;
         }
         let operable = redundancy.operable(up);
         if was_operable && !operable {
@@ -296,6 +330,7 @@ impl AvailState {
             // Cancel queued rebuilds for this object — its sources are gone.
             while self.cancel_pending(object) {}
         }
+        !recoverable
     }
 
     /// Cancels one queued rebuild of `object`, keeping the wait-time mirror
@@ -412,6 +447,20 @@ impl AvailState {
 impl Model for AvailState {
     type Event = Ev;
 
+    fn label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::NodeFail(_) => "NodeFail",
+            Ev::NodeBack(_) => "NodeBack",
+            Ev::EnqueueRebuild { .. } => "EnqueueRebuild",
+            Ev::RebuildDone { .. } => "RebuildDone",
+            Ev::RetryPlace { .. } => "RetryPlace",
+            Ev::SwitchFail(_) => "SwitchFail",
+            Ev::SwitchBack(_) => "SwitchBack",
+            Ev::DiskFail { .. } => "DiskFail",
+            Ev::DiskBack { .. } => "DiskBack",
+        }
+    }
+
     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         match ev {
@@ -426,7 +475,9 @@ impl Model for AvailState {
                 for object in hosted {
                     let obj = &mut self.objects[object as usize];
                     obj.holders.retain(|&h| h as usize != node);
-                    self.update_object(object, now);
+                    if self.update_object(object, now) {
+                        ctx.mark("object_lost");
+                    }
                     if !self.objects[object as usize].lost {
                         ctx.schedule_in(
                             SimDuration::from_secs(self.cfg.repair.detection_delay_s),
@@ -547,7 +598,9 @@ impl Model for AvailState {
                     for object in hit {
                         let o = &mut self.objects[object as usize];
                         o.holders.retain(|&h| h as usize != node);
-                        self.update_object(object, now);
+                        if self.update_object(object, now) {
+                            ctx.mark("object_lost");
+                        }
                         if !self.objects[object as usize].lost {
                             ctx.schedule_in(
                                 SimDuration::from_secs(self.cfg.repair.detection_delay_s),
@@ -637,6 +690,40 @@ mod tests {
         assert!(r.node_failures > 10, "failures {}", r.node_failures);
         assert!(r.rebuilds_completed > 0);
         assert_eq!(r.objects_lost, 0, "no data loss expected at these rates");
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_accounts_for_every_event() {
+        let m = base_model();
+        let horizon = SimDuration::from_years(1.0);
+        let plain = m.run(7, horizon);
+        let (observed, t) = m.run_observed(7, horizon, None);
+        assert_eq!(observed, plain, "probe must not perturb the simulation");
+        assert_eq!(t.events, plain.sim_events);
+        assert_eq!(
+            t.events_by_label.values().sum::<u64>(),
+            t.events,
+            "per-label counts partition the event total"
+        );
+        assert_eq!(
+            t.events_by_label.get("NodeFail"),
+            Some(&plain.node_failures)
+        );
+        assert_eq!(t.stop_reason, "HorizonReached");
+        assert!(t.horizon_s > 0.0);
+        assert!(t.peak_queue_depth > 0);
+        assert_eq!(t.wall.wall_us, 0, "engine does not fill wall time");
+    }
+
+    #[test]
+    fn lost_objects_are_marked_in_telemetry() {
+        // Single replica + rare repair: every destroyed replica is a loss.
+        let mut m = base_model();
+        m.redundancy = RedundancyScheme::replication(1);
+        m.node_ttf = Dist::exponential_mean(10.0 * DAY);
+        let (r, t) = m.run_observed(11, SimDuration::from_years(1.0), None);
+        assert!(r.objects_lost > 0, "expected losses with replication(1)");
+        assert_eq!(t.marks.get("object_lost"), Some(&r.objects_lost));
     }
 
     #[test]

@@ -60,6 +60,39 @@ pub struct PerfModel {
 impl PerfModel {
     /// Runs the simulation and summarizes per-tenant latency.
     pub fn run(&self, seed: u64) -> PerfResult {
+        let mut sim = self.seeded_sim(seed);
+        let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
+        sim.run_until(end);
+        sim.into_model().finish(end)
+    }
+
+    /// Like [`run`](Self::run), but with a probe attached: returns the same
+    /// result (probes are one-way and cannot perturb the simulation) plus a
+    /// [`RunTelemetry`](wt_des::obs::RunTelemetry) summary. When `extra` is
+    /// given (e.g. a `TraceProbe`), it observes the same event stream.
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        extra: Option<&mut dyn wt_des::obs::Probe>,
+    ) -> (PerfResult, wt_des::obs::RunTelemetry) {
+        let mut sim = self.seeded_sim(seed);
+        let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
+        let mut sp = wt_des::obs::SimProbe::new();
+        let reason = match extra {
+            Some(p) => {
+                let mut tee = wt_des::obs::Tee(&mut sp, p);
+                sim.run_until_probed(end, &mut tee)
+            }
+            None => sim.run_until_probed(end, &mut sp),
+        };
+        let telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        (sim.into_model().finish(end), telemetry)
+    }
+
+    /// Builds the simulation and seeds initial arrivals/failures — the
+    /// shared front half of [`run`](Self::run) and
+    /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
+    fn seeded_sim(&self, seed: u64) -> Simulation<PerfState> {
         assert!(
             !self.tenants.is_empty(),
             "perf run needs at least one tenant"
@@ -83,9 +116,7 @@ impl PerfModel {
                 sim.schedule_in(ttf, Ev::NodeFail { node });
             }
         }
-        let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
-        sim.run_until(end);
-        sim.into_model().finish(end)
+        sim
     }
 }
 
@@ -470,6 +501,16 @@ impl PerfState {
 impl Model for PerfState {
     type Event = Ev;
 
+    fn label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Arrival { .. } => "Arrival",
+            Ev::DiskDone { .. } => "DiskDone",
+            Ev::NicDone { .. } => "NicDone",
+            Ev::NodeFail { .. } => "NodeFail",
+            Ev::NodeBack { .. } => "NodeBack",
+        }
+    }
+
     fn handle(&mut self, ev: Ev, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         match ev {
@@ -704,6 +745,19 @@ mod tests {
         let a = m.run(7);
         let b = m.run(7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved() {
+        let m = base(vec![TenantWorkload::oltp("shop", 100.0, 1_000)]);
+        let plain = m.run(9);
+        let (observed, t) = m.run_observed(9, None);
+        assert_eq!(observed, plain, "probe must not perturb the simulation");
+        assert!(t.events > 0);
+        assert_eq!(t.events_by_label.values().sum::<u64>(), t.events);
+        assert!(t.events_by_label.contains_key("Arrival"));
+        assert!(t.events_by_label.contains_key("DiskDone"));
+        assert_eq!(t.stop_reason, "HorizonReached");
     }
 
     #[test]

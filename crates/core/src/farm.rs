@@ -62,6 +62,7 @@ fn mix64(mut z: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct Farm {
     workers: usize,
+    heartbeat: bool,
 }
 
 impl Default for Farm {
@@ -71,11 +72,34 @@ impl Default for Farm {
     }
 }
 
+/// Interprets a `WT_WORKERS` value: `Ok(Some(n))` for a usable count,
+/// `Ok(None)` when unset, `Err` with a human-readable reason when the
+/// value is set but unusable (not a number, or zero). Pure, so the
+/// fallback logic is unit-testable without touching the process
+/// environment or capturing stderr.
+fn parse_workers(var: Option<&str>) -> Result<Option<usize>, String> {
+    match var {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => Err(format!("WT_WORKERS={v} is zero; need at least 1 worker")),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("WT_WORKERS={v} is not a number")),
+        },
+    }
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 impl Farm {
     /// A farm with `workers` threads (0 is clamped to 1).
     pub fn new(workers: usize) -> Self {
         Farm {
             workers: workers.max(1),
+            heartbeat: false,
         }
     }
 
@@ -85,17 +109,34 @@ impl Farm {
     }
 
     /// Worker count from the `WT_WORKERS` environment variable when set,
-    /// otherwise the host's available parallelism.
+    /// otherwise the host's available parallelism. A set-but-unusable
+    /// value (non-numeric, or `0`) falls back to the host count and warns
+    /// once on stderr instead of being silently swallowed. Setting
+    /// `WT_PROGRESS` (to anything but `0`) additionally turns on the
+    /// [heartbeat](Self::with_heartbeat).
     pub fn from_env() -> Self {
-        let workers = std::env::var("WT_WORKERS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Farm::new(workers)
+        let workers = match parse_workers(std::env::var("WT_WORKERS").ok().as_deref()) {
+            Ok(Some(n)) => n,
+            Ok(None) => host_parallelism(),
+            Err(reason) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!("[farm] warning: {reason}; using host parallelism");
+                });
+                host_parallelism()
+            }
+        };
+        let progress = std::env::var("WT_PROGRESS").is_ok_and(|v| v != "0");
+        Farm::new(workers).with_heartbeat(progress)
+    }
+
+    /// Enables (or disables) the stderr progress heartbeat: roughly one
+    /// line per second from the fold thread — runs done/total, rate, ETA.
+    /// Purely observational: workers never see it and result bytes are
+    /// unaffected (see `heartbeat_does_not_change_results`).
+    pub fn with_heartbeat(mut self, on: bool) -> Self {
+        self.heartbeat = on;
+        self
     }
 
     /// Number of worker threads this farm uses.
@@ -203,10 +244,19 @@ impl Farm {
             index,
             seed: substream_seed(root_seed, index as u64),
         };
+        // Heartbeat lives on the fold/caller thread only: workers cannot
+        // see it, and it writes to stderr, so result bytes are unaffected.
+        let mut beat = self.heartbeat.then(|| wt_obs::Heartbeat::start(n));
+        let mut pulse = move || {
+            if let Some(line) = beat.as_mut().and_then(|b| b.tick()) {
+                eprintln!("{line}");
+            }
+        };
         if self.workers == 1 || n <= 1 {
             let mut acc = init;
             for (i, item) in items.iter().enumerate() {
                 acc = fold(acc, i, work(item, ctx(i)));
+                pulse();
             }
             return acc;
         }
@@ -246,6 +296,7 @@ impl Farm {
                     let a = acc.take().expect("accumulator in flight");
                     acc = Some(fold(a, next, ready));
                     next += 1;
+                    pulse();
                 }
             }
             assert_eq!(next, n, "farm lost {} result(s)", n - next);
@@ -370,6 +421,35 @@ mod tests {
         let empty: Vec<u64> = Vec::new();
         assert!(farm.run(0, &empty, |&x, _| x).is_empty());
         assert_eq!(farm.run(0, &[5u64], |&x, _| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn wt_workers_parsing_accepts_counts_and_flags_garbage() {
+        assert_eq!(parse_workers(None), Ok(None));
+        assert_eq!(parse_workers(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_workers(Some(" 8 ")), Ok(Some(8)));
+        // Set-but-unusable values are reported, not silently swallowed.
+        let zero = parse_workers(Some("0")).unwrap_err();
+        assert!(zero.contains("WT_WORKERS=0"), "message: {zero}");
+        let junk = parse_workers(Some("many")).unwrap_err();
+        assert!(junk.contains("not a number"), "message: {junk}");
+        let negative = parse_workers(Some("-2")).unwrap_err();
+        assert!(negative.contains("not a number"), "message: {negative}");
+    }
+
+    #[test]
+    fn heartbeat_does_not_change_results() {
+        let items: Vec<u64> = (0..200).collect();
+        let quiet = Farm::new(4).run(17, &items, |&x, ctx| x.wrapping_mul(ctx.seed));
+        let chatty = Farm::new(4)
+            .with_heartbeat(true)
+            .run(17, &items, |&x, ctx| x.wrapping_mul(ctx.seed));
+        assert_eq!(chatty, quiet);
+        // And on the serial path too.
+        let serial = Farm::serial()
+            .with_heartbeat(true)
+            .run(17, &items, |&x, ctx| x.wrapping_mul(ctx.seed));
+        assert_eq!(serial, quiet);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub use wt_cluster as cluster;
 pub use wt_des as des;
 pub use wt_dist as dist;
 pub use wt_hw as hw;
+pub use wt_obs as obs;
 pub use wt_store as store;
 pub use wt_sw as sw;
 pub use wt_workload as workload;

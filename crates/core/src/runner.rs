@@ -6,6 +6,7 @@ use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
 use wt_cluster::{
     AvailabilityModel, AvailabilityResult, PerfModel, PerfResult, RebuildModel, Scenario,
 };
+use wt_des::obs::{Probe, RunTelemetry};
 use wt_des::time::SimDuration;
 use wt_hw::CostModel;
 use wt_store::{RecordSink, RunRecord, SharedStore};
@@ -165,9 +166,26 @@ impl WindTunnel {
         scenario: &Scenario,
         sink: &dyn RecordSink,
     ) -> AvailabilityResult {
+        self.run_availability_observed_into(scenario, sink, None).0
+    }
+
+    /// [`Self::run_availability_into`] with the engine probe surfaced:
+    /// returns the run's [`RunTelemetry`] (also attached to the record)
+    /// and forwards the event stream to `extra` when given (e.g. a
+    /// `TraceProbe`). The telemetry's simulation-derived fields are
+    /// deterministic; only `telemetry.wall` carries wall-clock state,
+    /// measured here around the engine call.
+    pub fn run_availability_observed_into(
+        &self,
+        scenario: &Scenario,
+        sink: &dyn RecordSink,
+        extra: Option<&mut dyn Probe>,
+    ) -> (AvailabilityResult, RunTelemetry) {
         let model = Self::availability_model(scenario);
         let horizon = SimDuration::from_years(scenario.horizon_years);
-        let result = model.run(scenario.seed, horizon);
+        let started = std::time::Instant::now();
+        let (result, mut telemetry) = model.run_observed(scenario.seed, horizon, extra);
+        telemetry.wall.wall_us = started.elapsed().as_micros() as u64;
         let record = Self::base_record(scenario, "availability")
             .metric("availability", result.availability)
             .metric("unavailability_events", result.unavailability_events as f64)
@@ -176,9 +194,10 @@ impl WindTunnel {
             .metric(
                 "tco_usd_per_year",
                 self.cost.cost(&scenario.topology).tco_usd_per_year,
-            );
+            )
+            .telemetry(telemetry.clone());
         sink.record(record);
-        result
+        (result, telemetry)
     }
 
     /// Runs the performance engine (capped at 600 simulated seconds — a
@@ -196,12 +215,29 @@ impl WindTunnel {
         inject_failures: bool,
         sink: &dyn RecordSink,
     ) -> PerfResult {
+        self.run_perf_observed_into(scenario, inject_failures, sink, None)
+            .0
+    }
+
+    /// [`Self::run_perf_into`] with the engine probe surfaced (see
+    /// [`Self::run_availability_observed_into`]).
+    pub fn run_perf_observed_into(
+        &self,
+        scenario: &Scenario,
+        inject_failures: bool,
+        sink: &dyn RecordSink,
+        extra: Option<&mut dyn Probe>,
+    ) -> (PerfResult, RunTelemetry) {
         let model = Self::perf_model(scenario, inject_failures);
-        let result = model.run(scenario.seed);
-        let mut record = Self::base_record(scenario, "perf").metric(
-            "tco_usd_per_year",
-            self.cost.cost(&scenario.topology).tco_usd_per_year,
-        );
+        let started = std::time::Instant::now();
+        let (result, mut telemetry) = model.run_observed(scenario.seed, extra);
+        telemetry.wall.wall_us = started.elapsed().as_micros() as u64;
+        let mut record = Self::base_record(scenario, "perf")
+            .metric(
+                "tco_usd_per_year",
+                self.cost.cost(&scenario.topology).tco_usd_per_year,
+            )
+            .telemetry(telemetry.clone());
         for t in &result.tenants {
             record = record
                 .metric(format!("{}_p95_s", t.name), t.p95_s)
@@ -209,7 +245,7 @@ impl WindTunnel {
                 .metric(format!("{}_throughput", t.name), t.throughput);
         }
         sink.record(record);
-        result
+        (result, telemetry)
     }
 
     /// Runs the availability engine over `reps` independent replications
@@ -321,6 +357,39 @@ mod tests {
         assert_eq!(rec.experiment, "availability");
         assert!(rec.get_metric("availability").is_some());
         assert!(rec.get_metric("tco_usd_per_year").unwrap() > 0.0);
+        // Every recorded run carries telemetry.
+        let t = rec.telemetry.expect("telemetry attached");
+        assert_eq!(t.events, r.sim_events);
+        assert_eq!(t.stop_reason, "HorizonReached");
+        assert!(t.wall.wall_us > 0, "runner measures wall time");
+    }
+
+    #[test]
+    fn telemetry_sim_side_is_identical_across_repeats() {
+        // The wall sub-struct is the only nondeterministic part: two runs
+        // of the same scenario agree after mask_wall().
+        let tunnel = WindTunnel::new();
+        let (_, a) = tunnel.run_availability_observed_into(&small(), tunnel.store(), None);
+        let (_, b) = tunnel.run_availability_observed_into(&small(), tunnel.store(), None);
+        assert_eq!(a.masked(), b.masked());
+    }
+
+    #[test]
+    fn run_perf_attaches_telemetry() {
+        let tunnel = WindTunnel::new();
+        let sc = ScenarioBuilder::new("perf-obs")
+            .racks(1)
+            .nodes_per_rack(10)
+            .disk(wt_hw::catalog::ssd_sata_1t())
+            .disks_per_node(4)
+            .tenant(TenantWorkload::oltp("shop", 50.0, 1_000))
+            .horizon_years(0.001)
+            .build();
+        tunnel.run_perf(&sc, false);
+        let rec = tunnel.store().snapshot().pop().unwrap();
+        let t = rec.telemetry.expect("telemetry attached");
+        assert!(t.events > 0);
+        assert!(t.events_by_label.contains_key("Arrival"));
     }
 
     #[test]

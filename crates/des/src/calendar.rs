@@ -1,5 +1,5 @@
 //! A calendar queue (Brown 1988): the classic O(1)-amortized alternative
-//! to the binary-heap future-event list, kept here for the DESIGN.md §7
+//! to the binary-heap future-event list, kept here for the DESIGN.md §8
 //! ablation. Same contract as [`crate::EventQueue`]: earliest time first,
 //! FIFO among equal timestamps.
 //!

@@ -10,6 +10,7 @@
 use crate::queue::EventQueue;
 use crate::rng::RngFactory;
 use crate::time::{SimDuration, SimTime};
+use wt_obs::Probe;
 
 /// A simulation model: owns all mutable world state and reacts to events.
 ///
@@ -21,6 +22,14 @@ pub trait Model {
 
     /// Reacts to one event. New events are scheduled through `ctx`.
     fn handle(&mut self, ev: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// A static label for `ev`, used by probes to attribute events (and
+    /// trace spans) to the model's alphabet. The default lumps everything
+    /// under one label; models with an event enum should match on the
+    /// variant.
+    fn label(_ev: &Self::Event) -> &'static str {
+        "event"
+    }
 }
 
 /// Why a call to [`Simulation::run`] / [`Simulation::run_until`] returned.
@@ -37,6 +46,18 @@ pub enum StopReason {
     EventBudgetExhausted,
 }
 
+impl StopReason {
+    /// The variant name, for telemetry records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::QueueEmpty => "QueueEmpty",
+            StopReason::HorizonReached => "HorizonReached",
+            StopReason::StoppedByModel => "StoppedByModel",
+            StopReason::EventBudgetExhausted => "EventBudgetExhausted",
+        }
+    }
+}
+
 /// Scheduling context passed to [`Model::handle`]: the clock, the event
 /// queue, the RNG factory and the stop flag.
 pub struct Ctx<'a, E> {
@@ -45,6 +66,11 @@ pub struct Ctx<'a, E> {
     rng: &'a mut RngFactory,
     stop: &'a mut bool,
     executed: u64,
+    // Marks emitted by the handler, drained into the probe by the engine
+    // after the handler returns. A plain buffer rather than `&mut dyn
+    // Probe` so the trait object's invariant lifetime never entangles
+    // `Ctx`'s borrows. `None` when the run is unprobed.
+    marks: Option<&'a mut Vec<&'static str>>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -91,6 +117,15 @@ impl<E> Ctx<'_, E> {
     /// Number of events the run has executed so far (including this one).
     pub fn events_executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Emits a custom counter mark to the run's probe, if one is
+    /// attached (see `wt_obs::Probe::on_mark`). Free when unprobed;
+    /// never affects the simulation either way.
+    pub fn mark(&mut self, label: &'static str) {
+        if let Some(buf) = self.marks.as_deref_mut() {
+            buf.push(label);
+        }
     }
 }
 
@@ -160,6 +195,11 @@ impl<M: Model> Simulation<M> {
         &mut self.rng
     }
 
+    /// Events currently pending in the future-event list.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Executes exactly one event, if any is pending. Returns `false` when
     /// the queue is empty.
     pub fn step(&mut self) -> bool {
@@ -176,6 +216,7 @@ impl<M: Model> Simulation<M> {
             rng: &mut self.rng,
             stop: &mut stop,
             executed: self.executed,
+            marks: None,
         };
         self.model.handle(ev, &mut ctx);
         true
@@ -186,10 +227,30 @@ impl<M: Model> Simulation<M> {
         self.run_until(SimTime::MAX)
     }
 
+    /// [`Simulation::run`] with a probe observing every handled event.
+    pub fn run_probed(&mut self, probe: &mut dyn Probe) -> StopReason {
+        self.run_until_probed(SimTime::MAX, probe)
+    }
+
     /// Runs until `horizon` (exclusive: events strictly after it stay
     /// pending and the clock is left at `horizon`), the queue drains, the
     /// model stops, or the budget runs out.
     pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        self.run_loop(horizon, None)
+    }
+
+    /// [`Simulation::run_until`] with a probe observing every handled
+    /// event. Probes are one-way (they cannot schedule or draw
+    /// randomness), so the simulation's results are identical with or
+    /// without one attached; only with the crate's `wall-time` feature
+    /// does the engine additionally time each handler and report it via
+    /// `Probe::on_handler_wall`.
+    pub fn run_until_probed(&mut self, horizon: SimTime, probe: &mut dyn Probe) -> StopReason {
+        self.run_loop(horizon, Some(probe))
+    }
+
+    fn run_loop(&mut self, horizon: SimTime, mut probe: Option<&mut dyn Probe>) -> StopReason {
+        let mut mark_buf: Vec<&'static str> = Vec::new();
         loop {
             if let Some(budget) = self.event_budget {
                 if self.executed >= budget {
@@ -206,6 +267,9 @@ impl<M: Model> Simulation<M> {
             let (time, ev) = self.queue.pop().expect("peeked entry vanished");
             self.now = time;
             self.executed += 1;
+            let label = M::label(&ev);
+            #[cfg(feature = "wall-time")]
+            let handler_start = probe.is_some().then(std::time::Instant::now);
             let mut stop = false;
             let mut ctx = Ctx {
                 now: self.now,
@@ -213,8 +277,19 @@ impl<M: Model> Simulation<M> {
                 rng: &mut self.rng,
                 stop: &mut stop,
                 executed: self.executed,
+                marks: probe.is_some().then_some(&mut mark_buf),
             };
             self.model.handle(ev, &mut ctx);
+            if let Some(p) = probe.as_deref_mut() {
+                for mark in mark_buf.drain(..) {
+                    p.on_mark(mark);
+                }
+                #[cfg(feature = "wall-time")]
+                if let Some(t0) = handler_start {
+                    p.on_handler_wall(label, t0.elapsed().as_nanos() as u64);
+                }
+                p.on_event(label, self.now.as_secs(), self.queue.len());
+            }
             if stop {
                 return StopReason::StoppedByModel;
             }
@@ -374,5 +449,163 @@ mod tests {
             sim.into_model().fire_times
         };
         assert_eq!(trace(7), trace(7));
+    }
+
+    // --- StopReason × counter interplay -----------------------------------
+
+    #[test]
+    fn queue_empty_leaves_no_pending_events() {
+        let mut sim = Simulation::new(ticker(1.0, 5), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(sim.run(), StopReason::QueueEmpty);
+        assert_eq!(sim.events_executed(), 5);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn horizon_reached_preserves_exact_pending_count() {
+        // One self-rescheduling chain plus two far-future events.
+        let mut sim = Simulation::new(ticker(1.0, 100), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.schedule_at(SimTime::from_secs(50.0), ());
+        sim.schedule_at(SimTime::from_secs(60.0), ());
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(2.5)),
+            StopReason::HorizonReached
+        );
+        // t = 0, 1, 2 fired; the chain's next tick and both far events wait.
+        assert_eq!(sim.events_executed(), 3);
+        assert_eq!(sim.pending_events(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(2.5));
+    }
+
+    #[test]
+    fn stopped_by_model_counts_the_stopping_event() {
+        let mut sim = Simulation::new(Stopper, 1);
+        sim.schedule_at(SimTime::ZERO, 0);
+        sim.schedule_at(SimTime::from_secs(100.0), 9); // never reached
+        assert_eq!(sim.run(), StopReason::StoppedByModel);
+        // Events 0..=3 executed (the ev == 3 handler called stop).
+        assert_eq!(sim.events_executed(), 4);
+        // The stop event scheduled nothing; only the far event remains.
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn budget_exhausted_counts_stop_at_the_cap() {
+        let mut sim = Simulation::new(ticker(1.0, 1000), 1);
+        sim.schedule_at(SimTime::ZERO, ());
+        sim.set_event_budget(10);
+        assert_eq!(sim.run(), StopReason::EventBudgetExhausted);
+        assert_eq!(sim.events_executed(), 10);
+        // The chain's next tick is still queued: the budget cuts the run
+        // mid-flight, it does not drain the queue.
+        assert_eq!(sim.pending_events(), 1);
+        // Re-running without a bigger budget stops immediately at the cap.
+        assert_eq!(sim.run(), StopReason::EventBudgetExhausted);
+        assert_eq!(sim.events_executed(), 10);
+    }
+
+    #[test]
+    fn stop_reason_strings_cover_all_variants() {
+        assert_eq!(StopReason::QueueEmpty.as_str(), "QueueEmpty");
+        assert_eq!(StopReason::HorizonReached.as_str(), "HorizonReached");
+        assert_eq!(StopReason::StoppedByModel.as_str(), "StoppedByModel");
+        assert_eq!(
+            StopReason::EventBudgetExhausted.as_str(),
+            "EventBudgetExhausted"
+        );
+    }
+
+    // --- Probe integration ------------------------------------------------
+
+    /// Ticker with per-parity labels and a custom mark on odd ticks.
+    struct LabeledTicker {
+        limit: u32,
+        fired: u32,
+    }
+
+    impl Model for LabeledTicker {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            self.fired += 1;
+            if ev % 2 == 1 {
+                ctx.mark("odd_tick");
+            }
+            if self.fired < self.limit {
+                ctx.schedule_in(SimDuration::from_secs(1.0), ev + 1);
+            }
+        }
+        fn label(ev: &u32) -> &'static str {
+            if ev.is_multiple_of(2) {
+                "even"
+            } else {
+                "odd"
+            }
+        }
+    }
+
+    #[test]
+    fn probe_observes_every_event_with_labels_and_marks() {
+        let mut probe = wt_obs::SimProbe::new();
+        let mut sim = Simulation::new(LabeledTicker { limit: 7, fired: 0 }, 1);
+        sim.schedule_at(SimTime::ZERO, 0);
+        let reason = sim.run_probed(&mut probe);
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(probe.events(), sim.events_executed());
+        let t = probe.finish(sim.now().as_secs(), reason.as_str());
+        assert_eq!(t.events, 7);
+        assert_eq!(t.events_by_label["even"], 4); // 0, 2, 4, 6
+        assert_eq!(t.events_by_label["odd"], 3); // 1, 3, 5
+        assert_eq!(t.marks["odd_tick"], 3);
+        assert_eq!(t.stop_reason, "QueueEmpty");
+        assert_eq!(t.horizon_s, 6.0);
+    }
+
+    #[test]
+    fn probed_and_unprobed_runs_are_identical() {
+        let run = |probed: bool| {
+            let mut sim = Simulation::new(ticker(0.5, 50), 11);
+            sim.schedule_at(SimTime::ZERO, ());
+            let reason = if probed {
+                let mut p = wt_obs::SimProbe::new();
+                sim.run_until_probed(SimTime::from_secs(20.0), &mut p)
+            } else {
+                sim.run_until(SimTime::from_secs(20.0))
+            };
+            (reason, sim.events_executed(), sim.into_model().fire_times)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn probe_sees_queue_depth_after_each_handler() {
+        struct Burst;
+        impl Model for Burst {
+            type Event = u8;
+            fn handle(&mut self, ev: u8, ctx: &mut Ctx<'_, u8>) {
+                if ev == 0 {
+                    // Fan out three follow-ups.
+                    for i in 1..=3 {
+                        ctx.schedule_in(SimDuration::from_secs(i as f64), 1);
+                    }
+                }
+            }
+        }
+        let mut probe = wt_obs::SimProbe::new();
+        let mut sim = Simulation::new(Burst, 1);
+        sim.schedule_at(SimTime::ZERO, 0);
+        sim.run_probed(&mut probe);
+        // Depth right after the fan-out event was 3.
+        assert_eq!(probe.peak_queue_depth(), 3);
+        assert_eq!(probe.events(), 4);
+    }
+
+    #[test]
+    fn marks_without_probe_are_free_and_safe() {
+        let mut sim = Simulation::new(LabeledTicker { limit: 5, fired: 0 }, 1);
+        sim.schedule_at(SimTime::ZERO, 0);
+        assert_eq!(sim.run(), StopReason::QueueEmpty); // mark() hits the None path
+        assert_eq!(sim.events_executed(), 5);
     }
 }

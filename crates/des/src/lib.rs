@@ -10,7 +10,12 @@
 //!   does not perturb the draws of existing ones ([`rng`]),
 //! * output statistics: tallies, time-weighted gauges, quantile histograms
 //!   and batch-means confidence intervals ([`stats`]),
-//! * a reusable multi-server FIFO resource for queueing models ([`resource`]).
+//! * a reusable multi-server FIFO resource for queueing models ([`resource`]),
+//! * an optional observer hook: [`Simulation::run_until_probed`] feeds a
+//!   `wt_obs::Probe` (re-exported here as [`obs`]) the label, time and
+//!   queue depth of every handled event — one-way instrumentation that
+//!   can never perturb results. The `wall-time` cargo feature
+//!   additionally times each handler (kept off the determinism path).
 //!
 //! Determinism is a design invariant: two runs with the same model, seed and
 //! horizon produce byte-identical event traces. Ties in event time are broken
@@ -52,6 +57,7 @@ pub use resource::ServerPool;
 pub use rng::{RngFactory, Stream};
 pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use wt_obs as obs;
 
 /// Convenience re-exports for model authors.
 pub mod prelude {

@@ -1,0 +1,177 @@
+//! Chrome trace-event export: one span per handled event plus a queue
+//! depth counter track, loadable in `about:tracing` or Perfetto.
+
+use crate::probe::Probe;
+use std::io::{self, Write};
+
+/// One handled event, rendered as a complete (`"ph":"X"`) span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    label: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+}
+
+/// A probe that records the run for offline inspection.
+///
+/// Sim time maps to trace time (1 simulated µs = 1 trace µs). A handled
+/// event's span stretches from its own timestamp to the next event's —
+/// in a DES nothing happens between events, so this renders the run's
+/// structure (bursts, quiet stretches, rebuild storms) faithfully; the
+/// final event gets duration 0. Every event also pushes a `queue_depth`
+/// counter sample, giving Perfetto a depth track above the spans.
+#[derive(Debug, Default)]
+pub struct TraceProbe {
+    pending: Option<(&'static str, u64, usize)>,
+    spans: Vec<Span>,
+    counters: Vec<(u64, usize)>,
+}
+
+impl TraceProbe {
+    /// A fresh trace.
+    pub fn new() -> Self {
+        TraceProbe::default()
+    }
+
+    /// Spans recorded, including the not-yet-flushed final event. Equals
+    /// the run's `events_executed` — the round-trip CI smoke checks this
+    /// against the JSON.
+    pub fn span_count(&self) -> usize {
+        self.spans.len() + usize::from(self.pending.is_some())
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some((label, ts_us, _)) = self.pending.take() {
+            self.spans.push(Span {
+                label,
+                ts_us,
+                dur_us: 0,
+            });
+        }
+    }
+
+    /// Writes the trace as Chrome trace-event JSON
+    /// (`{"traceEvents":[...]}`). Consumes the pending final span.
+    pub fn write_chrome_json<W: Write>(&mut self, w: &mut W) -> io::Result<()> {
+        self.flush_pending();
+        w.write_all(b"{\"traceEvents\":[")?;
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                w.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{},\"dur\":{}}}",
+                escape(s.label),
+                s.ts_us,
+                s.dur_us
+            )?;
+        }
+        for &(ts_us, depth) in &self.counters {
+            if !first {
+                w.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                w,
+                "{{\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":1,\"tid\":1,\"ts\":{ts_us},\"args\":{{\"depth\":{depth}}}}}"
+            )?;
+        }
+        w.write_all(b"]}")
+    }
+}
+
+/// Escapes a label for direct embedding in a JSON string. Labels are
+/// code literals, so this is belt-and-braces, not a full JSON encoder.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl Probe for TraceProbe {
+    fn on_event(&mut self, label: &'static str, now_s: f64, queue_depth: usize) {
+        let ts_us = (now_s * 1e6) as u64;
+        self.counters.push((ts_us, queue_depth));
+        if let Some((pl, pts, _)) = self.pending.replace((label, ts_us, queue_depth)) {
+            self.spans.push(Span {
+                label: pl,
+                ts_us: pts,
+                dur_us: ts_us.saturating_sub(pts),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_stretch_to_next_event() {
+        let mut t = TraceProbe::new();
+        t.on_event("a", 1.0, 2);
+        t.on_event("b", 3.5, 1);
+        t.on_event("a", 3.5, 0);
+        assert_eq!(t.span_count(), 3);
+        let mut buf = Vec::new();
+        t.write_chrome_json(&mut buf).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        // a: [1s, 3.5s) = 2.5e6 µs; b: zero-width (same timestamp);
+        // final a: flushed with dur 0.
+        assert!(json.contains("\"name\":\"a\",\"cat\":\"sim\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1000000,\"dur\":2500000"));
+        assert!(json.contains("\"ts\":3500000,\"dur\":0"));
+        assert!(json.contains("\"name\":\"queue_depth\""));
+        assert!(json.contains("\"args\":{\"depth\":2}"));
+    }
+
+    #[test]
+    fn output_parses_as_json_and_counts_round_trip() {
+        let mut t = TraceProbe::new();
+        for i in 0..10 {
+            t.on_event(if i % 2 == 0 { "even" } else { "odd" }, i as f64, i);
+        }
+        let recorded = t.span_count();
+        let mut buf = Vec::new();
+        t.write_chrome_json(&mut buf).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.as_object().unwrap();
+        let (_, list) = events.iter().find(|(k, _)| k == "traceEvents").unwrap();
+        let spans = list
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| {
+                e.as_object()
+                    .unwrap()
+                    .iter()
+                    .any(|(k, v)| k == "ph" && v.as_str() == Some("X"))
+            })
+            .count();
+        assert_eq!(spans, 10);
+        assert_eq!(recorded, 10);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let mut t = TraceProbe::new();
+        let mut buf = Vec::new();
+        t.write_chrome_json(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

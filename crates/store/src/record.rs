@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use wt_obs::RunTelemetry;
 
 /// A configuration parameter value. Numeric parameters participate in
 /// similarity distances; strings and booleans match categorically.
@@ -71,6 +72,11 @@ pub struct RunRecord {
     pub metrics: BTreeMap<String, f64>,
     /// Root seed the run used.
     pub seed: u64,
+    /// What the run did inside the engine (events, queue depths, stop
+    /// reason, wall time), when the producer attached a probe. `None`
+    /// for records written before telemetry existed or produced outside
+    /// the engines — old JSONL loads cleanly either way.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunRecord {
@@ -82,6 +88,7 @@ impl RunRecord {
             params: BTreeMap::new(),
             metrics: BTreeMap::new(),
             seed,
+            telemetry: None,
         }
     }
 
@@ -100,6 +107,12 @@ impl RunRecord {
     /// A named metric.
     pub fn get_metric(&self, key: &str) -> Option<f64> {
         self.metrics.get(key).copied()
+    }
+
+    /// Attaches the run's engine telemetry.
+    pub fn telemetry(mut self, t: RunTelemetry) -> Self {
+        self.telemetry = Some(t);
+        self
     }
 }
 
@@ -130,6 +143,37 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_telemetry() {
+        let mut t = RunTelemetry {
+            events: 100,
+            horizon_s: 86_400.0,
+            peak_queue_depth: 12,
+            mean_queue_depth: 4.5,
+            stop_reason: "HorizonReached".into(),
+            ..RunTelemetry::default()
+        };
+        t.events_by_label.insert("NodeFail".into(), 60);
+        t.events_by_label.insert("NodeBack".into(), 40);
+        t.wall.wall_us = 1234;
+        let r = RunRecord::new("e3", 9)
+            .metric("availability", 0.999)
+            .telemetry(t);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.telemetry.as_ref().unwrap().events, 100);
+    }
+
+    #[test]
+    fn pre_telemetry_json_loads_with_none() {
+        // A record line exactly as PR 2 wrote them, no telemetry field.
+        let old = r#"{"id":3,"experiment":"e2","params":{"gbps":10.0},"metrics":{"availability":0.9999},"seed":1}"#;
+        let back: RunRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(back.id, 3);
+        assert_eq!(back.telemetry, None);
     }
 
     #[test]

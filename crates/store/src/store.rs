@@ -138,6 +138,17 @@ impl ResultStore {
         self.records.iter().filter(|r| pred(r)).collect()
     }
 
+    /// Live record count per experiment family, sorted by name — the
+    /// store-occupancy summary behind WTQL's `.stats`. Counts come from
+    /// the experiment index, which eviction keeps consistent with a scan.
+    pub fn experiment_counts(&self) -> Vec<(String, usize)> {
+        self.by_exp
+            .iter()
+            .filter(|(_, ids)| !ids.is_empty())
+            .map(|(exp, ids)| (exp.clone(), ids.len()))
+            .collect()
+    }
+
     /// Best record by a metric (`minimize = true` for costs, `false` for
     /// availabilities), restricted to records that have the metric.
     pub fn best_by(&self, metric: &str, minimize: bool) -> Option<&RunRecord> {

@@ -106,6 +106,18 @@ pub struct Query {
     pub options: Vec<(String, ParamValue)>,
 }
 
+/// One statement in a WTQL script: a full query, or an introspection
+/// command. `STATS` reports on the result store (record count, capacity,
+/// evictions, per-experiment counts) and is always safe — it runs no
+/// simulation and is a no-op on an empty store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A simulation query.
+    Query(Query),
+    /// Result-store introspection (`STATS`; `.stats` interactively).
+    Stats,
+}
+
 impl Query {
     /// Total grid size before filtering.
     pub fn grid_size(&self) -> usize {

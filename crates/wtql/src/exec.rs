@@ -143,6 +143,9 @@ const AVAIL_METRICS: &[&str] = &[
     "rebuilds_completed",
     "mean_rebuild_wait_s",
     "sim_events",
+    // Engine telemetry (wt-obs), queryable like any simulation output.
+    "peak_queue_depth",
+    "mean_queue_depth",
 ];
 
 /// Metrics whose value can only grow as the horizon extends; a probe that
@@ -181,6 +184,33 @@ fn validate_metrics(query: &Query) -> Result<(), WtqlError> {
         }
     }
     Ok(())
+}
+
+/// Renders the result-store report behind the `STATS` statement (and the
+/// interactive `.stats` command): record count, capacity, evictions, and
+/// per-experiment counts. Runs no simulation, never fails, and is a
+/// harmless no-op on an empty store — safe anywhere in a script.
+pub fn store_stats(store: &wt_store::SharedStore) -> String {
+    store.with(|s| {
+        let capacity = s
+            .capacity()
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "unbounded".into());
+        let mut out = format!(
+            "store: {} record(s), capacity {capacity}, {} evicted\n",
+            s.len(),
+            s.evicted()
+        );
+        let counts = s.experiment_counts();
+        if counts.is_empty() {
+            out.push_str("  (no experiments recorded)\n");
+        } else {
+            for (exp, n) in counts {
+                out.push_str(&format!("  {exp}: {n} run(s)\n"));
+            }
+        }
+        out
+    })
 }
 
 /// Executes a query against a base scenario through a wind tunnel.
@@ -364,8 +394,11 @@ fn evaluate(
             rep_scenario.seed = base_seed.wrapping_add(rep as u64 * 7919);
             let mut rep_metrics: BTreeMap<String, f64> = BTreeMap::new();
             if needs_avail {
-                let result = tunnel.run_availability_into(&rep_scenario, sink);
+                let (result, telemetry) =
+                    tunnel.run_availability_observed_into(&rep_scenario, sink, None);
                 record_avail_metrics(&mut rep_metrics, &result);
+                rep_metrics.insert("peak_queue_depth".into(), telemetry.peak_queue_depth as f64);
+                rep_metrics.insert("mean_queue_depth".into(), telemetry.mean_queue_depth);
             }
             if needs_perf && !rep_scenario.tenants.is_empty() {
                 let result = tunnel.run_perf_into(&rep_scenario, false, sink);
@@ -670,6 +703,44 @@ mod tests {
                 / 3.0
         });
         assert!((out.rows[0].metrics["availability"] - mean_recorded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_stats_reports_counts_and_is_safe_when_empty() {
+        let tunnel = WindTunnel::new();
+        let empty = store_stats(tunnel.store());
+        assert!(empty.contains("0 record(s)"), "{empty}");
+        assert!(empty.contains("no experiments"), "{empty}");
+        let q = parse("EXPLORE availability SWEEP replication IN [1, 3]").unwrap();
+        run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap();
+        let report = store_stats(tunnel.store());
+        assert!(report.contains("2 record(s)"), "{report}");
+        assert!(report.contains("availability: 2 run(s)"), "{report}");
+        assert!(report.contains("unbounded"), "{report}");
+    }
+
+    #[test]
+    fn telemetry_metrics_are_queryable() {
+        let q = parse(
+            "EXPLORE peak_queue_depth, mean_queue_depth, availability \
+             SWEEP replication IN [1, 3]",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let mut sc = base();
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(30.0 * 86_400.0);
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        for r in &out.rows {
+            assert!(r.metrics["peak_queue_depth"] > 0.0, "{r:?}");
+            assert!(r.metrics["mean_queue_depth"] > 0.0, "{r:?}");
+        }
+        // Every stored record carries the telemetry it was derived from.
+        tunnel.store().with(|s| {
+            for rec in s.records() {
+                let t = rec.telemetry.as_ref().expect("telemetry attached");
+                assert!(t.events > 0);
+            }
+        });
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub enum TokenKind {
 
 const KEYWORDS: &[&str] = &[
     "EXPLORE", "SWEEP", "IN", "WHERE", "SUBJECT", "TO", "MINIMIZE", "MAXIMIZE", "AND", "OPTIONS",
-    "TRUE", "FALSE",
+    "TRUE", "FALSE", "STATS",
 ];
 
 /// Tokenizes WTQL source text.

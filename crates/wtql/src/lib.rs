@@ -37,10 +37,10 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{Comparison, Constraint, Objective, Query, SweepAxis};
+pub use ast::{Comparison, Constraint, Objective, Query, Statement, SweepAxis};
 pub use bind::apply_assignment;
 pub use error::WtqlError;
-pub use exec::{run_query, ExecOptions, QueryOutcome, RunRow};
+pub use exec::{run_query, store_stats, ExecOptions, QueryOutcome, RunRow};
 pub use interact::ModelGraph;
-pub use parser::parse;
+pub use parser::{parse, parse_script};
 pub use plan::{Assignment, Plan};

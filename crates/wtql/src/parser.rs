@@ -16,15 +16,40 @@
 //! value      := number | string | TRUE | FALSE
 //! ```
 
-use crate::ast::{Comparison, Constraint, Filter, Objective, Query, SweepAxis};
+use crate::ast::{Comparison, Constraint, Filter, Objective, Query, Statement, SweepAxis};
 use crate::error::WtqlError;
 use crate::lexer::{lex, Token, TokenKind};
 use wt_store::ParamValue;
 
-/// Parses WTQL text into a [`Query`].
+/// Parses WTQL text into a single [`Query`].
 pub fn parse(src: &str) -> Result<Query, WtqlError> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0 }.query()
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    match p.peek() {
+        TokenKind::Eof => Ok(q),
+        _ => Err(p.err("end of query")),
+    }
+}
+
+/// Parses a WTQL script: a sequence of statements — queries and `STATS`
+/// commands — in source order. A bare `STATS` between (or after) queries
+/// is always valid, including on an empty script.
+pub fn parse_script(src: &str) -> Result<Vec<Statement>, WtqlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        match p.peek() {
+            TokenKind::Eof => break,
+            TokenKind::Keyword(k) if k == "STATS" => {
+                p.bump();
+                out.push(Statement::Stats);
+            }
+            _ => out.push(Statement::Query(p.query()?)),
+        }
+    }
+    Ok(out)
 }
 
 struct Parser {
@@ -211,17 +236,21 @@ impl Parser {
             }
         }
 
+        // A query ends at end of input or at the start of the next
+        // statement (`parse` additionally insists on Eof).
         match self.peek() {
-            TokenKind::Eof => Ok(Query {
-                explore,
-                sweeps,
-                filters,
-                constraints,
-                objective,
-                options,
-            }),
-            _ => Err(self.err("end of query")),
+            TokenKind::Eof => {}
+            TokenKind::Keyword(k) if k == "EXPLORE" || k == "STATS" => {}
+            _ => return Err(self.err("end of query")),
         }
+        Ok(Query {
+            explore,
+            sweeps,
+            filters,
+            constraints,
+            objective,
+            options,
+        })
     }
 
     fn axis(&mut self) -> Result<SweepAxis, WtqlError> {
@@ -352,5 +381,40 @@ mod tests {
     fn comments_allowed() {
         let q = parse("EXPLORE a -- pick a metric\nSWEEP x IN [1] -- one arm").unwrap();
         assert_eq!(q.grid_size(), 1);
+    }
+
+    #[test]
+    fn script_mixes_queries_and_stats() {
+        let stmts = parse_script(
+            "STATS\n\
+             EXPLORE a SWEEP x IN [1]\n\
+             stats -- keywords are case-insensitive\n\
+             EXPLORE b SWEEP y IN [2, 3]\n\
+             STATS",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 5);
+        assert_eq!(stmts[0], Statement::Stats);
+        assert!(matches!(&stmts[1], Statement::Query(q) if q.explore == ["a"]));
+        assert_eq!(stmts[2], Statement::Stats);
+        assert!(matches!(&stmts[3], Statement::Query(q) if q.grid_size() == 2));
+        assert_eq!(stmts[4], Statement::Stats);
+    }
+
+    #[test]
+    fn empty_script_is_fine() {
+        assert!(parse_script("").unwrap().is_empty());
+        assert!(parse_script("-- just a comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_parse_rejects_second_statement() {
+        assert!(parse("EXPLORE a SWEEP x IN [1] STATS").is_err());
+        assert!(parse("EXPLORE a SWEEP x IN [1] EXPLORE b SWEEP y IN [2]").is_err());
+    }
+
+    #[test]
+    fn script_propagates_query_errors() {
+        assert!(parse_script("STATS EXPLORE SWEEP").is_err());
     }
 }

@@ -9,12 +9,21 @@ use wt_store::{RecordSink, ResultStore, RunRecord, SharedStore};
 use wt_wtql::{parse, run_query, ExecOptions};
 
 /// The merged store as JSONL bytes — the strictest equality we can ask
-/// for: ids, order, params, metrics, seeds.
+/// for: ids, order, params, metrics, seeds, sim-side telemetry. Wall
+/// clock is the one legitimately nondeterministic field a record
+/// carries, so it is masked (`RunTelemetry::mask_wall`) before
+/// serializing — everything else must match to the byte.
 fn store_bytes(store: &SharedStore) -> String {
     store
         .snapshot()
         .iter()
-        .map(|r| serde_json::to_string(r).expect("serializes"))
+        .map(|r| {
+            let mut r = r.clone();
+            if let Some(t) = r.telemetry.as_mut() {
+                t.mask_wall();
+            }
+            serde_json::to_string(&r).expect("serializes")
+        })
         .collect::<Vec<_>>()
         .join("\n")
 }
