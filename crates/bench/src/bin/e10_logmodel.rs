@@ -3,20 +3,26 @@
 //! models from the log, feed the fitted models back into the availability
 //! simulator, and compare against the ground-truth run. Also show what
 //! happens when the operator lazily fits an exponential (the §2.2 trap).
+//!
+//! The log generation and fitting are sequential (they are the pipeline
+//! under test); the expensive part — 3 model sources × 30 replications
+//! of the availability simulator — is a declarative [`SweepSpec`] on the
+//! shared run farm with common random numbers, so every model source
+//! faces identical failure traces. `--workers N` sizes the pool; stdout
+//! is byte-identical for any value (timing goes to stderr).
 
-use wt_bench::{banner, Table};
+use windtunnel::prelude::*;
+use wt_bench::{banner, runner_from_args, Table};
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::rng::Stream;
 use wt_des::time::SimDuration;
 use wt_dist::fit::fit_exponential;
-use wt_dist::Dist;
-use wt_store::{generate_log, seed_models};
-use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+use wt_store::{generate_log, seed_models, SharedStore};
 
 const DAY: f64 = 86_400.0;
 
-fn avail_with(ttf: Dist, repair_time: Dist) -> f64 {
-    let m = AvailabilityModel {
+fn avail_model(ttf: Dist, repair_time: Dist) -> AvailabilityModel {
+    AvailabilityModel {
         n_nodes: 20,
         redundancy: RedundancyScheme::replication(3),
         placement: Placement::Random,
@@ -32,14 +38,7 @@ fn avail_with(ttf: Dist, repair_time: Dist) -> f64 {
         },
         switches: None,
         disks: None,
-    };
-    // Unavailability under bursty Weibull failures is heavy-tailed across
-    // replications (single-run spread exceeds 10x), so average widely.
-    let reps = 30;
-    (0..reps)
-        .map(|s| m.run(s + 50, SimDuration::from_days(200.0)).availability)
-        .sum::<f64>()
-        / reps as f64
+    }
 }
 
 fn main() {
@@ -50,6 +49,9 @@ fn main() {
          availability; and the naive exponential fit — right mean, wrong \
          shape — misstates early-failure risk by >2x (the §2.2 trap)",
     );
+
+    let args: Vec<String> = std::env::args().collect();
+    let runner = runner_from_args(&args);
 
     // Ground truth: the field-study laws.
     let ttf_truth = Dist::weibull_mean(0.7, 20.0 * DAY);
@@ -106,29 +108,64 @@ fn main() {
     };
     let naive_ttf = fit_exponential(&ttf_samples);
 
-    println!();
-    let truth = avail_with(ttf_truth.clone(), repair_truth.clone());
-    let fitted = avail_with(
-        seed.best_ttf().dist.clone(),
-        seed.best_repair().dist.clone(),
+    // Unavailability under bursty Weibull failures is heavy-tailed across
+    // replications (single-run spread exceeds 10x), so average widely;
+    // common random numbers give every model source the same traces.
+    let sources: Vec<(&str, Dist, Dist)> = vec![
+        ("ground truth", ttf_truth.clone(), repair_truth.clone()),
+        (
+            "fitted from log",
+            seed.best_ttf().dist.clone(),
+            seed.best_repair().dist.clone(),
+        ),
+        (
+            "naive exponential TTF",
+            naive_ttf.clone(),
+            repair_truth.clone(),
+        ),
+    ];
+    let spec = SweepSpec::new("e10-logmodel")
+        .axis("model source", sources.iter().map(|(name, _, _)| *name))
+        .seed(50)
+        .replications(30)
+        .common_random_numbers();
+    let store = SharedStore::new();
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let name = point.axis_str("model source");
+        let (_, ttf, repair_time) = sources
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .expect("model source");
+        let m = avail_model(ttf.clone(), repair_time.clone());
+        let (r, telemetry) = m.run_observed(rep.seed, SimDuration::from_days(200.0), None);
+        sink.record(
+            point
+                .record(spec.name(), rep.seed)
+                .metric("availability", r.availability)
+                .telemetry(telemetry),
+        );
+        [("availability".to_string(), r.availability)].into()
+    });
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
     );
-    let naive = avail_with(naive_ttf, repair_truth.clone());
-
-    let mut table = Table::new(&["model source", "availability", "unavail (1-A)"]);
-    for (name, a) in [
-        ("ground truth", truth),
-        ("fitted from log", fitted),
-        ("naive exponential TTF", naive),
-    ] {
-        table.row(vec![
-            name.into(),
-            format!("{a:.6}"),
-            format!("{:.3e}", 1.0 - a),
-        ]);
-    }
-    table.print();
 
     println!();
+    out.report()
+        .axis_column("model source", "model source")
+        .metric_column("availability", "availability", |a| format!("{a:.6}"))
+        .metric_column("unavail (1-A)", "availability", |a| {
+            format!("{:.3e}", 1.0 - a)
+        })
+        .print();
+
+    println!();
+    let avail = |name: &str| out.metric_where("model source", name, "availability");
+    let truth = avail("ground truth");
+    let fitted = avail("fitted from log");
     let err_fit = ((1.0 - fitted) - (1.0 - truth)).abs() / (1.0 - truth);
     println!(
         "check: fitted-model availability reproduces ground truth within noise: {:.0}% error -> {}",
@@ -142,8 +179,7 @@ fn main() {
     let horizon = 1.0 * DAY;
     let p_truth = ttf_truth.cdf(horizon);
     let p_fitted = seed.best_ttf().dist.cdf(horizon);
-    let naive_ttf_again = fit_exponential(&ttf_samples);
-    let p_naive = naive_ttf_again.cdf(horizon);
+    let p_naive = naive_ttf.cdf(horizon);
     let mut table = Table::new(&["model source", "P(fail within 1 day)"]);
     table.row(vec!["ground truth".into(), format!("{p_truth:.4}")]);
     table.row(vec!["fitted from log".into(), format!("{p_fitted:.4}")]);

@@ -4,13 +4,18 @@
 //! whole rack offline at once; whether that breaks customer quorums is
 //! decided by the *placement policy* — a hardware/software interaction
 //! that only an integrated simulation exposes.
+//!
+//! The 2×2 grid (placement × switch outages) is a declarative
+//! [`SweepSpec`] on the shared run farm: 3 CRN replications per arm, so
+//! every arm faces the same failure trace. `--workers N` sizes the pool;
+//! stdout is byte-identical for any value (timing goes to stderr).
 
-use wt_bench::{banner, Table};
+use windtunnel::prelude::*;
+use wt_bench::{banner, runner_from_args};
 use wt_cluster::availability::SwitchFailureModel;
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
-use wt_dist::Dist;
-use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+use wt_store::SharedStore;
 
 const DAY: f64 = 86_400.0;
 const YEAR: f64 = 365.0 * DAY;
@@ -46,18 +51,23 @@ fn model(placement: Placement, with_switch_failures: bool) -> AvailabilityModel 
     }
 }
 
-fn run(m: &AvailabilityModel) -> (f64, u64, u64) {
-    let reps = 3;
-    let mut avail = 0.0;
-    let mut events = 0;
-    let mut switch_failures = 0;
-    for seed in 0..reps {
-        let r = m.run(seed, SimDuration::from_years(1.0));
-        avail += r.availability / reps as f64;
-        events += r.unavailability_events;
-        switch_failures += r.switch_failures;
+fn placement_of(label: &str) -> Placement {
+    match label {
+        "Random" => Placement::Random,
+        "RackAware" => Placement::RackAware { nodes_per_rack: 10 },
+        other => panic!("unknown placement '{other}'"),
     }
-    (avail, events, switch_failures)
+}
+
+fn arm_label(placement: &str, switches: bool) -> String {
+    format!(
+        "{placement}, {}",
+        if switches {
+            "+ switch outages"
+        } else {
+            "node failures only"
+        }
+    )
 }
 
 fn main() {
@@ -69,44 +79,81 @@ fn main() {
          losses — the class of effect the paper says small prototypes miss",
     );
 
-    let arms: Vec<(&str, Placement, bool)> = vec![
-        ("Random, node failures only", Placement::Random, false),
-        (
-            "RackAware, node failures only",
-            Placement::RackAware { nodes_per_rack: 10 },
-            false,
-        ),
-        ("Random, + switch outages", Placement::Random, true),
-        (
-            "RackAware, + switch outages",
-            Placement::RackAware { nodes_per_rack: 10 },
-            true,
-        ),
-    ];
+    let args: Vec<String> = std::env::args().collect();
+    let runner = runner_from_args(&args);
+    let store = SharedStore::new();
 
-    let mut table = Table::new(&["arm", "availability", "unavail events", "switch outages"]);
-    let mut results = Vec::new();
-    for (name, placement, switches) in arms {
-        let (avail, events, sw) = run(&model(placement, switches));
-        table.row(vec![
-            name.to_string(),
-            format!("{avail:.7}"),
-            events.to_string(),
-            sw.to_string(),
-        ]);
-        results.push((name, avail, events));
-    }
-    table.print();
+    let spec = SweepSpec::new("e11-correlated")
+        .axis("placement", ["Random", "RackAware"])
+        .axis("switch_outages", [false, true])
+        .seed(11)
+        .replications(3)
+        .common_random_numbers()
+        .aggregate("unavailability_events", MetricAgg::Sum)
+        .aggregate("switch_failures", MetricAgg::Sum);
+
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let m = model(
+            placement_of(&point.axis_str("placement")),
+            point.axis_bool("switch_outages"),
+        );
+        let (r, telemetry) = m.run_observed(rep.seed, SimDuration::from_years(1.0), None);
+        sink.record(
+            point
+                .record(spec.name(), rep.seed)
+                .metric("availability", r.availability)
+                .metric("unavailability_events", r.unavailability_events as f64)
+                .metric("switch_failures", r.switch_failures as f64)
+                .telemetry(telemetry),
+        );
+        [
+            ("availability".to_string(), r.availability),
+            (
+                "unavailability_events".to_string(),
+                r.unavailability_events as f64,
+            ),
+            ("switch_failures".to_string(), r.switch_failures as f64),
+        ]
+        .into()
+    });
+
+    out.report()
+        .column("arm", |row| {
+            arm_label(
+                &row.axis_display("placement"),
+                row.point.axis_bool("switch_outages"),
+            )
+        })
+        .metric_column("availability", "availability", |a| format!("{a:.7}"))
+        .metric_column("unavail events", "unavailability_events", |v| {
+            format!("{}", v as u64)
+        })
+        .metric_column("switch outages", "switch_failures", |v| {
+            format!("{}", v as u64)
+        })
+        .print();
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
+    );
 
     println!();
-    let events = |n: &str| results.iter().find(|(k, _, _)| *k == n).expect("arm").2;
-    let without = events("Random, node failures only").max(1);
-    let ra_without = events("RackAware, node failures only").max(1);
+    let events = |placement: &str, switches: bool| {
+        out.rows
+            .iter()
+            .find(|r| r.matches("placement", placement) && r.matches("switch_outages", switches))
+            .expect("arm")
+            .metric("unavailability_events") as u64
+    };
+    let without = events("Random", false).max(1);
+    let ra_without = events("RackAware", false).max(1);
     println!(
         "check: without correlation both placements are near-perfect ({without} vs {ra_without} episodes)"
     );
-    let with = events("Random, + switch outages");
-    let ra_with = events("RackAware, + switch outages");
+    let with = events("Random", true);
+    let ra_with = events("RackAware", true);
     println!(
         "check: correlation separates them: Random {} vs RackAware {} -> {}x",
         with,

@@ -4,14 +4,18 @@
 //! at whole nodes? Same cluster, three failure models of increasing
 //! coverage: nodes only, nodes + per-disk failures, nodes + disks +
 //! ToR switches.
+//!
+//! The coverage axis is a declarative [`SweepSpec`] on the shared run
+//! farm: 4 CRN replications per arm (availability averaged, counters
+//! summed by the sweep's aggregate registry). `--workers N` sizes the
+//! pool; stdout is byte-identical for any value (timing goes to stderr).
 
-use windtunnel::farm::Farm;
-use wt_bench::{banner, Table};
+use windtunnel::prelude::*;
+use wt_bench::{banner, runner_from_args};
 use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
-use wt_dist::Dist;
-use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+use wt_store::SharedStore;
 
 const DAY: f64 = 86_400.0;
 const YEAR: f64 = 365.0 * DAY;
@@ -53,6 +57,15 @@ fn model(disks: bool, switches: bool) -> AvailabilityModel {
     }
 }
 
+fn coverage_model(label: &str) -> AvailabilityModel {
+    match label {
+        "nodes only" => model(false, false),
+        "nodes + disks" => model(true, false),
+        "nodes + disks + switches" => model(true, true),
+        other => panic!("unknown coverage arm '{other}'"),
+    }
+}
+
 fn main() {
     banner(
         "E12 — what the availability estimate misses per modeled component",
@@ -61,72 +74,78 @@ fn main() {
          modeling error a naive simulator ships to its users",
     );
 
-    let arms: Vec<(&str, AvailabilityModel)> = vec![
-        ("nodes only", model(false, false)),
-        ("nodes + disks", model(true, false)),
-        ("nodes + disks + switches", model(true, true)),
-    ];
+    let args: Vec<String> = std::env::args().collect();
+    let runner = runner_from_args(&args);
+    let store = SharedStore::new();
 
-    let mut table = Table::new(&[
-        "failure model",
-        "availability",
-        "unavail events",
-        "node fails",
-        "disk fails",
-        "switch fails",
-        "rebuilds",
-    ]);
-    // Every (arm, seed) replication is one farm item; per-arm aggregates
-    // fold in run order (availability averaged, counters summed).
-    let reps = 4u64;
-    let points: Vec<(usize, u64)> = (0..arms.len())
-        .flat_map(|a| (0..reps).map(move |seed| (a, seed)))
-        .collect();
-    #[derive(Clone, Copy, Default)]
-    struct Agg {
-        avail: f64,
-        ev: u64,
-        nf: u64,
-        df: u64,
-        sf: u64,
-        rb: u64,
-    }
-    let aggs: Vec<Agg> = Farm::from_env().run_fold(
-        0,
-        &points,
-        |&(a, seed), _ctx| arms[a].1.run(seed, SimDuration::from_years(1.0)),
-        vec![Agg::default(); arms.len()],
-        |mut aggs, idx, r| {
-            let (a, _) = points[idx];
-            let agg = &mut aggs[a];
-            agg.avail += r.availability / reps as f64;
-            agg.ev += r.unavailability_events;
-            agg.nf += r.node_failures;
-            agg.df += r.disk_failures;
-            agg.sf += r.switch_failures;
-            agg.rb += r.rebuilds_completed;
-            aggs
-        },
+    let spec = SweepSpec::new("e12-coverage")
+        .axis(
+            "failure model",
+            ["nodes only", "nodes + disks", "nodes + disks + switches"],
+        )
+        .seed(12)
+        .replications(4)
+        .common_random_numbers()
+        .aggregate("unavailability_events", MetricAgg::Sum)
+        .aggregate("node_failures", MetricAgg::Sum)
+        .aggregate("disk_failures", MetricAgg::Sum)
+        .aggregate("switch_failures", MetricAgg::Sum)
+        .aggregate("rebuilds_completed", MetricAgg::Sum);
+
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let m = coverage_model(&point.axis_str("failure model"));
+        let (r, telemetry) = m.run_observed(rep.seed, SimDuration::from_years(1.0), None);
+        sink.record(
+            point
+                .record(spec.name(), rep.seed)
+                .metric("availability", r.availability)
+                .metric("unavailability_events", r.unavailability_events as f64)
+                .telemetry(telemetry),
+        );
+        [
+            ("availability".to_string(), r.availability),
+            (
+                "unavailability_events".to_string(),
+                r.unavailability_events as f64,
+            ),
+            ("node_failures".to_string(), r.node_failures as f64),
+            ("disk_failures".to_string(), r.disk_failures as f64),
+            ("switch_failures".to_string(), r.switch_failures as f64),
+            (
+                "rebuilds_completed".to_string(),
+                r.rebuilds_completed as f64,
+            ),
+        ]
+        .into()
+    });
+
+    out.report()
+        .axis_column("failure model", "failure model")
+        .metric_column("availability", "availability", |a| format!("{a:.7}"))
+        .metric_column("unavail events", "unavailability_events", |v| {
+            format!("{}", v as u64)
+        })
+        .metric_column("node fails", "node_failures", |v| format!("{}", v as u64))
+        .metric_column("disk fails", "disk_failures", |v| format!("{}", v as u64))
+        .metric_column("switch fails", "switch_failures", |v| {
+            format!("{}", v as u64)
+        })
+        .metric_column("rebuilds", "rebuilds_completed", |v| {
+            format!("{}", v as u64)
+        })
+        .print();
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
     );
 
-    let mut unavail = Vec::new();
-    for ((name, _), agg) in arms.iter().zip(&aggs) {
-        table.row(vec![
-            name.to_string(),
-            format!("{:.7}", agg.avail),
-            agg.ev.to_string(),
-            agg.nf.to_string(),
-            agg.df.to_string(),
-            agg.sf.to_string(),
-            agg.rb.to_string(),
-        ]);
-        unavail.push((name.to_string(), 1.0 - agg.avail, agg.ev));
-    }
-    table.print();
-
     println!();
-    let base = unavail[0].1.max(1e-12);
-    for (name, u, _) in &unavail[1..] {
+    let unavail = |label: &str| 1.0 - out.metric_where("failure model", label, "availability");
+    let base = unavail("nodes only").max(1e-12);
+    for name in ["nodes + disks", "nodes + disks + switches"] {
+        let u = unavail(name);
         println!(
             "check: '{}' reveals {:.1}x the unavailability of 'nodes only' ({:.2e} vs {:.2e})",
             name,

@@ -5,16 +5,17 @@
 //! Arms: rep5 baseline (1G, serial repair) vs rep4 with (a) nothing,
 //! (b) 10G network, (c) parallel repair, (d) both. The paper's claim:
 //! the repair-path improvements can lift the cheaper design back over
-//! the SLA line. The (arm, seed) grid runs on the shared
-//! `windtunnel::farm` executor and merges per arm in run order.
+//! the SLA line. The configuration axis is a declarative [`SweepSpec`]
+//! on the shared run farm: 3 CRN replications per arm (identical
+//! failure traces across arms; availability averaged equal-weight,
+//! counters summed). `--workers N` sizes the pool; stdout is
+//! byte-identical for any value (timing goes to stderr).
 
-use windtunnel::farm::Farm;
-use wt_bench::{banner, Table};
-use wt_cluster::results::AvailabilityResult;
+use windtunnel::prelude::*;
+use wt_bench::{banner, runner_from_args};
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
-use wt_dist::Dist;
-use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
+use wt_store::SharedStore;
 
 const DAY: f64 = 86_400.0;
 
@@ -44,26 +45,17 @@ fn arm(n: usize, gbps: f64, parallel: usize) -> AvailabilityModel {
     }
 }
 
-const SEEDS: [u64; 3] = [11, 22, 33];
-
-/// Merges one seed's run into the arm's aggregate: availability is an
-/// equal-weight mean over seeds (the old running `(a+r)/2` pairwise
-/// average silently over-weighted later seeds), counters sum.
-fn merge(acc: Option<AvailabilityResult>, r: AvailabilityResult) -> Option<AvailabilityResult> {
-    Some(match acc {
-        None => {
-            let mut a = r;
-            a.availability /= SEEDS.len() as f64;
-            a
-        }
-        Some(mut a) => {
-            a.availability += r.availability / SEEDS.len() as f64;
-            a.unavailability_events += r.unavailability_events;
-            a.objects_lost += r.objects_lost;
-            a.node_failures += r.node_failures;
-            a
-        }
-    })
+/// `(replication, link Gb/s, parallel repair slots, storage overhead)`
+/// per named configuration arm.
+fn arm_of(label: &str) -> (AvailabilityModel, f64) {
+    match label {
+        "rep5 1G serial" => (arm(5, 1.0, 1), 5.0),
+        "rep4 1G serial" => (arm(4, 1.0, 1), 4.0),
+        "rep4 10G serial" => (arm(4, 10.0, 1), 4.0),
+        "rep4 1G parallel16" => (arm(4, 1.0, 16), 4.0),
+        "rep4 10G parallel16" => (arm(4, 10.0, 16), 4.0),
+        other => panic!("unknown config arm '{other}'"),
+    }
 }
 
 fn main() {
@@ -73,74 +65,79 @@ fn main() {
          repair recovers most of the availability at 20% less storage",
     );
 
-    let arms: Vec<(&str, AvailabilityModel, f64)> = vec![
-        ("rep5 1G serial", arm(5, 1.0, 1), 5.0),
-        ("rep4 1G serial", arm(4, 1.0, 1), 4.0),
-        ("rep4 10G serial", arm(4, 10.0, 1), 4.0),
-        ("rep4 1G parallel16", arm(4, 1.0, 16), 4.0),
-        ("rep4 10G parallel16", arm(4, 10.0, 16), 4.0),
-    ];
+    let args: Vec<String> = std::env::args().collect();
+    let runner = runner_from_args(&args);
+    let store = SharedStore::new();
 
-    // One farm item per (arm, seed): seeds of the same arm fold into one
-    // aggregate row, in run order, as results stream in.
-    let points: Vec<(usize, u64)> = (0..arms.len())
-        .flat_map(|a| SEEDS.iter().map(move |&s| (a, s)))
-        .collect();
-    let merged: Vec<Option<AvailabilityResult>> = Farm::from_env().run_fold(
-        0,
-        &points,
-        |&(a, seed), _ctx| arms[a].1.run(seed, SimDuration::from_days(200.0)),
-        vec![None; arms.len()],
-        |mut accs, idx, r| {
-            let (a, _) = points[idx];
-            accs[a] = merge(accs[a].take(), r);
-            accs
-        },
+    let spec = SweepSpec::new("e2-repair-whatif")
+        .axis(
+            "config",
+            [
+                "rep5 1G serial",
+                "rep4 1G serial",
+                "rep4 10G serial",
+                "rep4 1G parallel16",
+                "rep4 10G parallel16",
+            ],
+        )
+        .seed(2)
+        .replications(3)
+        .common_random_numbers()
+        .aggregate("unavailability_events", MetricAgg::Sum)
+        .aggregate("objects_lost", MetricAgg::Sum);
+
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let (m, _) = arm_of(&point.axis_str("config"));
+        let (r, telemetry) = m.run_observed(rep.seed, SimDuration::from_days(200.0), None);
+        sink.record(
+            point
+                .record(spec.name(), rep.seed)
+                .metric("availability", r.availability)
+                .metric("unavailability_events", r.unavailability_events as f64)
+                .metric("objects_lost", r.objects_lost as f64)
+                .telemetry(telemetry),
+        );
+        [
+            ("availability".to_string(), r.availability),
+            (
+                "unavailability_events".to_string(),
+                r.unavailability_events as f64,
+            ),
+            ("objects_lost".to_string(), r.objects_lost as f64),
+        ]
+        .into()
+    });
+
+    out.report()
+        .axis_column("config", "config")
+        .metric_column("availability", "availability", |a| format!("{a:.6}"))
+        .metric_column("unavail events", "unavailability_events", |v| {
+            format!("{}", v as u64)
+        })
+        .metric_column("objects lost", "objects_lost", |v| format!("{}", v as u64))
+        .column("storage overhead", |row| {
+            format!("{:.1}x", arm_of(&row.axis_display("config")).1)
+        })
+        .print();
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
     );
-
-    let mut table = Table::new(&[
-        "config",
-        "availability",
-        "unavail events",
-        "objects lost",
-        "storage overhead",
-    ]);
-    let mut results = Vec::new();
-    for ((name, _, overhead), r) in arms.iter().zip(merged) {
-        let r = r.expect("every arm simulated");
-        table.row(vec![
-            name.to_string(),
-            format!("{:.6}", r.availability),
-            r.unavailability_events.to_string(),
-            r.objects_lost.to_string(),
-            format!("{overhead:.1}x"),
-        ]);
-        results.push((name.to_string(), r));
-    }
-    table.print();
 
     println!();
-    let get = |n: &str| {
-        &results
-            .iter()
-            .find(|(name, _)| name == n)
-            .expect("arm exists")
-            .1
-    };
-    let rep5 = get("rep5 1G serial");
-    let rep4 = get("rep4 1G serial");
-    let rep4_both = get("rep4 10G parallel16");
+    let avail = |label: &str| out.metric_where("config", label, "availability");
+    let rep5 = avail("rep5 1G serial");
+    let rep4 = avail("rep4 1G serial");
+    let rep4_both = avail("rep4 10G parallel16");
     println!(
-        "check: rep4 plain worse than rep5: {:.6} <= {:.6} -> {}",
-        rep4.availability,
-        rep5.availability,
-        rep4.availability <= rep5.availability
+        "check: rep4 plain worse than rep5: {rep4:.6} <= {rep5:.6} -> {}",
+        rep4 <= rep5
     );
     println!(
-        "check: rep4 + 10G + parallel repair closes the gap: {:.6} >= {:.6} -> {}",
-        rep4_both.availability,
-        rep5.availability,
-        rep4_both.availability >= rep5.availability
+        "check: rep4 + 10G + parallel repair closes the gap: {rep4_both:.6} >= {rep5:.6} -> {}",
+        rep4_both >= rep5
     );
     println!(
         "storage saved by rep4: {:.0}% of the rep5 bill",

@@ -6,21 +6,20 @@
 //! the tail; "holistic simulation can capture the impact of these events
 //! on the performance SLAs".
 //!
-//! The arms run on the shared `windtunnel::farm` executor with sharded
-//! recording (`--workers N` sizes the pool, default host cores or
-//! `WT_WORKERS`); every arm lands in the result store as an `e3-perf`
-//! record, exported with `--jsonl <path>`. Output is byte-identical for
-//! any worker count. `--trace <path>` re-runs the busiest arm with the
-//! probe stack attached and writes Chrome trace-event JSON.
+//! The arm axis is a declarative [`SweepSpec`] executed by the shared
+//! [`SweepRunner`] with sharded recording (`--workers N` sizes the pool,
+//! default host cores or `WT_WORKERS`); every arm lands in the result
+//! store as an `e3-perf` record, exported with `--jsonl <path>`. Output
+//! is byte-identical for any worker count. `--trace <path>` re-runs the
+//! busiest arm with the probe stack attached and writes Chrome
+//! trace-event JSON.
 
 use windtunnel::obs::TraceProbe;
-use wt_bench::{banner, export_trace, farm_from_args, flag_value, fmt_secs, Table};
+use windtunnel::prelude::*;
+use wt_bench::{banner, export_trace, flag_value, fmt_secs, runner_from_args};
 use wt_cluster::PerfModel;
-use wt_dist::Dist;
 use wt_hw::{catalog, TopologySpec};
-use wt_store::{RecordSink, RunRecord, SharedStore};
-use wt_sw::{Placement, RedundancyScheme};
-use wt_workload::TenantWorkload;
+use wt_store::SharedStore;
 
 fn topo() -> TopologySpec {
     TopologySpec {
@@ -46,6 +45,21 @@ fn model(tenants: Vec<TenantWorkload>) -> PerfModel {
     }
 }
 
+fn arm_model(arm: &str) -> PerfModel {
+    let oltp = || TenantWorkload::oltp("shop", 300.0, 100_000);
+    let analytics = || TenantWorkload::analytics("reports", 8.0, 1_000);
+    let mut m = match arm {
+        "shop alone" | "shop + failures" => model(vec![oltp()]),
+        "shop + analytics" | "shop + analytics + failures" => model(vec![oltp(), analytics()]),
+        other => panic!("unknown arm '{other}'"),
+    };
+    if arm.ends_with("failures") {
+        m.inject_failures = true;
+        m.node_ttf = Some(Dist::exponential_mean(60.0));
+    }
+    m
+}
+
 fn main() {
     banner(
         "E3 — tenant latency under co-location and cluster events",
@@ -54,47 +68,31 @@ fn main() {
          failure-blind prediction model cannot see",
     );
 
-    let oltp = || TenantWorkload::oltp("shop", 300.0, 100_000);
-
-    let arms: Vec<(&str, PerfModel)> = vec![
-        ("shop alone", model(vec![oltp()])),
-        (
-            "shop + analytics",
-            model(vec![
-                oltp(),
-                TenantWorkload::analytics("reports", 8.0, 1_000),
-            ]),
-        ),
-        ("shop + failures", {
-            let mut m = model(vec![oltp()]);
-            m.inject_failures = true;
-            m.node_ttf = Some(Dist::exponential_mean(60.0));
-            m
-        }),
-        ("shop + analytics + failures", {
-            let mut m = model(vec![
-                oltp(),
-                TenantWorkload::analytics("reports", 8.0, 1_000),
-            ]);
-            m.inject_failures = true;
-            m.node_ttf = Some(Dist::exponential_mean(60.0));
-            m
-        }),
-    ];
-
     let args: Vec<String> = std::env::args().collect();
-    let farm = farm_from_args(&args);
-
-    // Each arm simulates on a farm worker and records into a private
-    // shard; shards merge into the store in arm order, so record ids are
-    // identical for any worker count. Seed 99 is fixed per arm (the arms
-    // are the comparison, not seed replication).
+    let runner = runner_from_args(&args);
     let store = SharedStore::new();
-    let results = farm.run_recorded(0, &arms, &store, |(name, m), _ctx, shard| {
-        let r = m.run(99);
-        let shop = r.tenant("shop").expect("shop tenant present").clone();
-        let mut record = RunRecord::new("e3-perf", 99)
-            .param("arm", *name)
+
+    // The arms are the comparison, not seed replication: one CRN
+    // replication means every arm simulates the same seed.
+    let spec = SweepSpec::new("e3-perf")
+        .axis(
+            "arm",
+            [
+                "shop alone",
+                "shop + analytics",
+                "shop + failures",
+                "shop + analytics + failures",
+            ],
+        )
+        .seed(2014)
+        .common_random_numbers();
+
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let m = arm_model(&point.axis_str("arm"));
+        let r = m.run(rep.seed);
+        let shop = r.tenant("shop").expect("shop tenant present");
+        let mut record = point
+            .record(spec.name(), rep.seed)
             .param("inject_failures", m.inject_failures)
             .param("tenants", m.tenants.len())
             .metric("shop_p50_s", shop.p50_s)
@@ -105,37 +103,42 @@ fn main() {
         if let Some(met) = shop.sla_met {
             record = record.metric("sla_met", if met { 1.0 } else { 0.0 });
         }
-        shard.record(record);
-        (shop, r.node_failures)
+        sink.record(record);
+        let mut metrics: std::collections::BTreeMap<String, f64> = [
+            ("shop_p50_s".to_string(), shop.p50_s),
+            ("shop_p95_s".to_string(), shop.p95_s),
+            ("shop_p99_s".to_string(), shop.p99_s),
+            ("shop_failed".to_string(), shop.failed as f64),
+            ("node_failures".to_string(), r.node_failures as f64),
+        ]
+        .into();
+        if let Some(met) = shop.sla_met {
+            metrics.insert("sla_met".to_string(), if met { 1.0 } else { 0.0 });
+        }
+        metrics
     });
 
-    let mut table = Table::new(&[
-        "arm",
-        "p50",
-        "p95",
-        "p99",
-        "failed",
-        "node failures",
-        "SLA p95<=50ms",
-    ]);
-    let mut p99s = Vec::new();
-    for ((name, _), (shop, node_failures)) in arms.iter().zip(&results) {
-        table.row(vec![
-            name.to_string(),
-            fmt_secs(shop.p50_s),
-            fmt_secs(shop.p95_s),
-            fmt_secs(shop.p99_s),
-            shop.failed.to_string(),
-            node_failures.to_string(),
-            match shop.sla_met {
-                Some(true) => "met".into(),
-                Some(false) => "VIOLATED".into(),
-                None => "-".into(),
-            },
-        ]);
-        p99s.push((name.to_string(), shop.p99_s));
-    }
-    table.print();
+    out.report()
+        .axis_column("arm", "arm")
+        .metric_column("p50", "shop_p50_s", fmt_secs)
+        .metric_column("p95", "shop_p95_s", fmt_secs)
+        .metric_column("p99", "shop_p99_s", fmt_secs)
+        .metric_column("failed", "shop_failed", |v| format!("{}", v as u64))
+        .metric_column("node failures", "node_failures", |v| {
+            format!("{}", v as u64)
+        })
+        .column("SLA p95<=50ms", |row| match row.try_metric("sla_met") {
+            Some(v) if v > 0.5 => "met".into(),
+            Some(_) => "VIOLATED".into(),
+            None => "-".into(),
+        })
+        .print();
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
+    );
 
     if let Some(path) = flag_value(&args, "--jsonl") {
         if let Err(e) = store.with(|s| s.save_jsonl(std::path::Path::new(path))) {
@@ -147,17 +150,20 @@ fn main() {
 
     // `--trace`: re-run the busiest arm (co-location + failures) with a
     // trace probe — the Chrome JSON shows tenant requests interleaving
-    // with node failures and repair traffic on a shared timeline.
+    // with node failures and repair traffic on a shared timeline. Uses
+    // the same CRN seed the sweep ran, so the trace matches the record.
     if let Some(path) = flag_value(&args, "--trace") {
-        let (name, m) = arms.last().expect("arms are nonempty");
+        let arm = "shop + analytics + failures";
+        let grid = spec.grid();
+        let seed = grid.rep_seed(&grid.points[0], 0);
         let mut probe = TraceProbe::new();
-        let (_, telemetry) = m.run_observed(99, Some(&mut probe));
-        eprintln!("[trace] arm '{name}': {} sim event(s)", telemetry.events);
+        let (_, telemetry) = arm_model(arm).run_observed(seed, Some(&mut probe));
+        eprintln!("[trace] arm '{arm}': {} sim event(s)", telemetry.events);
         export_trace(path, &mut probe, &telemetry);
     }
 
     println!();
-    let p99 = |n: &str| p99s.iter().find(|(k, _)| k == n).expect("arm").1;
+    let p99 = |arm: &str| out.metric_where("arm", arm, "shop_p99_s");
     println!(
         "check: co-location inflates p99: {} -> {} ({}x)",
         fmt_secs(p99("shop alone")),

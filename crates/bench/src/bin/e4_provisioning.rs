@@ -2,14 +2,14 @@
 //! memory in order to satisfy the SLAs of 95% of my customers and
 //! minimize the total operating cost?" — answered as a WTQL query.
 //!
-//! The query's 6 configurations dispatch onto the shared
-//! `windtunnel::farm` pool with sharded recording (`--workers N`,
-//! default host cores or `WT_WORKERS`); results, record ids, and output
-//! are byte-identical for any worker count.
+//! The query's 6 configurations dispatch through `run_query`'s
+//! [`SweepRunner`] onto the shared `windtunnel::farm` pool with sharded
+//! recording (`--workers N`, default host cores or `WT_WORKERS`);
+//! results, record ids, and output are byte-identical for any worker
+//! count.
 
-use windtunnel::farm::Farm;
 use windtunnel::prelude::*;
-use wt_bench::{banner, fmt_secs, Table};
+use wt_bench::{banner, farm_from_args, fmt_secs, Table};
 use wt_wtql::{parse, run_query, ExecOptions};
 
 fn main() {
@@ -39,16 +39,7 @@ fn main() {
         .build();
 
     let args: Vec<String> = std::env::args().collect();
-    let workers = match args.iter().position(|a| a == "--workers") {
-        Some(pos) => match args.get(pos + 1).map(|v| v.parse::<usize>()) {
-            Some(Ok(w)) => w,
-            _ => {
-                eprintln!("error: --workers expects a number");
-                std::process::exit(2);
-            }
-        },
-        None => Farm::from_env().workers(),
-    };
+    let workers = farm_from_args(&args).workers();
 
     let query = parse(query_text).expect("query parses");
     let tunnel = WindTunnel::new();

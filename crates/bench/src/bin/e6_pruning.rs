@@ -2,7 +2,8 @@
 //! SLA cannot be met with a 10Gb network, then it won't be met with a 1Gb
 //! network" — measure how many simulation runs the optimizer saves on a
 //! multi-dimensional grid, and verify the pruned execution returns the
-//! same answer.
+//! same answer. Both passes dispatch through `run_query`'s
+//! [`windtunnel::sweep::SweepRunner`].
 
 use windtunnel::prelude::*;
 use wt_bench::{banner, farm_from_args, Table};

@@ -2,8 +2,9 @@
 //! and events saved by aborting hopeless runs on a probe horizon.
 //!
 //! The `threads` knob sizes the shared `windtunnel::farm` worker pool
-//! that `run_query` dispatches onto; results are identical at every
-//! setting, only the wall-clock moves.
+//! that `run_query`'s [`windtunnel::sweep::SweepRunner`] dispatches
+//! onto; results are identical at every setting, only the wall-clock
+//! moves.
 
 use windtunnel::prelude::*;
 use wt_bench::{banner, Table};

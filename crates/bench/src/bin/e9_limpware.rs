@@ -1,13 +1,17 @@
 //! **E9 — limpware (§4.5, ref \[5\])**: a component that *degrades* is
 //! worse than one that *dies*, because the system keeps routing work to
 //! it. Compare healthy vs fail-stop vs limping-NIC tails.
+//!
+//! The three fault arms are a declarative [`SweepSpec`] on the shared
+//! run farm (CRN: each arm replays the same seed), with per-run records
+//! and telemetry in the result store. `--workers N` sizes the pool;
+//! stdout is byte-identical for any value (timing goes to stderr).
 
-use wt_bench::{banner, fmt_secs, Table};
+use windtunnel::prelude::*;
+use wt_bench::{banner, fmt_secs, runner_from_args};
 use wt_cluster::PerfModel;
-use wt_dist::Dist;
-use wt_hw::{catalog, LimpwareSpec, TopologySpec};
-use wt_sw::{Placement, RedundancyScheme};
-use wt_workload::TenantWorkload;
+use wt_hw::{catalog, TopologySpec};
+use wt_store::SharedStore;
 
 fn model() -> PerfModel {
     PerfModel {
@@ -29,6 +33,24 @@ fn model() -> PerfModel {
     }
 }
 
+fn arm_model(arm: &str) -> PerfModel {
+    let mut m = model();
+    match arm {
+        "healthy" => {}
+        "fail-stop (1 node down)" => {
+            m.inject_failures = true;
+            // One early, long-lasting failure: node TTF ~5s once, repair slow.
+            m.node_ttf = Some(Dist::pareto(5.0, 3.0));
+            m.topology.node.repair = Dist::deterministic(1e6);
+        }
+        "limpware ~30% NICs ~100x slow" => {
+            m.limpware = Some(LimpwareSpec::degraded_nic(0.30));
+        }
+        other => panic!("unknown arm '{other}'"),
+    }
+    m
+}
+
 fn main() {
     banner(
         "E9 — limpware vs fail-stop",
@@ -37,42 +59,69 @@ fn main() {
          the paper's argument for modeling performance-degradation faults",
     );
 
-    let arms: Vec<(&str, PerfModel)> = vec![
-        ("healthy", model()),
-        ("fail-stop (1 node down)", {
-            let mut m = model();
-            m.inject_failures = true;
-            // One early, long-lasting failure: node TTF ~5s once, repair slow.
-            m.node_ttf = Some(Dist::pareto(5.0, 3.0));
-            m.topology.node.repair = Dist::deterministic(1e6);
-            m
-        }),
-        ("limpware ~30% NICs ~100x slow", {
-            let mut m = model();
-            m.limpware = Some(LimpwareSpec::degraded_nic(0.30));
-            m
-        }),
-    ];
+    let args: Vec<String> = std::env::args().collect();
+    let runner = runner_from_args(&args);
+    let store = SharedStore::new();
 
-    let mut table = Table::new(&["arm", "p50", "p95", "p99", "mean", "failed"]);
-    let mut tails = Vec::new();
-    for (name, m) in &arms {
-        let r = m.run(9);
+    let spec = SweepSpec::new("e9-limpware")
+        .axis(
+            "arm",
+            [
+                "healthy",
+                "fail-stop (1 node down)",
+                "limpware ~30% NICs ~100x slow",
+            ],
+        )
+        .seed(9)
+        .common_random_numbers();
+
+    let out = runner.run(&spec, &store, |point, rep, sink| {
+        let arm = point.axis_str("arm");
+        let (r, telemetry) = arm_model(&arm).run_observed(rep.seed, None);
         let t = &r.tenants[0];
-        table.row(vec![
-            name.to_string(),
-            fmt_secs(t.p50_s),
-            fmt_secs(t.p95_s),
-            fmt_secs(t.p99_s),
-            fmt_secs(t.mean_s),
-            t.failed.to_string(),
-        ]);
-        tails.push((name.to_string(), t.p99_s));
-    }
-    table.print();
+        sink.record(
+            point
+                .record(spec.name(), rep.seed)
+                .metric("p50_s", t.p50_s)
+                .metric("p95_s", t.p95_s)
+                .metric("p99_s", t.p99_s)
+                .metric("mean_s", t.mean_s)
+                .metric("failed", t.failed as f64)
+                .telemetry(telemetry),
+        );
+        [
+            ("p50_s".to_string(), t.p50_s),
+            ("p95_s".to_string(), t.p95_s),
+            ("p99_s".to_string(), t.p99_s),
+            ("mean_s".to_string(), t.mean_s),
+            ("failed".to_string(), t.failed as f64),
+        ]
+        .into()
+    });
+
+    out.report()
+        .axis_column("arm", "arm")
+        .metric_column("p50", "p50_s", fmt_secs)
+        .metric_column("p95", "p95_s", fmt_secs)
+        .metric_column("p99", "p99_s", fmt_secs)
+        .metric_column("mean", "mean_s", fmt_secs)
+        .metric_column("failed", "failed", |v| format!("{}", v as u64))
+        .print();
+    eprintln!(
+        "computed on {} farm worker(s) in {:.2}s ({} recorded run(s))",
+        runner.workers(),
+        out.wall_s,
+        store.len()
+    );
 
     println!();
-    let p99 = |n: &str| tails.iter().find(|(k, _)| k.starts_with(n)).expect("arm").1;
+    let p99 = |prefix: &str| {
+        out.rows
+            .iter()
+            .find(|r| r.axis_display("arm").starts_with(prefix))
+            .expect("arm")
+            .metric("p99_s")
+    };
     println!(
         "check: limpware p99 ({}) > fail-stop p99 ({}) -> {}",
         fmt_secs(p99("limpware")),

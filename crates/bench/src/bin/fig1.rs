@@ -19,7 +19,7 @@
 use windtunnel::obs::TraceProbe;
 use windtunnel::prelude::*;
 use wt_bench::fig1::{compute, Fig1Config};
-use wt_bench::{banner, export_trace, farm_from_args, flag_value, fmt_p};
+use wt_bench::{banner, export_trace, flag_value, fmt_p, runner_from_args};
 
 /// The figure itself is a Monte-Carlo quorum computation, so `--trace`
 /// records one representative DES availability run instead: the default
@@ -57,7 +57,7 @@ fn main() {
 
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let farm = farm_from_args(&args);
+    let runner = runner_from_args(&args);
 
     let config = if smoke {
         Fig1Config::smallest()
@@ -65,12 +65,12 @@ fn main() {
         Fig1Config::paper()
     };
     let t0 = std::time::Instant::now();
-    let curves = compute(&config, &farm);
+    let curves = compute(&config, &runner);
     let wall = t0.elapsed().as_secs_f64();
     curves.table().print();
     eprintln!(
         "computed on {} farm worker(s) in {wall:.2}s",
-        farm.workers()
+        runner.workers()
     );
 
     // Optional: `fig1 --csv <path>` writes the raw series for plotting.

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! wtql <script.wtql | -> [--base scenario.json] [--explain] [--csv out.csv]
-//!      [--threads N]
-//! wtql --interactive [--base scenario.json] [--threads N]
+//!      [--workers N]
+//! wtql --interactive [--base scenario.json] [--workers N]
 //! ```
 //!
 //! * the script is read from the file (or stdin with `-`) and may contain
@@ -16,7 +16,11 @@
 //!   part of the configuration (defaults: 30-node HDD cluster, 1,000×4 GB
 //!   objects, 3 simulated months),
 //! * `--explain` prints the optimizer plan and exits without simulating,
-//! * `--csv` exports every recorded run for external plotting.
+//! * `--csv` exports every recorded run for external plotting,
+//! * `--workers N` (alias `--threads`) sizes the farm pool `run_query`'s
+//!   [`windtunnel::sweep::SweepRunner`] dispatches onto.
+//!   stdout is byte-identical for any worker count (with `prune = FALSE`);
+//!   wall-clock timing goes to stderr.
 //!
 //! All statements in one invocation share a single result store, so a
 //! trailing `STATS` reports on everything the script ran.
@@ -29,8 +33,8 @@ use wt_wtql::{parse_script, run_query, store_stats, ExecOptions, Plan, Query, St
 fn usage() -> ! {
     eprintln!(
         "usage: wtql <script.wtql | -> [--base scenario.json] [--explain] \
-         [--csv out.csv] [--threads N]\n       wtql --interactive \
-         [--base scenario.json] [--threads N]"
+         [--csv out.csv] [--workers N]\n       wtql --interactive \
+         [--base scenario.json] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -109,13 +113,10 @@ fn execute_query(query: &Query, base: &Scenario, tunnel: &WindTunnel, threads: u
 
     println!();
     println!(
-        "executed {} | pruned {} | aborted {} | {} sim events | {:.2}s wall",
-        outcome.executed,
-        outcome.pruned,
-        outcome.aborted,
-        outcome.total_sim_events,
-        wall.as_secs_f64()
+        "executed {} | pruned {} | aborted {} | {} sim events",
+        outcome.executed, outcome.pruned, outcome.aborted, outcome.total_sim_events,
     );
+    eprintln!("{:.2}s wall", wall.as_secs_f64());
     if let Some(best) = outcome.best_row() {
         let desc: Vec<String> = best
             .assignment
@@ -223,7 +224,7 @@ fn main() {
         match arg.as_str() {
             "--base" => base_path = Some(it.next().unwrap_or_else(|| usage())),
             "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage())),
-            "--threads" => {
+            "--workers" | "--threads" => {
                 threads = it
                     .next()
                     .and_then(|s| s.parse().ok())

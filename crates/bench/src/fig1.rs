@@ -1,13 +1,13 @@
 //! The Figure 1 computation, shared by the `fig1` binary and the farm
 //! determinism integration test.
 //!
-//! All curve points — every (series, failure-count) pair — run through
-//! the shared `windtunnel::farm` executor as one flat work list, so the
-//! whole figure parallelizes across cores while the rendered table stays
-//! bitwise-identical for any worker count.
+//! All curve points — every (series, failure-count) pair — become one
+//! explicit sweep grid executed by `windtunnel::sweep::SweepRunner`, so
+//! the whole figure parallelizes across cores while the rendered table
+//! stays bitwise-identical for any worker count.
 
 use crate::{fmt_p, Table};
-use windtunnel::farm::Farm;
+use windtunnel::sweep::{Assignment, SweepGrid, SweepRunner};
 use wt_cluster::UnavailabilityExperiment;
 use wt_sw::Placement;
 
@@ -83,13 +83,25 @@ pub struct Fig1Curves {
     pub curves: Vec<Vec<f64>>,
 }
 
-/// Computes every curve point on the farm: the work list is the flattened
-/// (series, f) grid, so even a single series spreads over all workers.
-pub fn compute(config: &Fig1Config, farm: &Farm) -> Fig1Curves {
-    let points: Vec<(usize, usize)> = (0..config.series.len())
-        .flat_map(|s| (0..=config.max_f).map(move |f| (s, f)))
+/// Computes every curve point on the runner's farm: the work list is the
+/// flattened (series, f) grid as an explicit sweep (series-major, like
+/// the table's columns), so even a single series spreads over all
+/// workers.
+pub fn compute(config: &Fig1Config, runner: &SweepRunner) -> Fig1Curves {
+    let assignments: Vec<Assignment> = (0..config.series.len())
+        .flat_map(|s| {
+            (0..=config.max_f).map(move |f| {
+                vec![
+                    ("series".to_string(), s.into()),
+                    ("f".to_string(), f.into()),
+                ]
+            })
+        })
         .collect();
-    let values = farm.run(config.seed, &points, |&(s, f), _ctx| {
+    let grid = SweepGrid::explicit("fig1", config.seed, assignments);
+    let values = runner.map_points(&grid, |point, _ctx| {
+        let s = point.axis_num("series") as usize;
+        let f = point.axis_num("f") as usize;
         let (n_nodes, n, placement) = config.series[s];
         if f > n_nodes {
             return 1.0;
@@ -157,7 +169,7 @@ mod tests {
     #[test]
     fn smallest_config_has_expected_shape() {
         let cfg = Fig1Config::smallest();
-        let curves = compute(&cfg, &Farm::serial());
+        let curves = compute(&cfg, &SweepRunner::serial());
         assert_eq!(curves.curves.len(), 1);
         assert_eq!(curves.curves[0].len(), cfg.max_f + 1);
         assert_eq!(curves.curves[0][0], 0.0, "f=0 never loses quorum");
@@ -166,7 +178,7 @@ mod tests {
 
     #[test]
     fn csv_and_table_are_consistent() {
-        let curves = compute(&Fig1Config::smallest(), &Farm::serial());
+        let curves = compute(&Fig1Config::smallest(), &SweepRunner::serial());
         let csv = curves.csv();
         assert_eq!(csv.lines().count(), curves.config.max_f + 2);
         assert!(csv.starts_with("failures,R-n3-N10\n"));

@@ -9,9 +9,14 @@
 pub mod fig1;
 pub mod queuesim;
 
-use std::fmt::Write as _;
 use windtunnel::farm::Farm;
 use windtunnel::obs::{RunTelemetry, TraceProbe};
+use windtunnel::sweep::SweepRunner;
+
+// The table/formatting helpers moved into `windtunnel::report` when the
+// sweep layer started rendering its own tables; re-exported here so the
+// binaries keep one import path.
+pub use windtunnel::report::{banner, fmt_p, fmt_secs, Table};
 
 /// Returns the value following flag `name` in `args`, if present.
 pub fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
@@ -34,6 +39,12 @@ pub fn farm_from_args(args: &[String]) -> Farm {
         },
         None => Farm::from_env(),
     }
+}
+
+/// A [`SweepRunner`] over the farm selected by `--workers`/environment —
+/// the standard way an experiment binary obtains its executor.
+pub fn runner_from_args(args: &[String]) -> SweepRunner {
+    SweepRunner::new(farm_from_args(args))
 }
 
 /// Writes a recorded run as Chrome trace-event JSON (`--trace <path>`)
@@ -65,118 +76,13 @@ pub fn export_trace(path: &str, probe: &mut TraceProbe, telemetry: &RunTelemetry
     );
 }
 
-/// A fixed-width text table, printed to stdout by the experiment binaries
-/// so EXPERIMENTS.md can paste results directly.
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// A table with the given column headers.
-    pub fn new(headers: &[&str]) -> Self {
-        Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row (must match the header count).
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Renders the table.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let line = |out: &mut String, cells: &[String], widths: &[usize]| {
-            for (cell, w) in cells.iter().zip(widths) {
-                let _ = write!(out, "{cell:>w$}  ");
-            }
-            out.push('\n');
-        };
-        line(&mut out, &self.headers, &widths);
-        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            line(&mut out, row, &widths);
-        }
-        out
-    }
-
-    /// Prints the table to stdout.
-    pub fn print(&self) {
-        print!("{}", self.render());
-    }
-}
-
-/// Formats a probability with enough digits to see tails.
-pub fn fmt_p(p: f64) -> String {
-    if p == 0.0 {
-        "0".into()
-    } else if p >= 0.01 {
-        format!("{p:.3}")
-    } else {
-        format!("{p:.2e}")
-    }
-}
-
-/// Formats seconds with an adaptive unit.
-pub fn fmt_secs(s: f64) -> String {
-    if s >= 3600.0 {
-        format!("{:.2}h", s / 3600.0)
-    } else if s >= 1.0 {
-        format!("{s:.2}s")
-    } else {
-        format!("{:.2}ms", s * 1000.0)
-    }
-}
-
-/// Banner printed at the top of each experiment binary.
-pub fn banner(id: &str, claim: &str) {
-    println!("=== {id} ===");
-    println!("paper expectation: {claim}");
-    println!();
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn table_renders_aligned() {
-        let mut t = Table::new(&["f", "P(unavail)"]);
-        t.row(vec!["0".into(), "0".into()]);
-        t.row(vec!["10".into(), "1.000".into()]);
-        let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("P(unavail)"));
-        assert!(lines[1].starts_with('-'));
-    }
-
-    #[test]
-    #[should_panic(expected = "arity")]
-    fn arity_checked() {
-        let mut t = Table::new(&["a", "b"]);
-        t.row(vec!["x".into()]);
-    }
-
-    #[test]
-    fn formatting_helpers() {
-        assert_eq!(fmt_p(0.0), "0");
-        assert_eq!(fmt_p(0.5), "0.500");
-        assert!(fmt_p(1e-4).contains('e'));
-        assert_eq!(fmt_secs(2.0), "2.00s");
-        assert_eq!(fmt_secs(7200.0), "2.00h");
-        assert_eq!(fmt_secs(0.01), "10.00ms");
+    fn runner_from_args_honors_workers_flag() {
+        let args: Vec<String> = vec!["prog".into(), "--workers".into(), "3".into()];
+        assert_eq!(runner_from_args(&args).workers(), 3);
     }
 }

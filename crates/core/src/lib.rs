@@ -18,6 +18,11 @@
 //!   every run into the result store (`wt-store`) for §4.4-style
 //!   exploration.
 //!
+//! * **Declarative sweeps** — [`sweep::SweepSpec`] declares a parameter
+//!   grid and [`sweep::SweepRunner`] executes it deterministically over
+//!   the run [`farm`] with sharded recording; every experiment binary
+//!   and the WTQL executor share this one execution path (paper §4.1).
+//!
 //! Declarative what-if *queries* over scenario spaces live one level up,
 //! in the `wt-wtql` crate.
 //!
@@ -39,13 +44,16 @@
 
 pub mod builder;
 pub mod farm;
+pub mod report;
 pub mod runner;
 pub mod sla;
+pub mod sweep;
 
 pub use builder::ScenarioBuilder;
 pub use farm::{Farm, RunCtx};
 pub use runner::{Assessment, WindTunnel};
 pub use sla::{Sla, SlaSet};
+pub use sweep::{SweepOutcome, SweepReport, SweepRunner, SweepSpec};
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on `windtunnel` alone.
@@ -65,6 +73,7 @@ pub mod prelude {
     pub use crate::farm::{Farm, RunCtx};
     pub use crate::runner::{Assessment, WindTunnel};
     pub use crate::sla::{Sla, SlaSet};
+    pub use crate::sweep::{MetricAgg, SweepRunner, SweepSpec};
     pub use wt_cluster::{AvailabilityResult, PerfResult, Scenario, UnavailabilityExperiment};
     pub use wt_dist::Dist;
     pub use wt_hw::catalog;

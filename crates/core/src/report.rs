@@ -1,0 +1,124 @@
+//! Shared output formatting for experiment binaries and sweep reports.
+//!
+//! These helpers used to live in `wt-bench`, but the declarative sweep
+//! layer ([`crate::sweep`]) renders its own tables, so the formatting now
+//! sits one level down in `wt-core`; `wt-bench` re-exports everything here
+//! for the binaries.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table, printed to stdout by the experiment binaries
+/// so EXPERIMENTS.md can paste results directly.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a probability with enough digits to see tails.
+pub fn fmt_p(p: f64) -> String {
+    if p == 0.0 {
+        "0".into()
+    } else if p >= 0.01 {
+        format!("{p:.3}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.2}h", s / 3600.0)
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.2}ms", s * 1000.0)
+    }
+}
+
+/// Banner printed at the top of each experiment binary.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("paper expectation: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["f", "P(unavail)"]);
+        t.row(vec!["0".into(), "0".into()]);
+        t.row(vec!["10".into(), "1.000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("P(unavail)"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_p(0.0), "0");
+        assert_eq!(fmt_p(0.5), "0.500");
+        assert!(fmt_p(1e-4).contains('e'));
+        assert_eq!(fmt_secs(2.0), "2.00s");
+        assert_eq!(fmt_secs(7200.0), "2.00h");
+        assert_eq!(fmt_secs(0.01), "10.00ms");
+    }
+}

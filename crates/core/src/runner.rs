@@ -37,7 +37,16 @@ pub struct ReplicatedAvailability {
 impl ReplicatedAvailability {
     /// True if the availability floor is met even at the pessimistic edge
     /// of the confidence interval.
+    ///
+    /// A degenerate interval must fail outright: with 0 or 1
+    /// replications there is no variance estimate (a hand-built value
+    /// can carry `half_width_95` of 0.0 or NaN), and treating such an
+    /// interval as "confident" would let a single noisy run vacuously
+    /// pass an SLA.
     pub fn confidently_meets(&self, floor: f64) -> bool {
+        if self.replications.len() < 2 || !self.half_width_95.is_finite() {
+            return false;
+        }
         self.mean_availability - self.half_width_95 >= floor
     }
 }
@@ -461,6 +470,30 @@ mod tests {
         // An absurd floor is confidently missed; a trivial one is met.
         assert!(!r.confidently_meets(1.1_f64.min(1.0 + 1e-9)));
         assert!(r.confidently_meets(0.0));
+    }
+
+    #[test]
+    fn degenerate_confidence_interval_never_passes() {
+        let tunnel = WindTunnel::new();
+        let base = tunnel.run_availability_replicated(&small(), 2);
+        assert!(base.confidently_meets(0.0), "sane interval passes");
+
+        // 0 or 1 replications: no variance estimate, no confidence —
+        // even a perfect mean with zero half-width must fail.
+        let mut degenerate = base.clone();
+        degenerate.mean_availability = 1.0;
+        degenerate.half_width_95 = 0.0;
+        degenerate.replications.truncate(1);
+        assert!(!degenerate.confidently_meets(0.999));
+        degenerate.replications.clear();
+        assert!(!degenerate.confidently_meets(0.0));
+
+        // A NaN half-width (pathological variance) must fail, not pass.
+        let mut poisoned = base.clone();
+        poisoned.half_width_95 = f64::NAN;
+        assert!(!poisoned.confidently_meets(0.0));
+        poisoned.half_width_95 = f64::INFINITY;
+        assert!(!poisoned.confidently_meets(0.0));
     }
 
     #[test]

@@ -48,9 +48,24 @@ impl From<usize> for ParamValue {
         ParamValue::Num(x as f64)
     }
 }
+impl From<u32> for ParamValue {
+    fn from(x: u32) -> Self {
+        ParamValue::Num(x as f64)
+    }
+}
 impl From<&str> for ParamValue {
     fn from(s: &str) -> Self {
         ParamValue::Str(s.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(s: String) -> Self {
+        ParamValue::Str(s)
+    }
+}
+impl From<&String> for ParamValue {
+    fn from(s: &String) -> Self {
+        ParamValue::Str(s.clone())
     }
 }
 impl From<bool> for ParamValue {

@@ -1,5 +1,13 @@
 //! The query executor: parallel run dispatch, dominance pruning, early
 //! abort (§4.2).
+//!
+//! Since the declarative-sweep refactor, dispatch is not bespoke: the
+//! planned configuration order becomes an explicit
+//! [`windtunnel::sweep::SweepGrid`] and runs through
+//! [`windtunnel::sweep::SweepRunner`] — the same engine the experiment
+//! binaries use. This module adds only what queries need on top:
+//! dominance pruning, probe-and-abort, replication averaging, and the
+//! constraint/objective verdicts.
 
 use crate::ast::{Constraint, Query};
 use crate::bind::apply_assignment;
@@ -10,6 +18,7 @@ use std::collections::BTreeMap;
 use windtunnel::cluster::Scenario;
 use windtunnel::des::time::SimDuration;
 use windtunnel::farm::Farm;
+use windtunnel::sweep::{SweepGrid, SweepRunner};
 use windtunnel::WindTunnel;
 use wt_store::RecordSink;
 
@@ -241,66 +250,66 @@ pub fn run_query(
         .chain(query.objective.iter().map(|o| o.metric.as_str()))
         .any(is_perf_metric);
 
-    // The shared run farm handles dispatch, in-order collection, and
-    // sharded recording: each configuration's runs land in a private
-    // `StoreShard` (no store lock on the hot path) that the farm merges
-    // into the tunnel's store in plan order — so record ids are
+    // EXPLORE grids execute through the same declarative sweep engine
+    // as the experiment binaries: the planned configuration order
+    // becomes an explicit `SweepGrid` (execution order is the
+    // optimizer's, not the canonical enumeration), and `SweepRunner`
+    // handles dispatch, in-order collection, and sharded recording —
+    // each configuration's runs land in a private `StoreShard` that is
+    // merged into the tunnel's store in plan order, so record ids are
     // deterministic for any thread count. The pruning decision stays
     // inside the work closure because it consults the live set of failed
     // configurations (best-effort: a config is skipped only if a
     // dominating failure finished before it started).
     let failed: RwLock<Vec<usize>> = RwLock::new(Vec::new());
-    let indices: Vec<usize> = (0..n).collect();
-    let rows: Vec<RunRow> = Farm::new(opts.threads).run_recorded(
-        base.seed,
-        &indices,
-        tunnel.store(),
-        |&idx, _ctx, shard| {
-            let assignment = &plan.configs[idx];
+    let grid = SweepGrid::explicit("wtql-explore", base.seed, plan.configs.clone());
+    debug_assert_eq!(grid.len(), n);
+    let runner = SweepRunner::new(Farm::new(opts.threads));
+    let rows: Vec<RunRow> = runner.run_points(&grid, tunnel.store(), |point, _ctx, sink| {
+        let assignment = &point.assignment;
 
-            // Dominance check against already-failed configurations.
-            if opts.prune {
-                let dominated = failed
-                    .read()
-                    .iter()
-                    .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
-                if dominated {
-                    return RunRow {
-                        assignment: assignment.clone(),
-                        metrics: BTreeMap::new(),
-                        passes: false,
-                        pruned: true,
-                        aborted: false,
-                    };
-                }
-            }
-
-            let row = evaluate(
-                query,
-                base,
-                tunnel,
-                assignment,
-                needs_avail,
-                needs_perf,
-                opts,
-                shard,
-            );
-            let row = match row {
-                Ok(r) => r,
-                Err(_) => RunRow {
+        // Dominance check against already-failed configurations.
+        if opts.prune {
+            let dominated = failed
+                .read()
+                .iter()
+                .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
+            if dominated {
+                return RunRow {
                     assignment: assignment.clone(),
                     metrics: BTreeMap::new(),
                     passes: false,
-                    pruned: false,
+                    pruned: true,
                     aborted: false,
-                },
-            };
-            if !row.passes && !query.constraints.is_empty() && opts.prune {
-                failed.write().push(idx);
+                };
             }
-            row
-        },
-    );
+        }
+
+        let row = evaluate(
+            query,
+            base,
+            tunnel,
+            assignment,
+            needs_avail,
+            needs_perf,
+            opts,
+            sink,
+        );
+        let row = match row {
+            Ok(r) => r,
+            Err(_) => RunRow {
+                assignment: assignment.clone(),
+                metrics: BTreeMap::new(),
+                passes: false,
+                pruned: false,
+                aborted: false,
+            },
+        };
+        if !row.passes && !query.constraints.is_empty() && opts.prune {
+            failed.write().push(point.index);
+        }
+        row
+    });
     let executed = rows.iter().filter(|r| !r.pruned && !r.aborted).count();
     let pruned = rows.iter().filter(|r| r.pruned).count();
     let aborted = rows.iter().filter(|r| r.aborted).count();

@@ -12,11 +12,14 @@
 use crate::ast::Query;
 use crate::bind::{is_known_axis, is_monotone, monotone_rank};
 use crate::error::WtqlError;
+#[cfg(test)]
 use wt_store::ParamValue;
 
 /// One concrete configuration: ordered `(axis, value)` pairs, in the
-/// query's sweep-axis order.
-pub type Assignment = Vec<(String, ParamValue)>;
+/// query's sweep-axis order. The same shape the core sweep engine
+/// executes — `run_query` hands the planned order straight to
+/// `windtunnel::sweep::SweepRunner`.
+pub type Assignment = windtunnel::sweep::Assignment;
 
 /// An executable plan: the filtered, ordered configuration list plus the
 /// monotonicity metadata the executor needs for pruning.

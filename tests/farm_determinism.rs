@@ -3,16 +3,17 @@
 //! reproducible.
 
 use windtunnel::farm::Farm;
+use windtunnel::sweep::SweepRunner;
 use wt_bench::fig1::{compute, Fig1Config};
 
 #[test]
 fn fig1_smallest_series_identical_across_worker_counts() {
     let config = Fig1Config::smallest();
-    let serial = compute(&config, &Farm::new(1));
+    let serial = compute(&config, &SweepRunner::new(Farm::new(1)));
     let table_1 = serial.table().render();
     let csv_1 = serial.csv();
     for workers in [4, 8] {
-        let parallel = compute(&config, &Farm::new(workers));
+        let parallel = compute(&config, &SweepRunner::new(Farm::new(workers)));
         assert_eq!(
             serial.curves, parallel.curves,
             "raw curves diverged at {workers} workers"

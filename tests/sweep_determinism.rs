@@ -1,0 +1,120 @@
+//! Integration: the sweep layer's two determinism contracts.
+//!
+//! 1. A [`SweepSpec`] grid is a function of *what* is swept, never of
+//!    how the axes were declared: permuting the axis declaration order
+//!    (or appending values to an axis) must not move or reseed any
+//!    existing point.
+//! 2. A [`SweepRunner`] execution — aggregated rows *and* the records
+//!    landed in the result store — is bitwise identical at 1, 4, and 8
+//!    workers.
+
+use proptest::prelude::*;
+use windtunnel::farm::Farm;
+use windtunnel::store::SharedStore;
+use windtunnel::sweep::{MetricAgg, SweepOutcome, SweepRunner, SweepSpec};
+
+/// Three axes with value counts drawn by the property, declared in the
+/// order `perm` selects.
+fn spec_with_order(seed: u64, na: usize, nb: usize, nc: usize, perm: usize) -> SweepSpec {
+    let mut spec = SweepSpec::new("prop").seed(seed);
+    // Declaration order is one of the 6 permutations of (alpha, beta,
+    // gamma); the canonical grid must not depend on which.
+    let order: [usize; 3] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ][perm % 6];
+    for axis in order {
+        spec = match axis {
+            0 => spec.axis("alpha", (0..na).map(|i| i as f64 * 1.5)),
+            1 => spec.axis("beta", (0..nb).map(|i| format!("v{i}"))),
+            _ => spec.axis("gamma", (0..nc).map(|i| i % 2 == 0)),
+        };
+    }
+    spec
+}
+
+proptest! {
+    #[test]
+    fn grid_ignores_axis_declaration_order(
+        seed in any::<u64>(),
+        na in 1usize..5,
+        nb in 1usize..5,
+        nc in 1usize..3,
+        perm in 0usize..6,
+    ) {
+        let canonical = spec_with_order(seed, na, nb, nc, 0).grid();
+        let permuted = spec_with_order(seed, na, nb, nc, perm).grid();
+        prop_assert_eq!(canonical.points.len(), permuted.points.len());
+        for (a, b) in canonical.points.iter().zip(&permuted.points) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn point_seeds_survive_axis_extension(
+        seed in any::<u64>(),
+        na in 1usize..4,
+        extra in 1usize..4,
+    ) {
+        // Appending values to an axis must not reseed the points that
+        // were already in the grid: seeds are content-derived, not
+        // position-derived.
+        let small = spec_with_order(seed, na, 2, 1, 0).grid();
+        let grown = spec_with_order(seed, na + extra, 2, 1, 0).grid();
+        for p in &small.points {
+            let twin = grown
+                .points
+                .iter()
+                .find(|q| q.assignment == p.assignment)
+                .expect("existing configuration still present after extension");
+            prop_assert_eq!(twin.seed, p.seed);
+        }
+    }
+}
+
+#[test]
+fn sweep_run_identical_across_worker_counts() {
+    let spec = || {
+        SweepSpec::new("workers")
+            .axis("x", [1.0, 2.0, 3.0])
+            .axis("mode", ["a", "b"])
+            .seed(2014)
+            .replications(3)
+            .aggregate("hits", MetricAgg::Sum)
+    };
+    let run = |workers: usize| {
+        let store = SharedStore::new();
+        let out = SweepRunner::new(Farm::new(workers)).run(&spec(), &store, |point, rep, sink| {
+            // Seed-dependent metrics: any reseeding or reordering under
+            // parallelism changes the values, not just their order.
+            let v = (rep.seed % 1000) as f64 * point.axis_num("x");
+            sink.record(point.record("workers", rep.seed).metric("v", v));
+            [("v".to_string(), v), ("hits".to_string(), 1.0)].into()
+        });
+        (out, store.snapshot())
+    };
+    let (out1, snap1) = run(1);
+    let rows = |o: &SweepOutcome| {
+        o.rows
+            .iter()
+            .map(|r| (r.point.clone(), r.metrics.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(out1.rows.len(), 6);
+    for workers in [4, 8] {
+        let (out_n, snap_n) = run(workers);
+        assert_eq!(
+            rows(&out1),
+            rows(&out_n),
+            "sweep rows diverged at {workers} workers"
+        );
+        assert_eq!(
+            snap1, snap_n,
+            "recorded store diverged at {workers} workers"
+        );
+    }
+}
