@@ -1,0 +1,267 @@
+//! Engine-in-the-loop kernel benchmark: drives [`Simulation`] itself —
+//! handler dispatch, RNG draws, probe plumbing and the future-event list
+//! together — rather than raw queue push/pop (that microbench lives in
+//! `des_kernel`). Two workloads bracket the wind tunnel's event profiles:
+//!
+//! * `churn` — a failure/repair churn model: every component always has
+//!   exactly one pending timer, so the pending set stays at `COMPONENTS`
+//!   (thousands) and the future-event list dominates per-event cost. This
+//!   is the availability engine's steady-state shape at cluster scale.
+//! * `mmc` — an M/M/c station: a handful of pending events (one arrival,
+//!   c departures), handler and RNG cost dominate. This is the perf
+//!   engine's shape, and the regime where a fancy event list cannot win —
+//!   it is here to prove the backend abstraction costs nothing.
+//!
+//! Arms are interleaved sample by sample with the order rotated so slow
+//! drift penalizes each alike; best-of strips scheduler noise and the
+//! median is reported alongside. Writes `BENCH_kernel.json` at the
+//! workspace root (override with `BENCH_KERNEL_OUT=...`).
+//!
+//! Both backends execute the identical event stream — the engine's
+//! `(time, seq)` contract pins event order, so RNG draws and model end
+//! state are bitwise-equal across arms; the bench asserts this before
+//! timing anything.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use wt_des::prelude::*;
+use wt_des::rng::RngFactory;
+use wt_des::{CalendarQueue, EventQueue, ServerPool};
+use wt_dist::Dist;
+
+const SAMPLES: usize = 10;
+
+/// A bench arm: label plus a thunk returning the run fingerprint
+/// (events executed, final clock, model state hash).
+type Arm<'a> = (&'a str, &'a dyn Fn() -> (u64, SimTime, u64));
+const COMPONENTS: usize = 8192;
+const CHURN_EVENTS: u64 = 1_500_000;
+const MMC_EVENTS: u64 = 1_500_000;
+
+// --- churn: COMPONENTS self-rescheduling failure/repair timers ----------
+
+enum ChurnEv {
+    Fail(u32),
+    Repair(u32),
+}
+
+struct Churn {
+    rng: wt_des::rng::Stream,
+    mean_up: Dist,
+    mean_down: Dist,
+    failures: u64,
+}
+
+impl Model for Churn {
+    type Event = ChurnEv;
+    fn handle(&mut self, ev: ChurnEv, ctx: &mut Ctx<'_, ChurnEv>) {
+        match ev {
+            ChurnEv::Fail(c) => {
+                self.failures += 1;
+                let down = SimDuration::from_secs(self.mean_down.sample(&mut self.rng));
+                ctx.schedule_in(down, ChurnEv::Repair(c));
+            }
+            ChurnEv::Repair(c) => {
+                let up = SimDuration::from_secs(self.mean_up.sample(&mut self.rng));
+                ctx.schedule_in(up, ChurnEv::Fail(c));
+            }
+        }
+    }
+    fn label(ev: &ChurnEv) -> &'static str {
+        match ev {
+            ChurnEv::Fail(_) => "Fail",
+            ChurnEv::Repair(_) => "Repair",
+        }
+    }
+}
+
+/// Runs the churn workload for `CHURN_EVENTS` events on queue backend
+/// `Q`; returns a state fingerprint (events, final clock, failure count)
+/// for the cross-arm identity assertion.
+fn run_churn<Q: PendingEvents<ChurnEv> + Default>(seed: u64) -> (u64, SimTime, u64) {
+    let factory = RngFactory::new(seed);
+    let model = Churn {
+        rng: factory.stream("churn"),
+        mean_up: Dist::exponential_mean(1.0),
+        mean_down: Dist::exponential_mean(0.05),
+        failures: 0,
+    };
+    let mut sim = Simulation::with_queue(model, seed, Q::default());
+    sim.reserve_events(COMPONENTS);
+    let mut seed_rng = factory.stream("phases");
+    for c in 0..COMPONENTS {
+        let phase = SimDuration::from_secs(seed_rng.uniform());
+        sim.schedule_in(phase, ChurnEv::Fail(c as u32));
+    }
+    sim.set_event_budget(CHURN_EVENTS);
+    sim.run();
+    (sim.events_executed(), sim.now(), sim.model().failures)
+}
+
+// --- mmc: M/M/4 station, tiny pending set -------------------------------
+
+enum MmcEv {
+    Arrival,
+    Departure,
+}
+
+struct Mmc {
+    interarrival: Dist,
+    service: Dist,
+    pool: ServerPool<()>,
+    rng: wt_des::rng::Stream,
+}
+
+impl Model for Mmc {
+    type Event = MmcEv;
+    fn handle(&mut self, ev: MmcEv, ctx: &mut Ctx<'_, MmcEv>) {
+        let now = ctx.now();
+        match ev {
+            MmcEv::Arrival => {
+                let gap = SimDuration::from_secs(self.interarrival.sample(&mut self.rng));
+                ctx.schedule_in(gap, MmcEv::Arrival);
+                if self.pool.arrive(now, ()).is_some() {
+                    let s = SimDuration::from_secs(self.service.sample(&mut self.rng));
+                    ctx.schedule_in(s, MmcEv::Departure);
+                }
+            }
+            MmcEv::Departure => {
+                if self.pool.depart(now).is_some() {
+                    let s = SimDuration::from_secs(self.service.sample(&mut self.rng));
+                    ctx.schedule_in(s, MmcEv::Departure);
+                }
+            }
+        }
+    }
+    fn label(ev: &MmcEv) -> &'static str {
+        match ev {
+            MmcEv::Arrival => "Arrival",
+            MmcEv::Departure => "Departure",
+        }
+    }
+}
+
+fn run_mmc<Q: PendingEvents<MmcEv> + Default>(seed: u64) -> (u64, SimTime, u64) {
+    let factory = RngFactory::new(seed);
+    let model = Mmc {
+        interarrival: Dist::exponential_mean(1.0),
+        service: Dist::exponential_mean(3.6), // rho = 0.9 at c = 4
+        pool: ServerPool::new(4, SimTime::ZERO),
+        rng: factory.stream("mmc"),
+    };
+    let mut sim = Simulation::with_queue(model, seed, Q::default());
+    sim.schedule_at(SimTime::ZERO, MmcEv::Arrival);
+    sim.set_event_budget(MMC_EVENTS);
+    sim.run();
+    (
+        sim.events_executed(),
+        sim.now(),
+        sim.model().pool.completions(),
+    )
+}
+
+// --- harness -------------------------------------------------------------
+
+fn best(v: &[f64]) -> f64 {
+    v.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+fn median(v: &[f64]) -> f64 {
+    let mut sorted = v.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    (sorted[(sorted.len() - 1) / 2] + sorted[sorted.len() / 2]) / 2.0
+}
+
+/// Times `SAMPLES` runs of each arm, interleaved, returning per-arm
+/// elapsed-seconds vectors.
+fn time_arms(arms: &[Arm<'_>]) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = arms.iter().map(|_| Vec::with_capacity(SAMPLES)).collect();
+    for i in 0..SAMPLES {
+        // Rotate the arm order each sample so drift hits all arms alike.
+        for k in 0..arms.len() {
+            let j = (k + i) % arms.len();
+            let t0 = Instant::now();
+            std::hint::black_box(arms[j].1());
+            out[j].push(t0.elapsed().as_secs_f64());
+        }
+    }
+    out
+}
+
+fn main() {
+    // Warm-up + determinism gate: both backends must execute the full
+    // budget AND land on the same fingerprint — same events, same final
+    // clock, same model state — before anything is timed. This is the
+    // (time, seq) contract observed end to end.
+    let churn_heap = run_churn::<EventQueue<ChurnEv>>(1);
+    let churn_cal = run_churn::<CalendarQueue<ChurnEv>>(1);
+    assert_eq!(churn_heap.0, CHURN_EVENTS, "churn drained early");
+    assert_eq!(churn_heap, churn_cal, "backends diverged on churn");
+    let mmc_heap = run_mmc::<EventQueue<MmcEv>>(1);
+    let mmc_cal = run_mmc::<CalendarQueue<MmcEv>>(1);
+    assert_eq!(mmc_heap.0, MMC_EVENTS, "mmc drained early");
+    assert_eq!(mmc_heap, mmc_cal, "backends diverged on mmc");
+
+    println!(
+        "kernel_engine: {COMPONENTS} components, {CHURN_EVENTS} churn + {MMC_EVENTS} mmc events/sample, {SAMPLES} samples"
+    );
+
+    let churn_arms: Vec<Arm<'_>> = vec![
+        ("churn/heap", &|| run_churn::<EventQueue<ChurnEv>>(1)),
+        ("churn/calendar", &|| run_churn::<CalendarQueue<ChurnEv>>(1)),
+    ];
+    let churn_times = time_arms(&churn_arms);
+    let mmc_arms: Vec<Arm<'_>> = vec![
+        ("mmc/heap", &|| run_mmc::<EventQueue<MmcEv>>(1)),
+        ("mmc/calendar", &|| run_mmc::<CalendarQueue<MmcEv>>(1)),
+    ];
+    let mmc_times = time_arms(&mmc_arms);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernel_engine\",");
+    let _ = writeln!(
+        json,
+        "  \"metric\": \"full Simulation runs (engine loop + handlers + RNG) per queue backend; identical event streams asserted before timing\","
+    );
+    for (arms, times, events) in [
+        (&churn_arms, &churn_times, CHURN_EVENTS),
+        (&mmc_arms, &mmc_times, MMC_EVENTS),
+    ] {
+        for (k, (name, _)) in arms.iter().enumerate() {
+            let b = events as f64 / best(&times[k]);
+            let m = events as f64 / median(&times[k]);
+            println!("{name}: best {b:.0} ev/s, median {m:.0} ev/s");
+            let slug = name.replace('/', "_");
+            let _ = writeln!(json, "  \"{slug}_events_per_s_best\": {b:.0},");
+            let _ = writeln!(json, "  \"{slug}_events_per_s_median\": {m:.0},");
+        }
+    }
+    let churn_speedup = best(&churn_times[0]) / best(&churn_times[1]);
+    let mmc_ratio = best(&mmc_times[0]) / best(&mmc_times[1]);
+    println!();
+    println!("churn: calendar/heap speedup {churn_speedup:.2}x (best-sample)");
+    println!(
+        "mmc:   calendar/heap ratio   {mmc_ratio:.2}x (small pending set; heap expected to hold)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"churn_calendar_speedup_best\": {churn_speedup:.2},"
+    );
+    let _ = writeln!(json, "  \"mmc_calendar_ratio_best\": {mmc_ratio:.2},");
+    if let Ok(pre) = std::env::var("BENCH_KERNEL_PRE_PR_CHURN_HEAP") {
+        // The pre-refactor heap loop's ev/s, measured on the same host
+        // before the backend abstraction landed — recorded so the JSON
+        // documents the no-regression claim.
+        let _ = writeln!(json, "  \"churn_heap_pre_pr_events_per_s_best\": {pre},");
+    }
+    let _ = writeln!(json, "  \"samples\": {SAMPLES}");
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_KERNEL_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json").to_string()
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("written to {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
+    }
+}

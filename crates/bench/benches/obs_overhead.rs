@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
+use wt_des::QueueBackend;
 use wt_dist::Dist;
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
 
@@ -47,6 +48,7 @@ fn model() -> AvailabilityModel {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     }
 }
 

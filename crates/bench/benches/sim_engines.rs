@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wt_cluster::{AvailabilityModel, PerfModel, RebuildModel};
 use wt_des::time::SimDuration;
+use wt_des::QueueBackend;
 use wt_dist::Dist;
 use wt_hw::{catalog, TopologySpec};
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
@@ -33,6 +34,7 @@ fn avail_model(parallel: usize) -> AvailabilityModel {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     }
 }
 
@@ -64,6 +66,7 @@ fn bench_perf(c: &mut Criterion) {
         inject_failures: false,
         node_ttf: None,
         horizon_s: 60.0,
+        queue: QueueBackend::Heap,
     };
     c.bench_function("perf_engine_60s_500rps", |b| {
         b.iter(|| black_box(model.run(4)));

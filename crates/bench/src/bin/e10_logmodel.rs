@@ -38,6 +38,7 @@ fn avail_model(ttf: Dist, repair_time: Dist) -> AvailabilityModel {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     }
 }
 

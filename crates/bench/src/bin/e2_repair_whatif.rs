@@ -42,6 +42,7 @@ fn arm(n: usize, gbps: f64, parallel: usize) -> AvailabilityModel {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     }
 }
 

@@ -17,6 +17,7 @@ use wt_bench::queuesim::QueueSim;
 use wt_bench::{banner, flag_value, runner_from_args, Table};
 use wt_cluster::{AvailabilityModel, RebuildModel};
 use wt_des::time::SimDuration;
+use wt_des::QueueBackend;
 use wt_dist::Dist;
 use wt_store::SharedStore;
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
@@ -136,6 +137,7 @@ fn main() {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     };
     // 8 CRN replications per failure law: both laws face the same seeds,
     // so the Weibull-vs-exponential gap is the law's, not the sampler's.

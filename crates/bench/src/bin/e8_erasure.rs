@@ -48,6 +48,7 @@ fn mk(scheme: RedundancyScheme) -> AvailabilityModel {
         },
         switches: None,
         disks: None,
+        queue: QueueBackend::Heap,
     }
 }
 

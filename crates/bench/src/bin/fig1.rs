@@ -10,7 +10,11 @@
 //!
 //! Extra flags:
 //! * `--smoke` — the smallest series at reduced trial count (the CI
-//!   configuration), skipping the full-figure qualitative checks,
+//!   configuration), skipping the full-figure qualitative checks and
+//!   appending a deterministic DES digest line (see below),
+//! * `--queue heap|calendar` — future-event-list backend for the DES
+//!   runs (the digest and `--trace`); stdout is byte-identical across
+//!   backends, which CI's kernel-smoke job diffs,
 //! * `--trace <path>` — additionally run one representative DES
 //!   availability run with the probe stack attached and write it as
 //!   Chrome trace-event JSON (open in Perfetto / `about:tracing`),
@@ -19,14 +23,15 @@
 use windtunnel::obs::TraceProbe;
 use windtunnel::prelude::*;
 use wt_bench::fig1::{compute, Fig1Config};
-use wt_bench::{banner, export_trace, flag_value, fmt_p, runner_from_args};
+use wt_bench::{banner, export_trace, flag_value, fmt_p, queue_from_args, runner_from_args};
+use wt_des::SimDuration;
 
 /// The figure itself is a Monte-Carlo quorum computation, so `--trace`
 /// records one representative DES availability run instead: the default
 /// 30-node storage cluster under failure pressure high enough to
 /// exercise the full event vocabulary (failures, rebuild queueing,
 /// repair completion).
-fn trace_representative_run(path: &str) {
+fn trace_representative_run(path: &str, queue: QueueBackend) {
     let mut scenario = ScenarioBuilder::new("fig1-trace")
         .racks(3)
         .nodes_per_rack(10)
@@ -34,6 +39,7 @@ fn trace_representative_run(path: &str) {
         .object_gb(4.0)
         .horizon_years(0.25)
         .seed(2014)
+        .queue(queue)
         .build();
     scenario.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
 
@@ -58,6 +64,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let runner = runner_from_args(&args);
+    let queue = queue_from_args(&args);
 
     let config = if smoke {
         Fig1Config::smallest()
@@ -83,10 +90,37 @@ fn main() {
     }
 
     if let Some(path) = flag_value(&args, "--trace") {
-        trace_representative_run(path);
+        trace_representative_run(path, queue);
     }
 
     if smoke {
+        // The figure itself is a Monte-Carlo quorum computation that never
+        // touches the event queue, so `--queue` needs a run with teeth: one
+        // deterministic DES availability run on the selected backend, its
+        // digest printed to stdout. The backend name is deliberately
+        // absent from the line — CI diffs the heap and calendar stdout
+        // byte for byte, and this digest is the part a nonconforming
+        // backend would corrupt.
+        let mut scenario = ScenarioBuilder::new("fig1-smoke-des")
+            .racks(1)
+            .nodes_per_rack(10)
+            .objects(150)
+            .object_gb(4.0)
+            .horizon_years(0.25)
+            .seed(2014)
+            .queue(queue)
+            .build();
+        scenario.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+        let model = WindTunnel::availability_model(&scenario);
+        let r = model.run(
+            scenario.seed,
+            SimDuration::from_years(scenario.horizon_years),
+        );
+        println!();
+        println!(
+            "des digest: availability={:.9} node_failures={} rebuilds={} events={}",
+            r.availability, r.node_failures, r.rebuilds_completed, r.sim_events
+        );
         // The reduced grid has a single series; the full-figure
         // cross-series checks below would index columns it lacks.
         return;

@@ -47,6 +47,24 @@ pub fn runner_from_args(args: &[String]) -> SweepRunner {
     SweepRunner::new(farm_from_args(args))
 }
 
+/// The shared `--queue heap|calendar` flag selecting the engines'
+/// future-event-list backend (default heap). Exits with a usage error on
+/// an unknown backend name. The choice affects wall-clock time only —
+/// experiment output is byte-identical either way, which the CI
+/// kernel-smoke job diffs.
+pub fn queue_from_args(args: &[String]) -> wt_des::QueueBackend {
+    match flag_value(args, "--queue") {
+        Some(v) => match wt_des::QueueBackend::parse(v) {
+            Some(q) => q,
+            None => {
+                eprintln!("error: --queue expects 'heap' or 'calendar', got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => wt_des::QueueBackend::default(),
+    }
+}
+
 /// Writes a recorded run as Chrome trace-event JSON (`--trace <path>`)
 /// and reports the span/event round trip on stderr — stderr so that
 /// experiment stdout stays byte-identical with tracing on or off.

@@ -24,6 +24,7 @@ use crate::results::AvailabilityResult;
 use std::collections::VecDeque;
 use wt_des::prelude::*;
 use wt_des::rng::RngFactory;
+use wt_des::{CalendarQueue, EventQueue};
 use wt_dist::Dist;
 use wt_sw::repair::{RepairQueue, RepairTask};
 use wt_sw::{Placement, Placer, RedundancyScheme, RepairPolicy};
@@ -99,12 +100,29 @@ pub struct AvailabilityModel {
     pub switches: Option<SwitchFailureModel>,
     /// Optional per-disk failures (finer failure granularity than nodes).
     pub disks: Option<DiskFailureModel>,
+    /// Future-event-list backend. Both choices produce bitwise-identical
+    /// results (the engine's `(time, seq)` contract); `Calendar` is faster
+    /// once the steady-state pending set reaches cluster scale — one timer
+    /// per node, switch and disk. See DESIGN.md §8.
+    pub queue: QueueBackend,
 }
 
 impl AvailabilityModel {
     /// Runs the simulation for `horizon` and summarizes.
     pub fn run(&self, seed: u64, horizon: SimDuration) -> AvailabilityResult {
-        let mut sim = self.seeded_sim(seed);
+        match self.queue {
+            QueueBackend::Heap => self.run_on::<EventQueue<Ev>>(seed, horizon),
+            QueueBackend::Calendar => self.run_on::<CalendarQueue<Ev>>(seed, horizon),
+        }
+    }
+
+    /// [`run`](Self::run), monomorphized for one queue backend.
+    fn run_on<Q: PendingEvents<Ev> + Default>(
+        &self,
+        seed: u64,
+        horizon: SimDuration,
+    ) -> AvailabilityResult {
+        let mut sim = self.seeded_sim::<Q>(seed);
         let end = SimTime::ZERO + horizon;
         sim.run_until(end);
         let events = sim.events_executed();
@@ -121,7 +139,22 @@ impl AvailabilityModel {
         horizon: SimDuration,
         extra: Option<&mut dyn wt_des::obs::Probe>,
     ) -> (AvailabilityResult, wt_des::obs::RunTelemetry) {
-        let mut sim = self.seeded_sim(seed);
+        match self.queue {
+            QueueBackend::Heap => self.run_observed_on::<EventQueue<Ev>>(seed, horizon, extra),
+            QueueBackend::Calendar => {
+                self.run_observed_on::<CalendarQueue<Ev>>(seed, horizon, extra)
+            }
+        }
+    }
+
+    /// [`run_observed`](Self::run_observed), monomorphized for one backend.
+    fn run_observed_on<Q: PendingEvents<Ev> + Default>(
+        &self,
+        seed: u64,
+        horizon: SimDuration,
+        extra: Option<&mut dyn wt_des::obs::Probe>,
+    ) -> (AvailabilityResult, wt_des::obs::RunTelemetry) {
+        let mut sim = self.seeded_sim::<Q>(seed);
         let end = SimTime::ZERO + horizon;
         let mut sp = wt_des::obs::SimProbe::new();
         let reason = match extra {
@@ -131,7 +164,8 @@ impl AvailabilityModel {
             }
             None => sim.run_until_probed(end, &mut sp),
         };
-        let telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        let mut telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        telemetry.queue = Some(self.queue.as_str().to_string());
         let events = sim.events_executed();
         (sim.into_model().finish(end, events), telemetry)
     }
@@ -139,8 +173,22 @@ impl AvailabilityModel {
     /// Builds the simulation and seeds the initial failure events — the
     /// shared front half of [`run`](Self::run) and
     /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
-    fn seeded_sim(&self, seed: u64) -> Simulation<AvailState> {
-        let mut sim = Simulation::new(AvailState::new(self, seed), seed);
+    fn seeded_sim<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> Simulation<AvailState, Q> {
+        let mut sim = Simulation::with_queue(AvailState::new(self, seed), seed, Q::default());
+        // The steady state keeps one pending timer per failure-capable
+        // component (node, switch, disk slot) plus the in-flight rebuild
+        // streams; pre-size the queue so it never regrows mid-run.
+        let racks = self
+            .switches
+            .as_ref()
+            .map(|sw| self.n_nodes / sw.nodes_per_rack.max(1))
+            .unwrap_or(0);
+        let disk_slots = self
+            .disks
+            .as_ref()
+            .map(|dm| self.n_nodes * dm.per_node)
+            .unwrap_or(0);
+        sim.reserve_events(self.n_nodes + racks + disk_slots + self.repair.max_parallel);
         // Seed each node's first failure.
         let factory = RngFactory::new(seed);
         let mut rng = factory.stream("initial-failures");
@@ -680,6 +728,7 @@ mod tests {
             repair: RepairPolicy::parallel(16),
             switches: None,
             disks: None,
+            queue: QueueBackend::Heap,
         }
     }
 
@@ -901,6 +950,7 @@ mod tests {
             },
             switches: None,
             disks: None,
+            queue: QueueBackend::Heap,
         };
         // Average multiple long replications for a tight estimate.
         let mut avail = 0.0;
@@ -945,6 +995,7 @@ mod tests {
                 repair: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
             }),
             disks: None,
+            queue: QueueBackend::Heap,
         };
         let random = mk(Placement::Random).run(3, SimDuration::from_years(2.0));
         assert!(
@@ -998,6 +1049,7 @@ mod tests {
                 ttf: Dist::weibull_mean(0.8, 60.0 * DAY),
                 replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
             }),
+            queue: QueueBackend::Heap,
         };
         let r = m.run(21, SimDuration::from_years(1.0));
         assert_eq!(r.node_failures, 0);
@@ -1037,6 +1089,7 @@ mod tests {
                 ttf: Dist::weibull_mean(0.8, 90.0 * DAY),
                 replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
             }),
+            queue: QueueBackend::Heap,
         };
         let r = m.run(22, SimDuration::from_years(1.0));
         assert!(r.node_failures > 0 && r.disk_failures > 0);
@@ -1064,6 +1117,7 @@ mod tests {
                 repair: Dist::deterministic(1.0 * DAY),
             }),
             disks: None,
+            queue: QueueBackend::Heap,
         };
         let r = m.run(4, SimDuration::from_days(11.0));
         // Down from day 10 to day 11 (the horizon): 1 of 11 days.
@@ -1098,6 +1152,7 @@ mod tests {
             },
             switches: None,
             disks: None,
+            queue: QueueBackend::Heap,
         };
         let mut exp_avail = 0.0;
         let mut weib_avail = 0.0;
@@ -1153,6 +1208,7 @@ mod proptests {
             },
             switches: None,
             disks: None,
+            queue: QueueBackend::Heap,
         }
     }
 

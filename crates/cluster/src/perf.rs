@@ -23,7 +23,7 @@ use crate::results::{PerfResult, TenantPerf};
 use std::collections::HashMap;
 use wt_des::prelude::*;
 use wt_des::rng::RngFactory;
-use wt_des::ServerPool;
+use wt_des::{CalendarQueue, EventQueue, ServerPool};
 use wt_dist::Dist;
 use wt_hw::limpware::{LimpState, LimpTarget};
 use wt_hw::{LimpwareSpec, NodeId, Topology, TopologySpec};
@@ -55,12 +55,25 @@ pub struct PerfModel {
     pub node_ttf: Option<Dist>,
     /// Simulated duration, seconds.
     pub horizon_s: f64,
+    /// Future-event-list backend. Results are bitwise-identical either
+    /// way (the engine's `(time, seq)` contract); the perf model's pending
+    /// set is small — one arrival per tenant plus in-flight stages — so
+    /// the default heap is usually right here. See DESIGN.md §8.
+    pub queue: QueueBackend,
 }
 
 impl PerfModel {
     /// Runs the simulation and summarizes per-tenant latency.
     pub fn run(&self, seed: u64) -> PerfResult {
-        let mut sim = self.seeded_sim(seed);
+        match self.queue {
+            QueueBackend::Heap => self.run_on::<EventQueue<Ev>>(seed),
+            QueueBackend::Calendar => self.run_on::<CalendarQueue<Ev>>(seed),
+        }
+    }
+
+    /// [`run`](Self::run), monomorphized for one queue backend.
+    fn run_on<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> PerfResult {
+        let mut sim = self.seeded_sim::<Q>(seed);
         let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
         sim.run_until(end);
         sim.into_model().finish(end)
@@ -75,7 +88,19 @@ impl PerfModel {
         seed: u64,
         extra: Option<&mut dyn wt_des::obs::Probe>,
     ) -> (PerfResult, wt_des::obs::RunTelemetry) {
-        let mut sim = self.seeded_sim(seed);
+        match self.queue {
+            QueueBackend::Heap => self.run_observed_on::<EventQueue<Ev>>(seed, extra),
+            QueueBackend::Calendar => self.run_observed_on::<CalendarQueue<Ev>>(seed, extra),
+        }
+    }
+
+    /// [`run_observed`](Self::run_observed), monomorphized for one backend.
+    fn run_observed_on<Q: PendingEvents<Ev> + Default>(
+        &self,
+        seed: u64,
+        extra: Option<&mut dyn wt_des::obs::Probe>,
+    ) -> (PerfResult, wt_des::obs::RunTelemetry) {
+        let mut sim = self.seeded_sim::<Q>(seed);
         let end = SimTime::ZERO + SimDuration::from_secs(self.horizon_s);
         let mut sp = wt_des::obs::SimProbe::new();
         let reason = match extra {
@@ -85,19 +110,30 @@ impl PerfModel {
             }
             None => sim.run_until_probed(end, &mut sp),
         };
-        let telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        let mut telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
+        telemetry.queue = Some(self.queue.as_str().to_string());
         (sim.into_model().finish(end), telemetry)
     }
 
     /// Builds the simulation and seeds initial arrivals/failures — the
     /// shared front half of [`run`](Self::run) and
     /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
-    fn seeded_sim(&self, seed: u64) -> Simulation<PerfState> {
+    fn seeded_sim<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> Simulation<PerfState, Q> {
         assert!(
             !self.tenants.is_empty(),
             "perf run needs at least one tenant"
         );
-        let mut sim = Simulation::new(PerfState::new(self, seed), seed);
+        let mut sim = Simulation::with_queue(PerfState::new(self, seed), seed, Q::default());
+        // One pending arrival per tenant, one failure timer per node when
+        // injection is on, plus in-flight request stages.
+        sim.reserve_events(
+            self.tenants.len()
+                + if self.inject_failures {
+                    self.topology.node_count()
+                } else {
+                    0
+                },
+        );
         // First arrival per tenant.
         for t in 0..self.tenants.len() {
             let gap = sim.model_mut().next_arrival_gap(t);
@@ -616,6 +652,7 @@ mod tests {
             inject_failures: false,
             node_ttf: None,
             horizon_s: 120.0,
+            queue: QueueBackend::Heap,
         }
     }
 
@@ -812,6 +849,7 @@ mod tests {
                 inject_failures: false,
                 node_ttf: None,
                 horizon_s: 60.0,
+                queue: QueueBackend::Heap,
             }
         };
         let small = mk(16.0).run(8); // 160 GB cache vs 2 TB data: ~8% hits
@@ -856,6 +894,7 @@ mod proptests {
             inject_failures: false,
             node_ttf: None,
             horizon_s,
+            queue: QueueBackend::Heap,
         }
     }
 

@@ -6,6 +6,7 @@
 //! wind tunnel" (§4) is a function from `Scenario` to result.
 
 use serde::{Deserialize, Serialize};
+use wt_des::QueueBackend;
 use wt_hw::{CostModel, LimpwareSpec, TopologySpec};
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
 use wt_workload::TenantWorkload;
@@ -41,9 +42,19 @@ pub struct Scenario {
     pub horizon_years: f64,
     /// Root random seed.
     pub seed: u64,
+    /// Future-event-list backend for the engines (`None` → the default
+    /// heap, and what scenarios serialized before the backend became
+    /// selectable deserialize to). Purely a wall-clock knob: both
+    /// backends produce bitwise-identical results.
+    pub queue: Option<QueueBackend>,
 }
 
 impl Scenario {
+    /// The queue backend to run with ([`QueueBackend::Heap`] unless set).
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.unwrap_or_default()
+    }
+
     /// Total raw bytes stored (before redundancy).
     pub fn raw_bytes(&self) -> u64 {
         self.objects * self.object_bytes
@@ -102,6 +113,7 @@ mod tests {
             disk_failures: false,
             horizon_years: 1.0,
             seed: 42,
+            queue: None,
         }
     }
 
@@ -140,11 +152,25 @@ mod tests {
 
     #[test]
     fn scenario_serde_roundtrip() {
-        let s = base();
+        let mut s = base();
+        s.queue = Some(QueueBackend::Calendar);
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back.name, s.name);
         assert_eq!(back.redundancy, s.redundancy);
         assert_eq!(back.seed, s.seed);
+        assert_eq!(back.queue_backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn pre_backend_scenario_json_still_loads() {
+        // Scenario files serialized before the queue backend existed have
+        // no "queue" key at all; they must load and default to the heap.
+        let json = serde_json::to_string(&base()).unwrap();
+        let stripped = json.replacen(",\"queue\":null", "", 1);
+        assert_ne!(stripped, json, "expected a trailing queue field");
+        let back: Scenario = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.queue, None);
+        assert_eq!(back.queue_backend(), QueueBackend::Heap);
     }
 }

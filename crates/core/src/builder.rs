@@ -1,6 +1,7 @@
 //! Fluent scenario construction with sensible catalog defaults.
 
 use wt_cluster::Scenario;
+use wt_des::QueueBackend;
 use wt_hw::{catalog, DiskSpec, LimpwareSpec, NicSpec, SwitchSpec, TopologySpec};
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
 use wt_workload::TenantWorkload;
@@ -31,6 +32,7 @@ pub struct ScenarioBuilder {
     disk_failures: bool,
     horizon_years: f64,
     seed: u64,
+    queue: Option<QueueBackend>,
 }
 
 impl ScenarioBuilder {
@@ -58,6 +60,7 @@ impl ScenarioBuilder {
             disk_failures: false,
             horizon_years: 1.0,
             seed: 42,
+            queue: None,
         }
     }
 
@@ -195,6 +198,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Future-event-list backend for the engines. Affects wall-clock time
+    /// only — results are bitwise-identical across backends.
+    pub fn queue(mut self, backend: QueueBackend) -> Self {
+        self.queue = Some(backend);
+        self
+    }
+
     /// Assembles the scenario (validates the topology).
     pub fn build(self) -> Scenario {
         let node =
@@ -229,6 +239,7 @@ impl ScenarioBuilder {
             disk_failures: self.disk_failures,
             horizon_years: self.horizon_years,
             seed: self.seed,
+            queue: self.queue,
         }
     }
 }
@@ -262,6 +273,7 @@ mod tests {
             .object_gb(2.0)
             .horizon_years(0.5)
             .seed(9)
+            .queue(QueueBackend::Calendar)
             .build();
         assert_eq!(s.topology.racks, 3);
         assert_eq!(s.topology.node.disks[0].name, "ssd-sata-1t");
@@ -274,6 +286,14 @@ mod tests {
         assert_eq!(s.object_bytes, 2 << 30);
         assert_eq!(s.horizon_years, 0.5);
         assert_eq!(s.seed, 9);
+        assert_eq!(s.queue_backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn queue_backend_defaults_to_heap() {
+        let s = ScenarioBuilder::new("q").build();
+        assert_eq!(s.queue, None);
+        assert_eq!(s.queue_backend(), QueueBackend::Heap);
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl WindTunnel {
                 ttf: scenario.topology.node.disks[0].ttf.clone(),
                 replace: scenario.topology.node.disks[0].repair.clone(),
             }),
+            queue: scenario.queue_backend(),
         }
     }
 
@@ -144,6 +145,7 @@ impl WindTunnel {
             inject_failures,
             node_ttf: None,
             horizon_s: (scenario.horizon_years * 365.0 * 86_400.0).min(600.0),
+            queue: scenario.queue_backend(),
         }
     }
 

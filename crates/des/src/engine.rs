@@ -7,6 +7,7 @@
 //! simpler and — for the replications-of-independent-runs workloads the
 //! paper targets — faster than intra-run parallel DES.
 
+use crate::pending::PendingEvents;
 use crate::queue::EventQueue;
 use crate::rng::RngFactory;
 use crate::time::{SimDuration, SimTime};
@@ -60,9 +61,14 @@ impl StopReason {
 
 /// Scheduling context passed to [`Model::handle`]: the clock, the event
 /// queue, the RNG factory and the stop flag.
+///
+/// The queue is held as `&mut dyn PendingEvents<E>` so that
+/// [`Model::handle`]'s signature is independent of the engine's backend
+/// choice: models compile once, scheduling pays one indirect call, and
+/// the engine's pop/peek loop stays fully monomorphized.
 pub struct Ctx<'a, E> {
     now: SimTime,
-    queue: &'a mut EventQueue<E>,
+    queue: &'a mut dyn PendingEvents<E>,
     rng: &'a mut RngFactory,
     stop: &'a mut bool,
     executed: u64,
@@ -131,9 +137,14 @@ impl<E> Ctx<'_, E> {
 
 /// A single simulation run: a [`Model`], its future-event list, clock,
 /// RNG factory and execution counters.
-pub struct Simulation<M: Model> {
+///
+/// Generic over the future-event list `Q` (default: the binary-heap
+/// [`EventQueue`]). Because every [`PendingEvents`] backend honors the
+/// same `(time, seq)` pop order, the backend choice affects wall-clock
+/// time only — event order, RNG draws and results are identical.
+pub struct Simulation<M: Model, Q: PendingEvents<M::Event> = EventQueue<<M as Model>::Event>> {
     model: M,
-    queue: EventQueue<M::Event>,
+    queue: Q,
     rng: RngFactory,
     now: SimTime,
     executed: u64,
@@ -141,16 +152,35 @@ pub struct Simulation<M: Model> {
 }
 
 impl<M: Model> Simulation<M> {
-    /// Creates a run over `model`, with all randomness derived from `seed`.
+    /// Creates a run over `model` with the default binary-heap event
+    /// queue, all randomness derived from `seed`.
     pub fn new(model: M, seed: u64) -> Self {
+        Self::with_queue(model, seed, EventQueue::new())
+    }
+}
+
+impl<M: Model, Q: PendingEvents<M::Event>> Simulation<M, Q> {
+    /// Creates a run over `model` using `queue` as the future-event list
+    /// (e.g. a [`CalendarQueue`](crate::CalendarQueue)); all randomness
+    /// derived from `seed`. The queue must be empty.
+    pub fn with_queue(model: M, seed: u64, queue: Q) -> Self {
+        debug_assert!(queue.is_empty(), "backend queue must start empty");
         Simulation {
             model,
-            queue: EventQueue::new(),
+            queue,
             rng: RngFactory::new(seed),
             now: SimTime::ZERO,
             executed: 0,
             event_budget: None,
         }
+    }
+
+    /// Pre-allocates queue room for at least `additional` pending events
+    /// (a hint; see [`PendingEvents::reserve`]). Engines that know their
+    /// steady-state pending-set size — e.g. one timer per component —
+    /// call this once at setup so the hot loop never regrows the list.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Caps the total number of events this run may execute; the engine
@@ -235,8 +265,42 @@ impl<M: Model> Simulation<M> {
     /// Runs until `horizon` (exclusive: events strictly after it stay
     /// pending and the clock is left at `horizon`), the queue drains, the
     /// model stops, or the budget runs out.
+    ///
+    /// This is the probe-free loop, monomorphized per backend with no
+    /// probe checks inside — attaching observability costs nothing when
+    /// it is not used ([`run_until_probed`](Self::run_until_probed) is a
+    /// separate loop).
     pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
-        self.run_loop(horizon, None)
+        loop {
+            if let Some(budget) = self.event_budget {
+                if self.executed >= budget {
+                    return StopReason::EventBudgetExhausted;
+                }
+            }
+            let Some(next) = self.queue.peek_time() else {
+                return StopReason::QueueEmpty;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return StopReason::HorizonReached;
+            }
+            let (time, ev) = self.queue.pop().expect("peeked entry vanished");
+            self.now = time;
+            self.executed += 1;
+            let mut stop = false;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop: &mut stop,
+                executed: self.executed,
+                marks: None,
+            };
+            self.model.handle(ev, &mut ctx);
+            if stop {
+                return StopReason::StoppedByModel;
+            }
+        }
     }
 
     /// [`Simulation::run_until`] with a probe observing every handled
@@ -246,10 +310,6 @@ impl<M: Model> Simulation<M> {
     /// does the engine additionally time each handler and report it via
     /// `Probe::on_handler_wall`.
     pub fn run_until_probed(&mut self, horizon: SimTime, probe: &mut dyn Probe) -> StopReason {
-        self.run_loop(horizon, Some(probe))
-    }
-
-    fn run_loop(&mut self, horizon: SimTime, mut probe: Option<&mut dyn Probe>) -> StopReason {
         let mut mark_buf: Vec<&'static str> = Vec::new();
         loop {
             if let Some(budget) = self.event_budget {
@@ -269,7 +329,7 @@ impl<M: Model> Simulation<M> {
             self.executed += 1;
             let label = M::label(&ev);
             #[cfg(feature = "wall-time")]
-            let handler_start = probe.is_some().then(std::time::Instant::now);
+            let handler_start = std::time::Instant::now();
             let mut stop = false;
             let mut ctx = Ctx {
                 now: self.now,
@@ -277,19 +337,15 @@ impl<M: Model> Simulation<M> {
                 rng: &mut self.rng,
                 stop: &mut stop,
                 executed: self.executed,
-                marks: probe.is_some().then_some(&mut mark_buf),
+                marks: Some(&mut mark_buf),
             };
             self.model.handle(ev, &mut ctx);
-            if let Some(p) = probe.as_deref_mut() {
-                for mark in mark_buf.drain(..) {
-                    p.on_mark(mark);
-                }
-                #[cfg(feature = "wall-time")]
-                if let Some(t0) = handler_start {
-                    p.on_handler_wall(label, t0.elapsed().as_nanos() as u64);
-                }
-                p.on_event(label, self.now.as_secs(), self.queue.len());
+            for mark in mark_buf.drain(..) {
+                probe.on_mark(mark);
             }
+            #[cfg(feature = "wall-time")]
+            probe.on_handler_wall(label, handler_start.elapsed().as_nanos() as u64);
+            probe.on_event(label, self.now.as_secs(), self.queue.len());
             if stop {
                 return StopReason::StoppedByModel;
             }
@@ -599,6 +655,67 @@ mod tests {
         // Depth right after the fan-out event was 3.
         assert_eq!(probe.peak_queue_depth(), 3);
         assert_eq!(probe.events(), 4);
+    }
+
+    // --- Backend genericity ----------------------------------------------
+
+    /// One full engine run (reason, counters, clock, model trace) on the
+    /// given queue backend.
+    fn ticker_run<Q: crate::PendingEvents<()>>(
+        queue: Q,
+        probed: bool,
+    ) -> (StopReason, u64, SimTime, Vec<SimTime>) {
+        let mut sim = Simulation::with_queue(ticker(0.5, 50), 11, queue);
+        sim.reserve_events(8);
+        sim.schedule_at(SimTime::ZERO, ());
+        let horizon = SimTime::from_secs(20.0);
+        let reason = if probed {
+            let mut p = wt_obs::SimProbe::new();
+            sim.run_until_probed(horizon, &mut p)
+        } else {
+            sim.run_until(horizon)
+        };
+        (
+            reason,
+            sim.events_executed(),
+            sim.now(),
+            sim.into_model().fire_times,
+        )
+    }
+
+    #[test]
+    fn calendar_backend_runs_identically_to_heap() {
+        let heap = ticker_run(crate::EventQueue::new(), false);
+        let cal = ticker_run(crate::CalendarQueue::new(), false);
+        assert_eq!(heap, cal);
+        // And probed runs agree with both, across backends.
+        assert_eq!(ticker_run(crate::CalendarQueue::new(), true), heap);
+    }
+
+    #[test]
+    fn ctx_schedules_through_the_backend_trait() {
+        // A model whose handler inspects Ctx queue state exercises the
+        // dyn-dispatched path on a non-default backend.
+        struct Inspector {
+            depths: Vec<usize>,
+        }
+        impl Model for Inspector {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut Ctx<'_, u32>) {
+                self.depths.push(ctx.pending_events());
+                if ev < 5 {
+                    ctx.schedule_in(SimDuration::from_secs(1.0), ev + 1);
+                }
+            }
+        }
+        let mut sim = Simulation::with_queue(
+            Inspector { depths: Vec::new() },
+            3,
+            crate::CalendarQueue::new(),
+        );
+        sim.schedule_at(SimTime::ZERO, 0);
+        assert_eq!(sim.run(), StopReason::QueueEmpty);
+        assert_eq!(sim.model().depths, vec![0; 6]);
     }
 
     #[test]

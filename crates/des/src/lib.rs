@@ -44,6 +44,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod pending;
 pub mod queue;
 pub mod resource;
 pub mod rng;
@@ -52,6 +53,7 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Ctx, Model, Simulation, StopReason};
+pub use pending::{PendingEvents, QueueBackend};
 pub use queue::EventQueue;
 pub use resource::ServerPool;
 pub use rng::{RngFactory, Stream};
@@ -62,6 +64,7 @@ pub use wt_obs as obs;
 /// Convenience re-exports for model authors.
 pub mod prelude {
     pub use crate::engine::{Ctx, Model, Simulation, StopReason};
+    pub use crate::pending::{PendingEvents, QueueBackend};
     pub use crate::rng::{RngFactory, Stream};
     pub use crate::stats::{Counter, Histogram, Tally, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};

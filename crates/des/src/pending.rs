@@ -1,0 +1,127 @@
+//! The pending-event-set abstraction: what the engine requires from a
+//! future-event list, and the naming of the backends that provide it.
+//!
+//! # The `(time, seq)` contract
+//!
+//! Determinism across backends rests on one rule: **events pop in
+//! ascending `(time, seq)` order**, where `seq` is the value returned by
+//! [`PendingEvents::push`] — a counter that increments by one per push
+//! over the queue's lifetime. Equal-time events therefore pop FIFO in
+//! scheduling order, and *never* in an order derived from backend
+//! internals (heap layout, bucket geometry, resize history). Any two
+//! conforming backends fed the same push sequence produce the same pop
+//! sequence, which is what makes simulation results — every RNG draw,
+//! every statistic, every byte — independent of the backend choice.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A future-event list, as seen by the simulation engine.
+///
+/// Implementations must honor the module-level `(time, seq)` contract:
+/// [`pop`](Self::pop) returns pending events in ascending `(time, seq)`
+/// order, with `seq` assigned by [`push`](Self::push) in arrival order.
+/// The trait is object-safe: the engine hands models a
+/// `&mut dyn PendingEvents<E>` inside [`Ctx`](crate::Ctx), so scheduling
+/// goes through one indirect call while the engine's own pop loop stays
+/// monomorphized.
+pub trait PendingEvents<E> {
+    /// Schedules `event` at `time`. Returns the entry's sequence number:
+    /// starts at 0, increments by one per push, never resets (a `u64`
+    /// outlives any feasible run — see the long-run smoke test).
+    fn push(&mut self, time: SimTime, event: E) -> u64;
+
+    /// Removes and returns the pending event with the smallest
+    /// `(time, seq)`, or `None` when empty.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The firing time of the event [`pop`](Self::pop) would return.
+    ///
+    /// Takes `&mut self` so backends may share the pop path's amortized
+    /// cursor advance (the calendar queue does); a peek may reposition
+    /// internal cursors but must never change the queue's contents or
+    /// the subsequent pop order.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-allocates room for at least `additional` more events. A hint:
+    /// backends without a meaningful notion of capacity may ignore it.
+    fn reserve(&mut self, _additional: usize) {}
+}
+
+/// Which [`PendingEvents`] backend a simulation uses. The engine is
+/// generic, so this enum exists for the configuration surface — scenario
+/// specs, CLI flags (`--queue heap|calendar`) and telemetry provenance —
+/// where the choice must be named, serialized and dispatched at runtime.
+///
+/// Both backends honor the `(time, seq)` contract, so the choice affects
+/// wall-clock time only, never results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueueBackend {
+    /// [`EventQueue`](crate::EventQueue): binary heap, O(log n) per
+    /// operation. The default — unbeatable on small pending sets.
+    #[default]
+    Heap,
+    /// [`CalendarQueue`](crate::CalendarQueue): Brown-1988 calendar
+    /// queue, O(1) amortized. Wins on large, dense pending sets (see
+    /// DESIGN.md §8 for measured crossover numbers).
+    Calendar,
+}
+
+impl QueueBackend {
+    /// The lower-case backend name, as accepted by [`parse`](Self::parse)
+    /// and recorded in telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueueBackend::Heap => "heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+
+    /// Parses a backend name (the `--queue` flag values `heap` and
+    /// `calendar`); `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" => Some(QueueBackend::Heap),
+            "calendar" => Some(QueueBackend::Calendar),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [QueueBackend::Heap, QueueBackend::Calendar] {
+            assert_eq!(QueueBackend::parse(b.as_str()), Some(b));
+            assert_eq!(format!("{b}"), b.as_str());
+        }
+        assert_eq!(QueueBackend::parse("splay"), None);
+        assert_eq!(QueueBackend::default(), QueueBackend::Heap);
+    }
+
+    #[test]
+    fn backend_serde_round_trip() {
+        for b in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let json = serde_json::to_string(&b).unwrap();
+            let back: QueueBackend = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, b);
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! ordering of simultaneous events deterministic (FIFO in scheduling order),
 //! which is what makes whole simulations reproducible.
 
+use crate::pending::PendingEvents;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -101,6 +102,33 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Pre-allocates room for at least `additional` more events, so a
+    /// steady-state pending set never regrows the heap mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+}
+
+impl<E> PendingEvents<E> for EventQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) -> u64 {
+        EventQueue::push(self, time, event)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
+    }
+    fn reserve(&mut self, additional: usize) {
+        EventQueue::reserve(self, additional);
     }
 }
 

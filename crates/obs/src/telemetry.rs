@@ -80,6 +80,12 @@ pub struct RunTelemetry {
     pub events_by_label: BTreeMap<String, u64>,
     /// Model-emitted custom marks (see the engine's `Ctx::mark`).
     pub marks: BTreeMap<String, u64>,
+    /// Future-event-list backend the run used (`"heap"`, `"calendar"`),
+    /// recorded as provenance. `None` on records written before the
+    /// backend became selectable. Purely informational: both backends
+    /// produce bitwise-identical event streams, so this never affects
+    /// any simulation-derived field.
+    pub queue: Option<String>,
     /// Wall-clock measurements — the only nondeterministic fields.
     pub wall: WallTelemetry,
 }

@@ -126,8 +126,105 @@ impl Trace {
         Ok(())
     }
 
-    /// Loads from JSON lines.
+    /// Loads from JSON lines, streaming: a reader thread pulls the file
+    /// in ~256 KiB chunks cut at newline boundaries and feeds them over a
+    /// bounded channel while this thread parses — I/O and JSON decoding
+    /// overlap, which is where the wall time goes on big traces (see the
+    /// EXPERIMENTS.md trace-ingestion note for measured throughput).
+    /// Produces exactly what [`load_jsonl_sync`](Self::load_jsonl_sync)
+    /// produces, which the round-trip test asserts.
     pub fn load_jsonl(path: &std::path::Path) -> std::io::Result<Trace> {
+        use std::io::Read as _;
+        const CHUNK: usize = 256 * 1024;
+        // Open here so a missing file fails before any thread is spawned.
+        let mut f = std::fs::File::open(path)?;
+        // Bounded: if parsing falls behind, the reader blocks instead of
+        // buffering the whole file in memory.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<std::io::Result<String>>(4);
+        let reader = std::thread::spawn(move || {
+            let invalid = |e: std::string::FromUtf8Error| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+            };
+            let mut carry: Vec<u8> = Vec::new();
+            let mut buf = vec![0u8; CHUNK];
+            loop {
+                match f.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        carry.extend_from_slice(&buf[..n]);
+                        // Ship everything up to the last complete line;
+                        // the tail carries into the next chunk.
+                        if let Some(pos) = carry.iter().rposition(|&b| b == b'\n') {
+                            let rest = carry.split_off(pos + 1);
+                            let whole = std::mem::replace(&mut carry, rest);
+                            let sent = match String::from_utf8(whole) {
+                                Ok(text) => tx.send(Ok(text)),
+                                Err(e) => {
+                                    let _ = tx.send(Err(invalid(e)));
+                                    return;
+                                }
+                            };
+                            if sent.is_err() {
+                                // Consumer hit a parse error and hung up.
+                                return;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+            // Final line without a trailing newline.
+            if !carry.is_empty() {
+                let _ = match String::from_utf8(carry) {
+                    Ok(text) => tx.send(Ok(text)),
+                    Err(e) => tx.send(Err(invalid(e))),
+                };
+            }
+        });
+        let mut entries = Vec::new();
+        let mut failure: Option<std::io::Error> = None;
+        'chunks: for chunk in rx.iter() {
+            match chunk {
+                Ok(text) => {
+                    for line in text.lines() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match serde_json::from_str(line) {
+                            Ok(entry) => entries.push(entry),
+                            Err(e) => {
+                                failure =
+                                    Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                                break 'chunks;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break 'chunks;
+                }
+            }
+        }
+        // Dropping the receiver disconnects the channel, so a reader
+        // still mid-file unblocks and exits before the join.
+        drop(rx);
+        let _ = reader.join();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(Trace::from_entries(entries)),
+        }
+    }
+
+    /// Loads from JSON lines on the calling thread — the simple
+    /// line-at-a-time path [`load_jsonl`](Self::load_jsonl) overlaps.
+    /// Kept as the behavioral reference (tests assert both paths agree)
+    /// and for callers that must not spawn.
+    pub fn load_jsonl_sync(path: &std::path::Path) -> std::io::Result<Trace> {
         use std::io::BufRead as _;
         let f = std::fs::File::open(path)?;
         let mut entries = Vec::new();
@@ -320,6 +417,99 @@ mod tests {
         trace.save_jsonl(&path).unwrap();
         let back = Trace::load_jsonl(&path).unwrap();
         assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A file bigger than one 256 KiB reader chunk, so the streaming path
+    /// exercises chunk splitting and tail carry; the streaming and sync
+    /// loaders must agree entry for entry.
+    #[test]
+    fn jsonl_streaming_matches_sync_across_chunks() {
+        let tenant = TenantWorkload::oltp("bulk", 400.0, 5_000);
+        let trace = Trace::record(&tenant, 60.0, 9);
+        let dir = std::env::temp_dir().join("wt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-bulk.jsonl");
+        trace.save_jsonl(&path).unwrap();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 512 * 1024,
+            "trace file must span multiple reader chunks"
+        );
+        let streamed = Trace::load_jsonl(&path).unwrap();
+        let synced = Trace::load_jsonl_sync(&path).unwrap();
+        assert_eq!(streamed, synced);
+        assert_eq!(streamed, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// No trailing newline and interior blank lines: the reader's final
+    /// carry flush and the blank-line skip both still apply.
+    #[test]
+    fn jsonl_streaming_handles_ragged_files() {
+        let tenant = TenantWorkload::oltp("ragged", 50.0, 100);
+        let trace = Trace::record(&tenant, 5.0, 11);
+        let dir = std::env::temp_dir().join("wt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-ragged.jsonl");
+        trace.save_jsonl(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Blank line in the middle, strip the final newline.
+        if let Some(mid) = text[..text.len() / 2].rfind('\n') {
+            text.insert(mid + 1, '\n');
+        }
+        while text.ends_with('\n') {
+            text.pop();
+        }
+        std::fs::write(&path, &text).unwrap();
+        let streamed = Trace::load_jsonl(&path).unwrap();
+        assert_eq!(streamed, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Not a correctness test — prints streaming vs sync ingest
+    /// throughput (the EXPERIMENTS.md trace-ingestion numbers). Run with
+    /// `cargo test --release -p wt-workload jsonl_throughput -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn jsonl_throughput() {
+        let tenant = TenantWorkload::oltp("big", 2_000.0, 50_000);
+        let trace = Trace::record(&tenant, 300.0, 13);
+        let dir = std::env::temp_dir().join("wt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-throughput.jsonl");
+        trace.save_jsonl(&path).unwrap();
+        let bytes = std::fs::metadata(&path).unwrap().len() as f64;
+        let time = |f: &dyn Fn() -> Trace| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = std::time::Instant::now();
+                let loaded = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert_eq!(loaded.len(), trace.len());
+            }
+            best
+        };
+        let sync_s = time(&|| Trace::load_jsonl_sync(&path).unwrap());
+        let stream_s = time(&|| Trace::load_jsonl(&path).unwrap());
+        println!(
+            "trace ingest: {} entries, {:.1} MiB; sync {:.1} MiB/s, streaming {:.1} MiB/s ({:.2}x)",
+            trace.len(),
+            bytes / (1024.0 * 1024.0),
+            bytes / (1024.0 * 1024.0) / sync_s,
+            bytes / (1024.0 * 1024.0) / stream_s,
+            sync_s / stream_s
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_streaming_surfaces_parse_errors() {
+        let dir = std::env::temp_dir().join("wt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-bad.jsonl");
+        std::fs::write(&path, "{\"not\": \"a trace entry\"\n").unwrap();
+        let err = Trace::load_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
     }
 
