@@ -49,6 +49,7 @@ fn model() -> AvailabilityModel {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -35,6 +35,7 @@ fn avail_model(parallel: usize) -> AvailabilityModel {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 
@@ -67,6 +68,7 @@ fn bench_perf(c: &mut Criterion) {
         node_ttf: None,
         horizon_s: 60.0,
         queue: QueueBackend::Heap,
+        chaos: None,
     };
     c.bench_function("perf_engine_60s_500rps", |b| {
         b.iter(|| black_box(model.run(4)));

@@ -39,6 +39,7 @@ fn avail_model(ttf: Dist, repair_time: Dist) -> AvailabilityModel {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -49,6 +49,7 @@ fn model(placement: Placement, with_switch_failures: bool) -> AvailabilityModel 
         }),
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -55,6 +55,7 @@ fn model(disks: bool, switches: bool) -> AvailabilityModel {
             replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.5),
         }),
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn model(tenants: Vec<TenantWorkload>, queue: QueueBackend) -> PerfModel {
         node_ttf: None,
         horizon_s: 180.0,
         queue,
+        chaos: None,
     }
 }
 

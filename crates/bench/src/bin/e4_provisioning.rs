@@ -43,12 +43,11 @@ fn main() {
 
     let query = parse(query_text).expect("query parses");
     let tunnel = WindTunnel::new();
-    // Pruning off: on a 6-point grid it saves nothing, and which config a
-    // best-effort prune skips depends on completion order — with it off,
-    // the table is byte-identical for any worker count.
+    // Pruning on: verdicts key on plan order, not completion order, so
+    // the table (including which configs show "-") is byte-identical for
+    // any worker count.
     let opts = ExecOptions {
         threads: workers,
-        prune: false,
         ..ExecOptions::default()
     };
     let out = run_query(&query, &base, &tunnel, &opts).expect("query runs");
@@ -90,8 +89,9 @@ fn main() {
         None => println!("answer: no configuration meets the SLA — provision more hardware"),
     }
     println!(
-        "runs executed: {}, recorded in store: {}",
+        "runs executed: {}, pruned: {}, recorded in store: {}",
         out.executed,
+        out.pruned,
         tunnel.store().len()
     );
 }

@@ -138,6 +138,7 @@ fn main() {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     };
     // 8 CRN replications per failure law: both laws face the same seeds,
     // so the Weibull-vs-exponential gap is the law's, not the sampler's.

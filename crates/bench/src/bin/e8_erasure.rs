@@ -49,6 +49,7 @@ fn mk(scheme: RedundancyScheme) -> AvailabilityModel {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -31,6 +31,7 @@ fn model() -> PerfModel {
         node_ttf: None,
         horizon_s: 180.0,
         queue: QueueBackend::Heap,
+        chaos: None,
     }
 }
 

@@ -20,6 +20,7 @@
 //!   straightforward extension; node granularity is what Figure 1 and the
 //!   §1 example reason about).
 
+use crate::chaos::{ChaosConfig, CompiledFault, FaultEffect};
 use crate::results::AvailabilityResult;
 use std::collections::VecDeque;
 use wt_des::prelude::*;
@@ -105,6 +106,12 @@ pub struct AvailabilityModel {
     /// once the steady-state pending set reaches cluster scale — one timer
     /// per node, switch and disk. See DESIGN.md §8.
     pub queue: QueueBackend,
+    /// Optional declarative chaos: the fault schedule is compiled at setup
+    /// (per run seed) into deterministic scheduled events. Chaos downtime
+    /// makes nodes/racks *unreachable* (data intact, no repair traffic);
+    /// gray storms slow rebuild streams; throttle rules clamp the repair
+    /// queue's concurrency until they expire or their breaker trips.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl AvailabilityModel {
@@ -174,7 +181,19 @@ impl AvailabilityModel {
     /// shared front half of [`run`](Self::run) and
     /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
     fn seeded_sim<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> Simulation<AvailState, Q> {
-        let mut sim = Simulation::with_queue(AvailState::new(self, seed), seed, Q::default());
+        // Compile the fault schedule once per run: the per-rule streams
+        // derive from this run's seed, so replications re-sample storms.
+        let chaos_faults: Vec<CompiledFault> = self
+            .chaos
+            .as_ref()
+            .map(|c| c.compile(self.n_nodes, seed))
+            .unwrap_or_default();
+        let n_chaos = chaos_faults.len();
+        let mut sim = Simulation::with_queue(
+            AvailState::new(self, seed, chaos_faults.clone()),
+            seed,
+            Q::default(),
+        );
         // The steady state keeps one pending timer per failure-capable
         // component (node, switch, disk slot) plus the in-flight rebuild
         // streams; pre-size the queue so it never regrows mid-run.
@@ -188,7 +207,9 @@ impl AvailabilityModel {
             .as_ref()
             .map(|dm| self.n_nodes * dm.per_node)
             .unwrap_or(0);
-        sim.reserve_events(self.n_nodes + racks + disk_slots + self.repair.max_parallel);
+        sim.reserve_events(
+            self.n_nodes + racks + disk_slots + self.repair.max_parallel + 2 * n_chaos,
+        );
         // Seed each node's first failure.
         let factory = RngFactory::new(seed);
         let mut rng = factory.stream("initial-failures");
@@ -218,6 +239,14 @@ impl AvailabilityModel {
                 }
             }
         }
+        // The compiled chaos schedule is already content-ordered, so the
+        // events' (time, seq) order is independent of rule declaration.
+        for (i, f) in chaos_faults.iter().enumerate() {
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_secs(f.at_s),
+                Ev::ChaosStart(i),
+            );
+        }
         sim
     }
 }
@@ -246,6 +275,10 @@ enum Ev {
     DiskFail { node: usize, slot: usize },
     /// The replaced disk is back in service (empty).
     DiskBack { node: usize, slot: usize },
+    /// Compiled chaos fault `i` fires.
+    ChaosStart(usize),
+    /// Compiled chaos fault `i` restores/heals.
+    ChaosEnd(usize),
 }
 
 struct ObjectState {
@@ -267,6 +300,19 @@ struct AvailState {
     /// FIFO mirror of the repair queue's pending tasks: (object, enqueued).
     pending_mirror: VecDeque<(u64, SimTime)>,
     rng: wt_des::rng::Stream,
+    /// Compiled chaos schedule (empty without a fault schedule).
+    chaos_faults: Vec<CompiledFault>,
+    /// Per-node chaos-downtime counters (overlapping windows stack).
+    chaos_node_down: Vec<u32>,
+    /// Per-rack chaos-downtime counters, under the *chaos* rack geometry
+    /// (independent of the switch-failure model's).
+    chaos_rack_down: Vec<u32>,
+    /// Nodes per chaos rack (0 = no chaos configured).
+    chaos_npr: usize,
+    /// Active gray-storm rebuild slowdowns: (fault index, aggregate).
+    chaos_slowdowns: Vec<(usize, f64)>,
+    /// Active repair throttle: (fault index, saved max_parallel).
+    chaos_throttle: Option<(usize, usize)>,
     // counters
     node_failures: u64,
     switch_failures: u64,
@@ -277,7 +323,7 @@ struct AvailState {
 }
 
 impl AvailState {
-    fn new(cfg: &AvailabilityModel, seed: u64) -> Self {
+    fn new(cfg: &AvailabilityModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
         let factory = RngFactory::new(seed);
         let mut placer = Placer::new(
             cfg.placement,
@@ -305,6 +351,16 @@ impl AvailState {
             .as_ref()
             .map(|sw| cfg.n_nodes / sw.nodes_per_rack)
             .unwrap_or(1);
+        let chaos_npr = cfg
+            .chaos
+            .as_ref()
+            .map(|c| c.nodes_per_rack.max(1))
+            .unwrap_or(0);
+        let chaos_racks = if chaos_npr > 0 {
+            cfg.n_nodes.div_ceil(chaos_npr)
+        } else {
+            0
+        };
         AvailState {
             cfg: cfg.clone(),
             node_up: vec![true; cfg.n_nodes],
@@ -314,6 +370,12 @@ impl AvailState {
             queue: RepairQueue::new(cfg.repair),
             pending_mirror: VecDeque::new(),
             rng: factory.stream("dynamics"),
+            chaos_faults,
+            chaos_node_down: vec![0; cfg.n_nodes],
+            chaos_rack_down: vec![0; chaos_racks],
+            chaos_npr,
+            chaos_slowdowns: Vec::new(),
+            chaos_throttle: None,
             node_failures: 0,
             switch_failures: 0,
             disk_failures: 0,
@@ -323,10 +385,17 @@ impl AvailState {
         }
     }
 
-    /// True when `node` is alive *and* its rack's switch is up.
+    /// True when `node` is alive, its rack's switch is up, and no chaos
+    /// window (node span or rack span) currently covers it.
     fn reachable(&self, node: u16) -> bool {
         let node = node as usize;
         if !self.node_up[node] {
+            return false;
+        }
+        if self.chaos_node_down[node] > 0 {
+            return false;
+        }
+        if self.chaos_npr > 0 && self.chaos_rack_down[node / self.chaos_npr] > 0 {
             return false;
         }
         match &self.cfg.switches {
@@ -398,19 +467,23 @@ impl AvailState {
         }
     }
 
-    /// One rebuild stream's duration.
+    /// One rebuild stream's duration. Active gray storms stretch it by the
+    /// product of their aggregate slowdowns (repair streams cross limping
+    /// disks/NICs; per-component detail lives in the perf engine).
     fn rebuild_duration(&mut self) -> SimDuration {
-        match &self.cfg.rebuild {
-            RebuildModel::Timed(d) => SimDuration::from_secs(d.sample(&mut self.rng)),
+        let base = match &self.cfg.rebuild {
+            RebuildModel::Timed(d) => d.sample(&mut self.rng),
             RebuildModel::Bandwidth { link_gbps, share } => {
                 let traffic = self
                     .cfg
                     .redundancy
                     .repair_traffic_bytes(self.cfg.object_bytes);
                 let bps = link_gbps * 1e9 / 8.0 * share;
-                SimDuration::from_secs(traffic as f64 / bps)
+                traffic as f64 / bps
             }
-        }
+        };
+        let slow: f64 = self.chaos_slowdowns.iter().map(|(_, f)| f).product();
+        SimDuration::from_secs(base * slow)
     }
 
     /// Starts every rebuild the concurrency cap allows.
@@ -506,6 +579,8 @@ impl Model for AvailState {
             Ev::SwitchBack(_) => "SwitchBack",
             Ev::DiskFail { .. } => "DiskFail",
             Ev::DiskBack { .. } => "DiskBack",
+            Ev::ChaosStart(_) => "ChaosStart",
+            Ev::ChaosEnd(_) => "ChaosEnd",
         }
     }
 
@@ -552,6 +627,20 @@ impl Model for AvailState {
                     bytes: self.cfg.object_bytes,
                 });
                 self.pending_mirror.push_back((u64::from(object), now));
+                // Circuit breaker: a growing backlog under an active chaos
+                // throttle trips it and restores full repair concurrency.
+                if let Some((i, saved)) = self.chaos_throttle {
+                    if let FaultEffect::RepairThrottle {
+                        breaker_pending, ..
+                    } = self.chaos_faults[i].effect
+                    {
+                        if self.queue.pending_len() > breaker_pending {
+                            self.queue.set_max_parallel(saved);
+                            self.chaos_throttle = None;
+                            ctx.mark("chaos_breaker_trip");
+                        }
+                    }
+                }
                 self.start_rebuilds(now, ctx);
             }
             Ev::RebuildDone { object } => {
@@ -667,6 +756,79 @@ impl Model for AvailState {
                 let ttf = SimDuration::from_secs(dm.ttf.sample(&mut self.rng));
                 ctx.schedule_in(ttf, Ev::DiskFail { node, slot });
             }
+            Ev::ChaosStart(i) => {
+                ctx.mark(self.chaos_faults[i].mark);
+                let until = self.chaos_faults[i].until_s;
+                match self.chaos_faults[i].effect.clone() {
+                    FaultEffect::NodesDown { nodes } => {
+                        for &n in &nodes {
+                            self.chaos_node_down[n] += 1;
+                        }
+                        self.reassess_nodes(&nodes, now);
+                    }
+                    FaultEffect::RacksDown { racks } => {
+                        let mut nodes = Vec::new();
+                        for &r in &racks {
+                            self.chaos_rack_down[r] += 1;
+                            let lo = (r * self.chaos_npr).min(self.cfg.n_nodes);
+                            let hi = ((r + 1) * self.chaos_npr).min(self.cfg.n_nodes);
+                            nodes.extend(lo..hi);
+                        }
+                        self.reassess_nodes(&nodes, now);
+                    }
+                    FaultEffect::Limp { aggregate, .. } => {
+                        self.chaos_slowdowns.push((i, aggregate));
+                    }
+                    FaultEffect::RepairThrottle { max_parallel, .. } => {
+                        // One throttle at a time; later windows are no-ops
+                        // while an earlier one is active.
+                        if self.chaos_throttle.is_none() {
+                            let saved = self.queue.policy().max_parallel;
+                            self.queue.set_max_parallel(max_parallel);
+                            self.chaos_throttle = Some((i, saved));
+                        }
+                    }
+                }
+                ctx.schedule_at(
+                    SimTime::ZERO + SimDuration::from_secs(until.max(now.as_secs())),
+                    Ev::ChaosEnd(i),
+                );
+            }
+            Ev::ChaosEnd(i) => {
+                ctx.mark("chaos_restore");
+                match self.chaos_faults[i].effect.clone() {
+                    FaultEffect::NodesDown { nodes } => {
+                        for &n in &nodes {
+                            self.chaos_node_down[n] -= 1;
+                        }
+                        self.reassess_nodes(&nodes, now);
+                    }
+                    FaultEffect::RacksDown { racks } => {
+                        let mut nodes = Vec::new();
+                        for &r in &racks {
+                            self.chaos_rack_down[r] -= 1;
+                            let lo = (r * self.chaos_npr).min(self.cfg.n_nodes);
+                            let hi = ((r + 1) * self.chaos_npr).min(self.cfg.n_nodes);
+                            nodes.extend(lo..hi);
+                        }
+                        self.reassess_nodes(&nodes, now);
+                    }
+                    FaultEffect::Limp { .. } => {
+                        self.chaos_slowdowns.retain(|&(idx, _)| idx != i);
+                    }
+                    FaultEffect::RepairThrottle { .. } => {
+                        // Only restore if this window is still the active
+                        // throttle (its breaker may have tripped already).
+                        if let Some((idx, saved)) = self.chaos_throttle {
+                            if idx == i {
+                                self.queue.set_max_parallel(saved);
+                                self.chaos_throttle = None;
+                                self.start_rebuilds(now, ctx);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -683,6 +845,20 @@ fn slot_of(object: u32, node: usize, per_node: usize) -> usize {
 impl AvailState {
     fn node_replace_sample(&mut self) -> f64 {
         self.cfg.node_replace.sample(&mut self.rng)
+    }
+
+    /// Re-evaluates every object with a replica on one of `nodes` after
+    /// their reachability changed (chaos windows opening/closing).
+    fn reassess_nodes(&mut self, nodes: &[usize], now: SimTime) {
+        let mut touched: Vec<u32> = nodes
+            .iter()
+            .flat_map(|&n| self.node_objects[n].iter().copied())
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for object in touched {
+            self.update_object(object, now);
+        }
     }
 
     /// Re-evaluates every object with a replica in `rack` after its
@@ -729,6 +905,7 @@ mod tests {
             switches: None,
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         }
     }
 
@@ -951,6 +1128,7 @@ mod tests {
             switches: None,
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         // Average multiple long replications for a tight estimate.
         let mut avail = 0.0;
@@ -996,6 +1174,7 @@ mod tests {
             }),
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         let random = mk(Placement::Random).run(3, SimDuration::from_years(2.0));
         assert!(
@@ -1050,6 +1229,7 @@ mod tests {
                 replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
             }),
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         let r = m.run(21, SimDuration::from_years(1.0));
         assert_eq!(r.node_failures, 0);
@@ -1090,6 +1270,7 @@ mod tests {
                 replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
             }),
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         let r = m.run(22, SimDuration::from_years(1.0));
         assert!(r.node_failures > 0 && r.disk_failures > 0);
@@ -1118,6 +1299,7 @@ mod tests {
             }),
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         let r = m.run(4, SimDuration::from_days(11.0));
         // Down from day 10 to day 11 (the horizon): 1 of 11 days.
@@ -1153,6 +1335,7 @@ mod tests {
             switches: None,
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         };
         let mut exp_avail = 0.0;
         let mut weib_avail = 0.0;
@@ -1172,6 +1355,145 @@ mod tests {
             (exp_avail - weib_avail).abs() > 1e-5,
             "exp {exp_avail} vs weibull {weib_avail} indistinguishable"
         );
+    }
+
+    fn chaos(schedule: crate::chaos::FaultSchedule) -> Option<ChaosConfig> {
+        Some(ChaosConfig {
+            schedule,
+            nodes_per_rack: 10,
+        })
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_inert() {
+        let mut with_empty = base_model();
+        with_empty.chaos = chaos(crate::chaos::FaultSchedule::new());
+        let plain = base_model().run(21, SimDuration::from_years(1.0));
+        let r = with_empty.run(21, SimDuration::from_years(1.0));
+        assert_eq!(r, plain, "empty schedule must be bit-identical to none");
+    }
+
+    #[test]
+    fn power_loss_window_is_exact_downtime() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mut m = base_model();
+        // No organic failures: the only downtime is the chaos window.
+        m.node_ttf = Dist::exponential_mean(1e9 * YEAR);
+        m.chaos = chaos(FaultSchedule::new().rule(
+            "pdu",
+            200_000.0,
+            FaultKind::PowerDomainLoss {
+                first_rack: 0,
+                racks: 2,
+                restore_s: 100_000.0,
+            },
+        ));
+        let (r, t) = m.run_observed(5, SimDuration::from_secs(1_000_000.0), None);
+        // Whole cluster dark for 10% of the horizon, data intact:
+        // availability is exactly the complement — no losses, no repair
+        // traffic, one unavailability episode per object.
+        assert!(
+            (r.availability - 0.9).abs() < 1e-9,
+            "availability {}",
+            r.availability
+        );
+        assert_eq!(r.objects_lost, 0);
+        assert_eq!(r.rebuilds_completed, 0);
+        assert_eq!(r.unavailability_events, 200);
+        assert_eq!(t.marks.get("inject_power_loss"), Some(&1));
+        assert_eq!(t.marks.get("chaos_restore"), Some(&1));
+    }
+
+    #[test]
+    fn gray_storm_slows_rebuilds_and_hurts_availability() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mk = |stormy: bool| {
+            let mut m = base_model();
+            m.node_ttf = Dist::exponential_mean(20.0 * DAY);
+            if stormy {
+                // Every disk in the cluster limps 200× for the whole year:
+                // rebuild streams crawl, widening every repair window.
+                m.chaos = chaos(FaultSchedule::new().rule(
+                    "storm",
+                    0.0,
+                    FaultKind::GrayStorm {
+                        spec: wt_hw::LimpwareSpec::degraded_disk_fixed(1.0, 200.0),
+                        center_rack: 0,
+                        radius_racks: 1,
+                        duration_s: YEAR,
+                    },
+                ));
+            }
+            m
+        };
+        let calm = mk(false).run(6, SimDuration::from_years(1.0));
+        let stormy = mk(true).run(6, SimDuration::from_years(1.0));
+        assert!(
+            stormy.availability < calm.availability,
+            "storm {} should undercut calm {}",
+            stormy.availability,
+            calm.availability
+        );
+    }
+
+    #[test]
+    fn repair_throttle_breaker_trips_on_backlog() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mut m = base_model();
+        m.node_ttf = Dist::exponential_mean(5.0 * DAY);
+        // Repair frozen for the whole horizon — but the breaker lifts the
+        // freeze as soon as more than 3 rebuilds are pending.
+        m.chaos = chaos(FaultSchedule::new().rule(
+            "freeze",
+            0.0,
+            FaultKind::RepairThrottle {
+                max_parallel: 0,
+                duration_s: YEAR,
+                breaker_pending: 3,
+            },
+        ));
+        let (r, t) = m.run_observed(8, SimDuration::from_years(1.0), None);
+        assert_eq!(t.marks.get("inject_repair_throttle"), Some(&1));
+        assert_eq!(t.marks.get("chaos_breaker_trip"), Some(&1));
+        assert!(
+            r.rebuilds_completed > 0,
+            "repair must resume after the trip"
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_backend_invariant() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mut m = base_model();
+        m.node_ttf = Dist::exponential_mean(20.0 * DAY);
+        m.chaos = chaos(
+            FaultSchedule::new()
+                .rule(
+                    "storm",
+                    30.0 * DAY,
+                    FaultKind::GrayStorm {
+                        spec: wt_hw::LimpwareSpec::degraded_disk_fixed(0.5, 50.0),
+                        center_rack: 0,
+                        radius_racks: 0,
+                        duration_s: 10.0 * DAY,
+                    },
+                )
+                .rule(
+                    "tor",
+                    90.0 * DAY,
+                    FaultKind::TorDeath {
+                        rack: 1,
+                        repair_s: DAY,
+                    },
+                ),
+        );
+        let a = m.run(9, SimDuration::from_years(1.0));
+        let b = m.run(9, SimDuration::from_years(1.0));
+        assert_eq!(a, b, "same seed must replay identically under chaos");
+        let mut cal = m.clone();
+        cal.queue = QueueBackend::Calendar;
+        let c = cal.run(9, SimDuration::from_years(1.0));
+        assert_eq!(a, c, "chaos results must not depend on the queue backend");
     }
 }
 
@@ -1209,6 +1531,7 @@ mod proptests {
             switches: None,
             disks: None,
             queue: QueueBackend::Heap,
+            chaos: None,
         }
     }
 

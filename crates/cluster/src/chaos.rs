@@ -1,0 +1,537 @@
+//! Declarative chaos: a typed fault schedule compiled into deterministic
+//! engine events.
+//!
+//! The paper's §3 what-if queries and the correlated-failure literature
+//! (PAPERS.md: "Modelling Resilience in Cloud-Scale Data Centres") both
+//! need failure modes richer than independent exponentials: blast-radius
+//! events that take out a power domain or a top-of-rack switch at once,
+//! gray-failure storms where a rack neighborhood starts limping rather
+//! than failing, planned maintenance windows, and operator throttles on
+//! the repair path. A [`FaultSchedule`] declares these as data on the
+//! [`Scenario`](crate::Scenario); at setup each engine *compiles* the
+//! schedule against the concrete cluster geometry into a list of
+//! [`CompiledFault`]s and schedules plain DES events from it.
+//!
+//! Two determinism rules govern the compilation:
+//!
+//! * **Per-rule seeds are content-derived.** Each rule's random draws (the
+//!   gray-storm per-component slowdowns) come from a sub-stream keyed on
+//!   the FNV-1a hash of the rule's serialized content, via the same
+//!   substream discipline as the sweep layer's `assignment_hash`.
+//!   Reordering rule declarations can never reseed a run; two textually
+//!   identical rules draw identical factors by construction.
+//! * **Schedule order is content-ordered.** Compiled faults are sorted by
+//!   `(time, content hash)`, so same-time faults tie-break on content,
+//!   not declaration order.
+
+use serde::{Deserialize, Serialize};
+use wt_des::rng::RngFactory;
+use wt_hw::limpware::LimpTarget;
+use wt_hw::LimpwareSpec;
+
+/// A declarative schedule of fault injections, carried on the
+/// [`Scenario`](crate::Scenario) and serialized with it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The injection rules. Declaration order is cosmetic: neither seeds
+    /// nor event order depend on it.
+    pub rules: Vec<InjectionRule>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Appends a rule (builder style).
+    #[must_use]
+    pub fn rule(mut self, name: &str, at_s: f64, fault: FaultKind) -> Self {
+        self.rules.push(InjectionRule {
+            name: name.to_string(),
+            at_s,
+            fault,
+        });
+        self
+    }
+
+    /// True when there is nothing to inject.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Lowers the schedule against concrete cluster geometry, sampling any
+    /// per-rule randomness from `root_seed`-derived content-keyed streams.
+    /// The output is identical for every engine given the same inputs.
+    pub fn compile(&self, geom: ChaosGeometry, root_seed: u64) -> Vec<CompiledFault> {
+        let factory = RngFactory::new(root_seed);
+        let mut out: Vec<(u64, CompiledFault)> = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let hash = rule.content_hash();
+            let mut rng = factory.numbered("chaos-rule", hash);
+            let (until_s, effect) = match &rule.fault {
+                FaultKind::PowerDomainLoss {
+                    first_rack,
+                    racks,
+                    restore_s,
+                } => (
+                    rule.at_s + restore_s,
+                    FaultEffect::NodesDown {
+                        nodes: geom.rack_span_nodes(*first_rack, *racks),
+                    },
+                ),
+                FaultKind::TorDeath { rack, repair_s } => (
+                    rule.at_s + repair_s,
+                    FaultEffect::RacksDown {
+                        racks: geom.rack_span(*rack, 1),
+                    },
+                ),
+                FaultKind::AggPartition {
+                    first_rack,
+                    racks,
+                    heal_s,
+                } => (
+                    rule.at_s + heal_s,
+                    FaultEffect::RacksDown {
+                        racks: geom.rack_span(*first_rack, *racks),
+                    },
+                ),
+                FaultKind::GrayStorm {
+                    spec,
+                    center_rack,
+                    radius_racks,
+                    duration_s,
+                } => {
+                    let lo = center_rack.saturating_sub(*radius_racks);
+                    let hi = (center_rack + radius_racks).min(geom.racks().saturating_sub(1));
+                    let mut factors = Vec::new();
+                    for rack in lo..=hi {
+                        for node in geom.rack_span_nodes(rack, 1) {
+                            if let Some(f) = spec.roll(&mut rng) {
+                                factors.push((node, f));
+                            }
+                        }
+                    }
+                    let aggregate = if factors.is_empty() {
+                        1.0
+                    } else {
+                        factors.iter().map(|(_, f)| f).sum::<f64>() / factors.len() as f64
+                    };
+                    (
+                        rule.at_s + duration_s,
+                        FaultEffect::Limp {
+                            target: spec.target,
+                            factors,
+                            aggregate,
+                        },
+                    )
+                }
+                FaultKind::MaintenanceWindow {
+                    first_node,
+                    nodes,
+                    duration_s,
+                } => {
+                    let lo = (*first_node).min(geom.n_nodes);
+                    let hi = (first_node + nodes).min(geom.n_nodes);
+                    (
+                        rule.at_s + duration_s,
+                        FaultEffect::NodesDown {
+                            nodes: (lo..hi).collect(),
+                        },
+                    )
+                }
+                FaultKind::RepairThrottle {
+                    max_parallel,
+                    duration_s,
+                    breaker_pending,
+                } => (
+                    rule.at_s + duration_s,
+                    FaultEffect::RepairThrottle {
+                        max_parallel: *max_parallel,
+                        breaker_pending: *breaker_pending,
+                    },
+                ),
+            };
+            out.push((
+                hash,
+                CompiledFault {
+                    mark: rule.fault.mark(),
+                    at_s: rule.at_s,
+                    until_s,
+                    effect,
+                },
+            ));
+        }
+        // Content-ordered schedule: by time, then content hash.
+        out.sort_by(|a, b| a.1.at_s.total_cmp(&b.1.at_s).then_with(|| a.0.cmp(&b.0)));
+        out.into_iter().map(|(_, f)| f).collect()
+    }
+}
+
+/// One typed injection rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRule {
+    /// Human-readable rule name (documentation only; telemetry marks use
+    /// the fault kind's static label so probes stay allocation-free).
+    pub name: String,
+    /// Injection time, seconds into the run.
+    pub at_s: f64,
+    /// What is injected.
+    pub fault: FaultKind,
+}
+
+impl InjectionRule {
+    /// FNV-1a hash of the rule's serialized content — the per-rule seed
+    /// key and same-time tie-break, so declaration order is irrelevant.
+    pub fn content_hash(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("injection rule serializes");
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The fault archetypes the schedule can declare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A power domain (a contiguous span of racks) loses power: every node
+    /// in it goes unreachable at once, data intact, back after `restore_s`.
+    PowerDomainLoss {
+        /// First rack of the domain.
+        first_rack: usize,
+        /// Number of racks in the domain.
+        racks: usize,
+        /// Seconds until power (and all nodes) return.
+        restore_s: f64,
+    },
+    /// Top-of-rack switch death: one rack unreachable until replaced.
+    TorDeath {
+        /// The rack whose ToR dies.
+        rack: usize,
+        /// Seconds until the switch is swapped.
+        repair_s: f64,
+    },
+    /// Aggregation-layer partition: a span of racks cut off from the rest
+    /// of the cluster until the partition heals.
+    AggPartition {
+        /// First rack behind the partition.
+        first_rack: usize,
+        /// Number of racks behind the partition.
+        racks: usize,
+        /// Seconds until routing heals.
+        heal_s: f64,
+    },
+    /// Gray-failure storm: the limpware spec is rolled over every node in
+    /// a rack neighborhood (`center_rack ± radius_racks`); afflicted
+    /// components limp for the duration, then recover.
+    GrayStorm {
+        /// Which components limp, with what probability and slowdown.
+        spec: LimpwareSpec,
+        /// Center rack of the storm.
+        center_rack: usize,
+        /// Neighborhood radius in racks (0 = just the center rack).
+        radius_racks: usize,
+        /// Storm duration, seconds.
+        duration_s: f64,
+    },
+    /// Planned maintenance: a span of nodes drained (unreachable, data
+    /// intact, no repair traffic) for the window.
+    MaintenanceWindow {
+        /// First node drained.
+        first_node: usize,
+        /// Number of nodes drained.
+        nodes: usize,
+        /// Window length, seconds.
+        duration_s: f64,
+    },
+    /// Repair-bandwidth throttle with circuit-breaker semantics: clamp
+    /// repair concurrency to `max_parallel` for the duration, but lift the
+    /// throttle early if the pending-repair backlog exceeds
+    /// `breaker_pending` (the breaker "trips").
+    RepairThrottle {
+        /// Clamped concurrency (0 pauses repair entirely).
+        max_parallel: usize,
+        /// Throttle duration, seconds.
+        duration_s: f64,
+        /// Backlog size that trips the breaker and restores full repair.
+        breaker_pending: usize,
+    },
+}
+
+impl FaultKind {
+    /// The static telemetry label recorded when this kind of fault fires.
+    pub fn mark(&self) -> &'static str {
+        match self {
+            FaultKind::PowerDomainLoss { .. } => "inject_power_loss",
+            FaultKind::TorDeath { .. } => "inject_tor_death",
+            FaultKind::AggPartition { .. } => "inject_agg_partition",
+            FaultKind::GrayStorm { .. } => "inject_gray_storm",
+            FaultKind::MaintenanceWindow { .. } => "inject_maintenance",
+            FaultKind::RepairThrottle { .. } => "inject_repair_throttle",
+        }
+    }
+}
+
+/// What an engine carries: the declared schedule plus the rack width to
+/// lower it with (the engines know their own node count).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The declared schedule.
+    pub schedule: FaultSchedule,
+    /// Nodes per rack, for resolving rack-scoped rules.
+    pub nodes_per_rack: usize,
+}
+
+impl ChaosConfig {
+    /// Compiles the schedule for a cluster of `n_nodes` under `root_seed`.
+    pub fn compile(&self, n_nodes: usize, root_seed: u64) -> Vec<CompiledFault> {
+        self.schedule.compile(
+            ChaosGeometry {
+                n_nodes,
+                nodes_per_rack: self.nodes_per_rack,
+            },
+            root_seed,
+        )
+    }
+}
+
+/// The cluster geometry a schedule is lowered against.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosGeometry {
+    /// Total node count.
+    pub n_nodes: usize,
+    /// Nodes per rack (rack `r` holds nodes `r*npr .. (r+1)*npr`).
+    pub nodes_per_rack: usize,
+}
+
+impl ChaosGeometry {
+    /// Number of racks (ceiling division).
+    pub fn racks(&self) -> usize {
+        self.n_nodes.div_ceil(self.nodes_per_rack.max(1))
+    }
+
+    /// Rack indices `first .. first+count`, clamped to the cluster.
+    fn rack_span(&self, first: usize, count: usize) -> Vec<usize> {
+        let lo = first.min(self.racks());
+        let hi = (first + count).min(self.racks());
+        (lo..hi).collect()
+    }
+
+    /// Node indices of a rack span, clamped to the cluster.
+    fn rack_span_nodes(&self, first_rack: usize, racks: usize) -> Vec<usize> {
+        let npr = self.nodes_per_rack.max(1);
+        self.rack_span(first_rack, racks)
+            .into_iter()
+            .flat_map(|r| {
+                let lo = (r * npr).min(self.n_nodes);
+                let hi = ((r + 1) * npr).min(self.n_nodes);
+                lo..hi
+            })
+            .collect()
+    }
+}
+
+/// A rule lowered against concrete geometry: explicit node/rack lists and
+/// pre-sampled slowdowns, identical for every engine that compiles it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFault {
+    /// Telemetry mark recorded when the fault fires (static per fault
+    /// kind, e.g. `inject_power_loss`).
+    pub mark: &'static str,
+    /// Fire time, seconds.
+    pub at_s: f64,
+    /// Restore/heal time, seconds (`at_s` + the rule's duration).
+    pub until_s: f64,
+    /// The concrete effect.
+    pub effect: FaultEffect,
+}
+
+/// Concrete, geometry-resolved fault effects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEffect {
+    /// Nodes unreachable (data intact) until `until_s`.
+    NodesDown {
+        /// Affected node indices.
+        nodes: Vec<usize>,
+    },
+    /// Racks unreachable until `until_s`.
+    RacksDown {
+        /// Affected rack indices.
+        racks: Vec<usize>,
+    },
+    /// Gray storm: per-component slowdowns, plus the aggregate factor the
+    /// availability engine applies to in-storm rebuild streams.
+    Limp {
+        /// Which component kind limps.
+        target: LimpTarget,
+        /// `(node, slowdown factor)` for each afflicted component.
+        factors: Vec<(usize, f64)>,
+        /// Mean slowdown over afflicted components (1.0 if none).
+        aggregate: f64,
+    },
+    /// Repair concurrency clamped until `until_s` or the breaker trips.
+    RepairThrottle {
+        /// Clamped concurrency (0 = paused).
+        max_parallel: usize,
+        /// Pending-backlog size that trips the breaker.
+        breaker_pending: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ChaosGeometry {
+        ChaosGeometry {
+            n_nodes: 30,
+            nodes_per_rack: 10,
+        }
+    }
+
+    fn storm(center: usize) -> FaultKind {
+        FaultKind::GrayStorm {
+            spec: LimpwareSpec::degraded_nic(0.5),
+            center_rack: center,
+            radius_racks: 1,
+            duration_s: 3_600.0,
+        }
+    }
+
+    #[test]
+    fn power_domain_resolves_node_span() {
+        let sched = FaultSchedule::new().rule(
+            "pdu",
+            100.0,
+            FaultKind::PowerDomainLoss {
+                first_rack: 1,
+                racks: 2,
+                restore_s: 50.0,
+            },
+        );
+        let compiled = sched.compile(geom(), 7);
+        assert_eq!(compiled.len(), 1);
+        assert_eq!(compiled[0].at_s, 100.0);
+        assert_eq!(compiled[0].until_s, 150.0);
+        assert_eq!(compiled[0].mark, "inject_power_loss");
+        match &compiled[0].effect {
+            FaultEffect::NodesDown { nodes } => {
+                assert_eq!(*nodes, (10..30).collect::<Vec<_>>());
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_clamp_to_cluster() {
+        let sched = FaultSchedule::new()
+            .rule(
+                "part",
+                0.0,
+                FaultKind::AggPartition {
+                    first_rack: 2,
+                    racks: 10,
+                    heal_s: 1.0,
+                },
+            )
+            .rule(
+                "maint",
+                0.0,
+                FaultKind::MaintenanceWindow {
+                    first_node: 25,
+                    nodes: 100,
+                    duration_s: 1.0,
+                },
+            );
+        let compiled = sched.compile(geom(), 7);
+        for f in &compiled {
+            match &f.effect {
+                FaultEffect::RacksDown { racks } => assert_eq!(*racks, vec![2]),
+                FaultEffect::NodesDown { nodes } => {
+                    assert_eq!(*nodes, (25..30).collect::<Vec<_>>())
+                }
+                other => panic!("unexpected effect {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rule_order_never_reseeds() {
+        // The storm's sampled factors must not depend on where the rule
+        // sits in the declaration list.
+        let a = FaultSchedule::new()
+            .rule("storm", 10.0, storm(1))
+            .rule(
+                "tor",
+                5.0,
+                FaultKind::TorDeath {
+                    rack: 0,
+                    repair_s: 60.0,
+                },
+            )
+            .compile(geom(), 42);
+        let b = FaultSchedule::new()
+            .rule(
+                "tor",
+                5.0,
+                FaultKind::TorDeath {
+                    rack: 0,
+                    repair_s: 60.0,
+                },
+            )
+            .rule("storm", 10.0, storm(1))
+            .compile(geom(), 42);
+        assert_eq!(a, b, "compiled schedule must be declaration-order-free");
+    }
+
+    #[test]
+    fn storm_confined_to_neighborhood() {
+        let compiled = FaultSchedule::new()
+            .rule("storm", 0.0, storm(0))
+            .compile(geom(), 3);
+        match &compiled[0].effect {
+            FaultEffect::Limp {
+                target,
+                factors,
+                aggregate,
+            } => {
+                assert_eq!(*target, LimpTarget::Nic);
+                // center 0, radius 1 → racks 0..=1 → nodes 0..20 only.
+                assert!(!factors.is_empty());
+                assert!(factors.iter().all(|(n, f)| *n < 20 && *f >= 1.0));
+                assert!(*aggregate >= 1.0);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_storms() {
+        let a = FaultSchedule::new()
+            .rule("storm", 0.0, storm(1))
+            .compile(geom(), 1);
+        let b = FaultSchedule::new()
+            .rule("storm", 0.0, storm(1))
+            .compile(geom(), 2);
+        assert_ne!(a, b, "root seed must reach the per-rule streams");
+    }
+
+    #[test]
+    fn schedule_serde_roundtrip() {
+        let sched = FaultSchedule::new().rule("storm", 10.0, storm(1)).rule(
+            "throttle",
+            20.0,
+            FaultKind::RepairThrottle {
+                max_parallel: 1,
+                duration_s: 600.0,
+                breaker_pending: 8,
+            },
+        );
+        let json = serde_json::to_string(&sched).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sched);
+    }
+}

@@ -24,12 +24,14 @@
 //! result store (`wt-store`) persists.
 
 pub mod availability;
+pub mod chaos;
 pub mod perf;
 pub mod results;
 pub mod scenario;
 pub mod unavailability;
 
 pub use availability::{AvailabilityModel, RebuildModel};
+pub use chaos::{ChaosGeometry, FaultKind, FaultSchedule, InjectionRule};
 pub use perf::PerfModel;
 pub use results::{AvailabilityResult, PerfResult, TenantPerf, UnavailabilityPoint};
 pub use scenario::Scenario;

@@ -19,6 +19,7 @@
 //! the disk stage — the first-order effect behind the paper's "invest in
 //! storage or memory?" provisioning question (§3).
 
+use crate::chaos::{ChaosConfig, CompiledFault, FaultEffect};
 use crate::results::{PerfResult, TenantPerf};
 use std::collections::HashMap;
 use wt_des::prelude::*;
@@ -60,6 +61,12 @@ pub struct PerfModel {
     /// set is small — one arrival per tenant plus in-flight stages — so
     /// the default heap is usually right here. See DESIGN.md §8.
     pub queue: QueueBackend,
+    /// Optional declarative chaos (see [`crate::chaos`]). Node-scoped
+    /// faults mark nodes unreachable without spawning repair traffic
+    /// (planned windows / power loss leave data intact); gray storms limp
+    /// individual components; repair throttles are an availability-engine
+    /// resource and are no-ops here.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl PerfModel {
@@ -123,17 +130,38 @@ impl PerfModel {
             !self.tenants.is_empty(),
             "perf run needs at least one tenant"
         );
-        let mut sim = Simulation::with_queue(PerfState::new(self, seed), seed, Q::default());
+        // Compiled per run seed: gray-storm factors are sampled from
+        // content-keyed substreams of this run's root seed.
+        let chaos_faults = self
+            .chaos
+            .as_ref()
+            .map(|c| c.compile(self.topology.node_count(), seed))
+            .unwrap_or_default();
+        let mut sim = Simulation::with_queue(
+            PerfState::new(self, seed, chaos_faults.clone()),
+            seed,
+            Q::default(),
+        );
         // One pending arrival per tenant, one failure timer per node when
-        // injection is on, plus in-flight request stages.
+        // injection is on, start/end per chaos fault, plus in-flight
+        // request stages.
         sim.reserve_events(
             self.tenants.len()
                 + if self.inject_failures {
                     self.topology.node_count()
                 } else {
                     0
-                },
+                }
+                + 2 * chaos_faults.len(),
         );
+        // Chaos faults are content-ordered at compile time, so the
+        // (time, seq) order here is independent of declaration order.
+        for (i, f) in chaos_faults.iter().enumerate() {
+            sim.schedule_at(
+                SimTime::ZERO + SimDuration::from_secs(f.at_s),
+                Ev::ChaosStart { fault: i },
+            );
+        }
         // First arrival per tenant.
         for t in 0..self.tenants.len() {
             let gap = sim.model_mut().next_arrival_gap(t);
@@ -169,6 +197,10 @@ enum Ev {
     NodeFail { node: usize },
     /// Node returns to service.
     NodeBack { node: usize },
+    /// A compiled chaos fault fires (index into the compiled schedule).
+    ChaosStart { fault: usize },
+    /// A compiled chaos fault's effect is lifted.
+    ChaosEnd { fault: usize },
 }
 
 /// Per-request runtime state.
@@ -201,6 +233,19 @@ struct PerfState {
     nic_pools: Vec<ServerPool<u64>>,
     disk_limp: LimpState,
     nic_limp: LimpState,
+    /// Compiled chaos schedule (empty when no chaos is configured).
+    chaos_faults: Vec<CompiledFault>,
+    /// Per-node chaos unreachability counters (> 0 = drained/unpowered,
+    /// data intact). Orthogonal to `node_up` so a chaos window can never
+    /// swallow a node's organic failure timer.
+    chaos_down: Vec<u32>,
+    /// Indices of currently active gray-storm faults.
+    chaos_limp_active: Vec<usize>,
+    /// Per-node storm multipliers on top of the rolled limp states.
+    /// All-1.0 when no storm is active (`x * 1.0` is exact in f64, so
+    /// chaos-free runs stay bit-identical to pre-chaos builds).
+    chaos_disk_mult: Vec<f64>,
+    chaos_nic_mult: Vec<f64>,
     reqs: HashMap<u64, Req>,
     next_rid: u64,
     latencies: Vec<Histogram>,
@@ -214,7 +259,7 @@ struct PerfState {
 }
 
 impl PerfState {
-    fn new(cfg: &PerfModel, seed: u64) -> Self {
+    fn new(cfg: &PerfModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
         let topo = cfg.topology.build();
         let n = topo.node_count();
         let factory = RngFactory::new(seed);
@@ -268,6 +313,11 @@ impl PerfState {
             nic_pools: (0..n).map(|_| ServerPool::new(1, SimTime::ZERO)).collect(),
             disk_limp,
             nic_limp,
+            chaos_faults,
+            chaos_down: vec![0; n],
+            chaos_limp_active: Vec::new(),
+            chaos_disk_mult: vec![1.0; n],
+            chaos_nic_mult: vec![1.0; n],
             reqs: HashMap::new(),
             next_rid: 0,
             latencies: (0..cfg.tenants.len()).map(|_| Histogram::new()).collect(),
@@ -287,8 +337,9 @@ impl PerfState {
     fn disk_service(&self, node: usize, rid: u64) -> SimDuration {
         let r = &self.reqs[&rid];
         let disk = &self.cfg.topology.node.disks[0];
-        let t =
-            disk.service_time(r.disk_bytes, r.sequential, r.write) * self.disk_limp.factor(node);
+        let t = disk.service_time(r.disk_bytes, r.sequential, r.write)
+            * self.disk_limp.factor(node)
+            * self.chaos_disk_mult[node];
         SimDuration::from_secs(t)
     }
 
@@ -302,8 +353,47 @@ impl PerfState {
         let nic = &self.cfg.topology.node.nic;
         let gbps = nic.bandwidth_gbps.min(path.bottleneck_gbps);
         let t = (nic.latency_s + path.latency_s + r.nic_bytes as f64 * 8.0 / (gbps * 1e9))
-            * self.nic_limp.factor(src);
+            * self.nic_limp.factor(src)
+            * self.chaos_nic_mult[src];
         SimDuration::from_secs(t)
+    }
+
+    /// True when `node` is failed-up *and* outside any chaos window.
+    fn node_available(&self, node: usize) -> bool {
+        self.node_up[node] && self.chaos_down[node] == 0
+    }
+
+    /// Node indices of the given racks, clamped to the cluster.
+    fn rack_nodes(&self, racks: &[usize]) -> Vec<usize> {
+        let npr = self.cfg.topology.nodes_per_rack.max(1);
+        let n = self.node_up.len();
+        racks
+            .iter()
+            .flat_map(|&r| (r * npr).min(n)..((r + 1) * npr).min(n))
+            .collect()
+    }
+
+    /// Rebuilds the per-node storm multipliers from the set of active
+    /// gray-storm faults. Recomputing from scratch (rather than
+    /// multiplying on start / dividing on end) keeps overlapping storms
+    /// exact: no floating-point residue survives the last restore.
+    fn recompute_chaos_limp(&mut self) {
+        self.chaos_disk_mult.fill(1.0);
+        self.chaos_nic_mult.fill(1.0);
+        for &i in &self.chaos_limp_active {
+            if let FaultEffect::Limp {
+                target, factors, ..
+            } = &self.chaos_faults[i].effect
+            {
+                let mult = match target {
+                    LimpTarget::Disk => &mut self.chaos_disk_mult,
+                    LimpTarget::Nic => &mut self.chaos_nic_mult,
+                };
+                for &(node, f) in factors {
+                    mult[node] *= f;
+                }
+            }
+        }
     }
 
     /// Live holders of (tenant, key).
@@ -312,7 +402,7 @@ impl PerfState {
         self.partitions[tenant][part]
             .iter()
             .copied()
-            .filter(|&n| self.node_up[n])
+            .filter(|&n| self.node_available(n))
             .collect()
     }
 
@@ -505,7 +595,7 @@ impl PerfState {
         let streams = self.cfg.tenants.len().max(1) * 4;
         let per_stream = (total_bytes / streams as u64).max(1);
         let candidates: Vec<usize> = (0..self.topo.node_count())
-            .filter(|&n| self.node_up[n])
+            .filter(|&n| self.node_available(n))
             .collect();
         if candidates.is_empty() {
             return;
@@ -544,6 +634,8 @@ impl Model for PerfState {
             Ev::NicDone { .. } => "NicDone",
             Ev::NodeFail { .. } => "NodeFail",
             Ev::NodeBack { .. } => "NodeBack",
+            Ev::ChaosStart { .. } => "ChaosStart",
+            Ev::ChaosEnd { .. } => "ChaosEnd",
         }
     }
 
@@ -622,6 +714,56 @@ impl Model for PerfState {
                 let ttf = ttf_dist.sample(&mut self.rng);
                 ctx.schedule_in(SimDuration::from_secs(ttf), Ev::NodeFail { node });
             }
+
+            Ev::ChaosStart { fault } => {
+                ctx.mark(self.chaos_faults[fault].mark);
+                let until = self.chaos_faults[fault].until_s;
+                match self.chaos_faults[fault].effect.clone() {
+                    FaultEffect::NodesDown { nodes } => {
+                        for n in nodes {
+                            self.chaos_down[n] += 1;
+                        }
+                    }
+                    FaultEffect::RacksDown { racks } => {
+                        for n in self.rack_nodes(&racks) {
+                            self.chaos_down[n] += 1;
+                        }
+                    }
+                    FaultEffect::Limp { .. } => {
+                        self.chaos_limp_active.push(fault);
+                        self.recompute_chaos_limp();
+                    }
+                    // Repair concurrency is an availability-engine
+                    // resource; the perf engine's repair traffic is
+                    // open-loop streams with no concurrency knob to clamp.
+                    FaultEffect::RepairThrottle { .. } => {}
+                }
+                ctx.schedule_at(
+                    SimTime::ZERO + SimDuration::from_secs(until.max(now.as_secs())),
+                    Ev::ChaosEnd { fault },
+                );
+            }
+
+            Ev::ChaosEnd { fault } => {
+                ctx.mark("chaos_restore");
+                match self.chaos_faults[fault].effect.clone() {
+                    FaultEffect::NodesDown { nodes } => {
+                        for n in nodes {
+                            self.chaos_down[n] = self.chaos_down[n].saturating_sub(1);
+                        }
+                    }
+                    FaultEffect::RacksDown { racks } => {
+                        for n in self.rack_nodes(&racks) {
+                            self.chaos_down[n] = self.chaos_down[n].saturating_sub(1);
+                        }
+                    }
+                    FaultEffect::Limp { .. } => {
+                        self.chaos_limp_active.retain(|&i| i != fault);
+                        self.recompute_chaos_limp();
+                    }
+                    FaultEffect::RepairThrottle { .. } => {}
+                }
+            }
         }
     }
 }
@@ -653,6 +795,7 @@ mod tests {
             node_ttf: None,
             horizon_s: 120.0,
             queue: QueueBackend::Heap,
+            chaos: None,
         }
     }
 
@@ -850,6 +993,7 @@ mod tests {
                 node_ttf: None,
                 horizon_s: 60.0,
                 queue: QueueBackend::Heap,
+                chaos: None,
             }
         };
         let small = mk(16.0).run(8); // 160 GB cache vs 2 TB data: ~8% hits
@@ -861,6 +1005,117 @@ mod tests {
             small.tenants[0].mean_s
         );
         assert!(big.mean_disk_utilization < small.mean_disk_utilization);
+    }
+
+    fn chaos(schedule: crate::chaos::FaultSchedule) -> Option<ChaosConfig> {
+        // The test topology is 2 racks × 5 nodes.
+        Some(ChaosConfig {
+            schedule,
+            nodes_per_rack: 5,
+        })
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_inert() {
+        let mut with_empty = base(vec![TenantWorkload::oltp("shop", 100.0, 1_000)]);
+        with_empty.chaos = chaos(crate::chaos::FaultSchedule::new());
+        let plain = base(vec![TenantWorkload::oltp("shop", 100.0, 1_000)]).run(21);
+        assert_eq!(
+            with_empty.run(21),
+            plain,
+            "empty schedule must be bit-identical to none"
+        );
+    }
+
+    #[test]
+    fn maintenance_window_fails_requests_while_drained() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mut m = base(vec![TenantWorkload::oltp("shop", 100.0, 10_000)]);
+        // Drain the entire cluster for half the horizon: every request in
+        // the window finds no live holder, everything outside succeeds.
+        m.chaos = chaos(FaultSchedule::new().rule(
+            "drain",
+            30.0,
+            FaultKind::MaintenanceWindow {
+                first_node: 0,
+                nodes: 10,
+                duration_s: 60.0,
+            },
+        ));
+        let (r, t) = m.run_observed(22, None);
+        let shop = &r.tenants[0];
+        assert!(
+            shop.failed > 2_000,
+            "in-window requests fail: {}",
+            shop.failed
+        );
+        assert!(
+            shop.completed > 2_000,
+            "out-of-window requests succeed: {}",
+            shop.completed
+        );
+        assert_eq!(t.marks.get("inject_maintenance"), Some(&1));
+        assert_eq!(t.marks.get("chaos_restore"), Some(&1));
+        // Drained ≠ failed: no repair traffic, no failure-timer churn.
+        assert_eq!(r.node_failures, 0);
+    }
+
+    #[test]
+    fn gray_storm_inflates_latency() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let calm = base(vec![TenantWorkload::oltp("shop", 200.0, 10_000)]);
+        let mut stormy = base(vec![TenantWorkload::oltp("shop", 200.0, 10_000)]);
+        stormy.chaos = chaos(FaultSchedule::new().rule(
+            "storm",
+            0.0,
+            FaultKind::GrayStorm {
+                spec: LimpwareSpec::degraded_nic(0.5),
+                center_rack: 0,
+                radius_racks: 1,
+                duration_s: 120.0,
+            },
+        ));
+        let rc = calm.run(23);
+        let rs = stormy.run(23);
+        assert!(
+            rs.tenants[0].mean_s > rc.tenants[0].mean_s,
+            "storm mean {} should exceed calm {}",
+            rs.tenants[0].mean_s,
+            rc.tenants[0].mean_s
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_backend_invariant() {
+        use crate::chaos::{FaultKind, FaultSchedule};
+        let mut m = base(vec![TenantWorkload::oltp("shop", 150.0, 5_000)]);
+        m.chaos = chaos(
+            FaultSchedule::new()
+                .rule(
+                    "storm",
+                    10.0,
+                    FaultKind::GrayStorm {
+                        spec: LimpwareSpec::degraded_nic(0.4),
+                        center_rack: 1,
+                        radius_racks: 0,
+                        duration_s: 40.0,
+                    },
+                )
+                .rule(
+                    "tor",
+                    70.0,
+                    FaultKind::TorDeath {
+                        rack: 0,
+                        repair_s: 20.0,
+                    },
+                ),
+        );
+        let a = m.run(24);
+        let b = m.run(24);
+        assert_eq!(a, b, "same seed must replay identically under chaos");
+        let mut cal = m.clone();
+        cal.queue = QueueBackend::Calendar;
+        assert_eq!(a, cal.run(24), "chaos must not depend on the queue backend");
     }
 }
 
@@ -895,6 +1150,7 @@ mod proptests {
             node_ttf: None,
             horizon_s,
             queue: QueueBackend::Heap,
+            chaos: None,
         }
     }
 

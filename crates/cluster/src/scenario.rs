@@ -5,6 +5,7 @@
 //! placement, repair policy) and workload (tenants) — so a "query to the
 //! wind tunnel" (§4) is a function from `Scenario` to result.
 
+use crate::chaos::FaultSchedule;
 use serde::{Deserialize, Serialize};
 use wt_des::QueueBackend;
 use wt_hw::{CostModel, LimpwareSpec, TopologySpec};
@@ -47,12 +48,21 @@ pub struct Scenario {
     /// selectable deserialize to). Purely a wall-clock knob: both
     /// backends produce bitwise-identical results.
     pub queue: Option<QueueBackend>,
+    /// Optional declarative chaos: typed fault-injection rules compiled
+    /// into deterministic scheduled events by the engines (`None` → no
+    /// injections, and what pre-chaos scenario files deserialize to).
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Scenario {
     /// The queue backend to run with ([`QueueBackend::Heap`] unless set).
     pub fn queue_backend(&self) -> QueueBackend {
         self.queue.unwrap_or_default()
+    }
+
+    /// The fault schedule, if one is declared and non-empty.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref().filter(|f| !f.is_empty())
     }
 
     /// Total raw bytes stored (before redundancy).
@@ -114,6 +124,7 @@ mod tests {
             horizon_years: 1.0,
             seed: 42,
             queue: None,
+            faults: None,
         }
     }
 
@@ -172,5 +183,33 @@ mod tests {
         let back: Scenario = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back.queue, None);
         assert_eq!(back.queue_backend(), QueueBackend::Heap);
+    }
+
+    #[test]
+    fn pre_chaos_scenario_json_still_loads() {
+        // Scenario files serialized before the fault schedule existed have
+        // no "faults" key at all; they must load with no injections.
+        let json = serde_json::to_string(&base()).unwrap();
+        let stripped = json.replacen(",\"faults\":null", "", 1);
+        assert_ne!(stripped, json, "expected a trailing faults field");
+        let back: Scenario = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.faults, None);
+        assert!(back.fault_schedule().is_none());
+    }
+
+    #[test]
+    fn empty_fault_schedule_means_no_chaos() {
+        let mut s = base();
+        s.faults = Some(crate::chaos::FaultSchedule::new());
+        assert!(s.fault_schedule().is_none());
+        s.faults = Some(crate::chaos::FaultSchedule::new().rule(
+            "tor",
+            60.0,
+            crate::chaos::FaultKind::TorDeath {
+                rack: 0,
+                repair_s: 600.0,
+            },
+        ));
+        assert!(s.fault_schedule().is_some());
     }
 }

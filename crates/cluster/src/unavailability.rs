@@ -73,8 +73,13 @@ impl UnavailabilityExperiment {
 
     /// Estimates one curve point: `failures` nodes down simultaneously.
     pub fn run_at(&self, failures: usize) -> UnavailabilityPoint {
+        self.run_at_with(&self.replica_masks(), failures)
+    }
+
+    /// `run_at` against precomputed replica masks, so a whole curve pays
+    /// for the placement pass once instead of once per failure count.
+    fn run_at_with(&self, sets: &[(u64, u64)], failures: usize) -> UnavailabilityPoint {
         assert!(failures <= self.n_nodes);
-        let sets = self.replica_masks();
         let factory = RngFactory::new(self.seed);
         let mut rng: Stream = factory.numbered("failure-sets", failures as u64);
         let width = self.redundancy.width();
@@ -84,7 +89,7 @@ impl UnavailabilityExperiment {
         for _ in 0..self.trials {
             let failed = self.sample_failure_mask(failures, &mut rng);
             let mut affected_users = 0u64;
-            for &(mask, users) in &sets {
+            for &(mask, users) in sets {
                 let up = (mask & !failed).count_ones() as usize;
                 debug_assert!(up <= width);
                 if !self.redundancy.operable(up) {
@@ -103,9 +108,15 @@ impl UnavailabilityExperiment {
         }
     }
 
-    /// The whole curve: `f = 0..=N`.
+    /// The whole curve: `f = 0..=N`. The placement pass (`replica_masks`)
+    /// is hoisted out of the per-point loop — it depends only on the
+    /// experiment config, and recomputing it made each curve cost N+1
+    /// full passes over all users.
     pub fn run(&self) -> Vec<UnavailabilityPoint> {
-        (0..=self.n_nodes).map(|f| self.run_at(f)).collect()
+        let sets = self.replica_masks();
+        (0..=self.n_nodes)
+            .map(|f| self.run_at_with(&sets, f))
+            .collect()
     }
 
     fn sample_failure_mask(&self, failures: usize, rng: &mut Stream) -> u64 {
@@ -221,6 +232,17 @@ mod tests {
         let p2 = e.run_at(2);
         let p5 = e.run_at(5);
         assert!(p5.p_unavailable >= p2.p_unavailable);
+    }
+
+    #[test]
+    fn shared_masks_match_per_point_runs() {
+        // The hoisted placement pass must not change any curve point.
+        let e = exp(8, 3, Placement::Random);
+        let curve = e.run();
+        assert_eq!(curve.len(), 9);
+        for (f, p) in curve.iter().enumerate() {
+            assert_eq!(*p, e.run_at(f));
+        }
     }
 
     #[test]

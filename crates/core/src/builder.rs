@@ -1,6 +1,6 @@
 //! Fluent scenario construction with sensible catalog defaults.
 
-use wt_cluster::Scenario;
+use wt_cluster::{FaultSchedule, Scenario};
 use wt_des::QueueBackend;
 use wt_hw::{catalog, DiskSpec, LimpwareSpec, NicSpec, SwitchSpec, TopologySpec};
 use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
@@ -33,6 +33,7 @@ pub struct ScenarioBuilder {
     horizon_years: f64,
     seed: u64,
     queue: Option<QueueBackend>,
+    faults: Option<FaultSchedule>,
 }
 
 impl ScenarioBuilder {
@@ -61,6 +62,7 @@ impl ScenarioBuilder {
             horizon_years: 1.0,
             seed: 42,
             queue: None,
+            faults: None,
         }
     }
 
@@ -205,6 +207,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Declarative chaos: a schedule of typed fault injections the engines
+    /// compile into deterministic scheduled events.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
     /// Assembles the scenario (validates the topology).
     pub fn build(self) -> Scenario {
         let node =
@@ -240,6 +249,7 @@ impl ScenarioBuilder {
             horizon_years: self.horizon_years,
             seed: self.seed,
             queue: self.queue,
+            faults: self.faults,
         }
     }
 }

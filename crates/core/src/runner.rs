@@ -3,6 +3,7 @@
 use crate::sla::SlaSet;
 use serde::{Deserialize, Serialize};
 use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
+use wt_cluster::chaos::ChaosConfig;
 use wt_cluster::{
     AvailabilityModel, AvailabilityResult, PerfModel, PerfResult, RebuildModel, Scenario,
 };
@@ -131,6 +132,7 @@ impl WindTunnel {
                 replace: scenario.topology.node.disks[0].repair.clone(),
             }),
             queue: scenario.queue_backend(),
+            chaos: Self::chaos_config(scenario),
         }
     }
 
@@ -146,7 +148,17 @@ impl WindTunnel {
             node_ttf: None,
             horizon_s: (scenario.horizon_years * 365.0 * 86_400.0).min(600.0),
             queue: scenario.queue_backend(),
+            chaos: Self::chaos_config(scenario),
         }
+    }
+
+    /// The chaos configuration both engines compile, when the scenario
+    /// declares a non-empty fault schedule.
+    fn chaos_config(scenario: &Scenario) -> Option<ChaosConfig> {
+        scenario.fault_schedule().map(|s| ChaosConfig {
+            schedule: s.clone(),
+            nodes_per_rack: scenario.topology.nodes_per_rack,
+        })
     }
 
     fn base_record(scenario: &Scenario, experiment: &str) -> RunRecord {

@@ -88,9 +88,11 @@ impl LimpState {
         }
     }
 
-    /// The slowdown factor of component `i` (1.0 = healthy).
+    /// The slowdown factor of component `i` (1.0 = healthy). Indices the
+    /// state was never rolled for are healthy by definition, so engines can
+    /// query disk/NIC ids uniformly without sizing the state first.
     pub fn factor(&self, i: usize) -> f64 {
-        self.factors[i]
+        self.factors.get(i).copied().unwrap_or(1.0)
     }
 
     /// Number of limping components.
@@ -157,6 +159,18 @@ mod tests {
         let healthy = LimpState::healthy(10);
         assert_eq!(healthy.limper_count(), 0);
         assert_eq!(healthy.factor(3), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_factor_is_healthy() {
+        // Regression: `factor` used to panic past the rolled count; engines
+        // index by component id and expect 1.0 for anything unrolled.
+        let state = LimpState::healthy(3);
+        assert_eq!(state.factor(2), 1.0);
+        assert_eq!(state.factor(3), 1.0);
+        assert_eq!(state.factor(usize::MAX), 1.0);
+        let empty = LimpState::default();
+        assert_eq!(empty.factor(0), 1.0);
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl RepairQueue {
         self.pending.push(task);
     }
 
+    /// Replaces the concurrency cap in place (repair-bandwidth throttling;
+    /// the chaos layer's throttle rules drive this). `0` pauses the queue.
+    /// Repairs already in flight are not interrupted — a lowered cap only
+    /// gates future `start_ready` calls.
+    pub fn set_max_parallel(&mut self, max_parallel: usize) {
+        self.policy.max_parallel = max_parallel;
+    }
+
     /// Starts as many repairs as the concurrency cap allows; returns the
     /// tasks that just started (caller schedules their completion events).
     #[must_use = "started repairs must have completion events scheduled"]
@@ -250,5 +258,76 @@ mod tests {
     fn complete_on_idle_panics() {
         let mut q = RepairQueue::new(RepairPolicy::serial());
         q.complete_one();
+    }
+
+    #[test]
+    fn fifo_order_survives_combined_storm() {
+        // The interleaving a combined switch + disk failure storm produces:
+        // bursts of enqueues (objects degraded by a rack outage and by disk
+        // deaths), interleaved cancels (rack comes back) and completions.
+        // Start order must remain exactly enqueue order minus cancels.
+        let mut q = RepairQueue::new(RepairPolicy::parallel(2));
+        let mut started: Vec<u64> = Vec::new();
+        // Wave 1: switch failure degrades objects 0..6.
+        for i in 0..6 {
+            q.enqueue(RepairTask {
+                object: i,
+                bytes: 1 << 20,
+            });
+        }
+        started.extend(q.start_ready().iter().map(|t| t.object));
+        // Wave 2: disk failures degrade 10..13 while the rack heals and
+        // cancels two not-yet-started rack repairs.
+        for i in 10..13 {
+            q.enqueue(RepairTask {
+                object: i,
+                bytes: 1 << 20,
+            });
+        }
+        assert!(q.cancel(3));
+        assert!(q.cancel(5));
+        while q.in_flight() > 0 || q.pending_len() > 0 {
+            q.complete_one();
+            started.extend(q.start_ready().iter().map(|t| t.object));
+        }
+        assert_eq!(started, vec![0, 1, 2, 4, 10, 11, 12]);
+        assert_eq!(q.completed(), 7);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn throttle_and_restore_respect_caps() {
+        // Chaos repair-throttle semantics: clamp the cap mid-storm, verify
+        // in-flight never exceeds the live cap, then restore and drain.
+        let mut q = RepairQueue::new(RepairPolicy::parallel(4));
+        for i in 0..10 {
+            q.enqueue(RepairTask {
+                object: i,
+                bytes: 1,
+            });
+        }
+        assert_eq!(q.start_ready().len(), 4);
+        q.set_max_parallel(1); // throttle while 4 are in flight
+        q.complete_one();
+        // 3 still in flight >= cap of 1: nothing new may start.
+        assert!(q.start_ready().is_empty());
+        q.complete_one();
+        q.complete_one();
+        q.complete_one();
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.start_ready().len(), 1);
+        q.set_max_parallel(0); // breaker-style full pause
+        q.complete_one();
+        assert!(q.start_ready().is_empty());
+        q.set_max_parallel(4); // restore
+        assert_eq!(q.start_ready().len(), 4);
+        q.complete_one();
+        q.complete_one();
+        q.complete_one();
+        q.complete_one();
+        assert_eq!(q.start_ready().len(), 1);
+        q.complete_one();
+        assert!(q.is_idle());
+        assert_eq!(q.completed(), 10);
     }
 }

@@ -80,6 +80,36 @@ impl Constraint {
     }
 }
 
+/// One argument of an INJECT call: a literal, or a reference to a sweep
+/// axis whose value is substituted per grid point (`racks = blast` sweeps
+/// the blast radius).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectArg {
+    /// A literal value.
+    Value(ParamValue),
+    /// The name of a sweep axis to substitute at evaluation time.
+    Axis(String),
+}
+
+/// One fault injection: `INJECT power_loss(at = 3600, racks = 2, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    /// Injection kind (`power_loss`, `tor_death`, `gray_storm`, ...).
+    pub kind: String,
+    /// Named arguments in source order.
+    pub args: Vec<(String, InjectArg)>,
+}
+
+impl Injection {
+    /// Names of sweep axes this injection's arguments reference.
+    pub fn axis_refs(&self) -> impl Iterator<Item = &str> {
+        self.args.iter().filter_map(|(_, arg)| match arg {
+            InjectArg::Axis(name) => Some(name.as_str()),
+            InjectArg::Value(_) => None,
+        })
+    }
+}
+
 /// Optimization objective: `MINIMIZE tco_usd_per_year`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Objective {
@@ -96,6 +126,8 @@ pub struct Query {
     pub explore: Vec<String>,
     /// Sweep axes (cartesian product).
     pub sweeps: Vec<SweepAxis>,
+    /// Fault injections (INJECT clause).
+    pub injects: Vec<Injection>,
     /// Configuration filters.
     pub filters: Vec<Filter>,
     /// Output constraints.
@@ -176,6 +208,7 @@ mod tests {
                     ],
                 },
             ],
+            injects: vec![],
             filters: vec![],
             constraints: vec![],
             objective: None,

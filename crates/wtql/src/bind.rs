@@ -4,10 +4,14 @@
 //! hardware axes resolve through the part catalog, so a query can say
 //! `nic IN ["1g", "10g"]` instead of spelling out specs.
 
+use crate::ast::{InjectArg, Injection};
 use crate::error::WtqlError;
-use windtunnel::cluster::Scenario;
+use windtunnel::cluster::{FaultKind, InjectionRule, Scenario};
 use windtunnel::hw::catalog;
+use windtunnel::hw::limpware::LimpTarget;
+use windtunnel::hw::LimpwareSpec;
 use windtunnel::sw::{Placement, RedundancyScheme};
+use wt_dist::Dist;
 use wt_store::ParamValue;
 
 /// The sweep axes the binder understands, with whether SLA satisfaction is
@@ -169,6 +173,180 @@ pub fn apply_assignment(
     Ok(())
 }
 
+/// The INJECT kinds the binder understands, with their argument names.
+/// `at` (injection time, seconds) is accepted by every kind and defaults
+/// to 0.
+pub const INJECT_KINDS: &[(&str, &[&str])] = &[
+    ("power_loss", &["first_rack", "racks", "restore"]),
+    ("tor_death", &["rack", "repair"]),
+    ("agg_partition", &["first_rack", "racks", "heal"]),
+    (
+        "gray_storm",
+        &[
+            "target",
+            "probability",
+            "slowdown",
+            "center_rack",
+            "radius",
+            "duration",
+        ],
+    ),
+    ("maintenance", &["first_node", "nodes", "duration"]),
+    (
+        "repair_throttle",
+        &["max_parallel", "duration", "breaker_pending"],
+    ),
+];
+
+/// Validates an injection's kind, argument names, and axis references
+/// without needing a concrete assignment — called once at plan time so
+/// a typo fails the whole query instead of every row.
+pub fn check_injection(inj: &Injection, swept_axes: &[String]) -> Result<(), WtqlError> {
+    let args = INJECT_KINDS
+        .iter()
+        .find(|(kind, _)| *kind == inj.kind)
+        .map(|(_, args)| *args)
+        .ok_or_else(|| {
+            WtqlError::Semantic(format!(
+                "unknown INJECT kind '{}' (known: {})",
+                inj.kind,
+                INJECT_KINDS
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+    for (key, arg) in &inj.args {
+        if key != "at" && !args.contains(&key.as_str()) {
+            return Err(WtqlError::Semantic(format!(
+                "INJECT {}(...) has no argument '{key}' (accepts: at, {})",
+                inj.kind,
+                args.join(", ")
+            )));
+        }
+        if let InjectArg::Axis(axis) = arg {
+            if !swept_axes.iter().any(|a| a == axis) {
+                return Err(WtqlError::Semantic(format!(
+                    "INJECT {}({key} = {axis}) references an axis that is not swept",
+                    inj.kind
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Resolves an injection against one grid point's assignment, producing
+/// the concrete fault-schedule rule for that run.
+pub fn resolve_injection(
+    inj: &Injection,
+    assignment: &[(String, ParamValue)],
+) -> Result<InjectionRule, WtqlError> {
+    let resolved: Vec<(String, ParamValue)> = inj
+        .args
+        .iter()
+        .map(|(key, arg)| {
+            let value = match arg {
+                InjectArg::Value(v) => v.clone(),
+                InjectArg::Axis(axis) => assignment
+                    .iter()
+                    .find(|(a, _)| a == axis)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| {
+                        WtqlError::Semantic(format!(
+                            "INJECT {}({key} = {axis}) references an axis that is not swept",
+                            inj.kind
+                        ))
+                    })?,
+            };
+            Ok((key.clone(), value))
+        })
+        .collect::<Result<_, WtqlError>>()?;
+    let num = |key: &str| -> Result<f64, WtqlError> {
+        resolved
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_num())
+            .ok_or_else(|| {
+                WtqlError::Semantic(format!(
+                    "INJECT {}(...) needs a numeric '{key}' argument",
+                    inj.kind
+                ))
+            })
+    };
+    let at_s = resolved
+        .iter()
+        .find(|(k, _)| k == "at")
+        .and_then(|(_, v)| v.as_num())
+        .unwrap_or(0.0);
+    let fault = match inj.kind.as_str() {
+        "power_loss" => FaultKind::PowerDomainLoss {
+            first_rack: num("first_rack")? as usize,
+            racks: num("racks")? as usize,
+            restore_s: num("restore")?,
+        },
+        "tor_death" => FaultKind::TorDeath {
+            rack: num("rack")? as usize,
+            repair_s: num("repair")?,
+        },
+        "agg_partition" => FaultKind::AggPartition {
+            first_rack: num("first_rack")? as usize,
+            racks: num("racks")? as usize,
+            heal_s: num("heal")?,
+        },
+        "gray_storm" => {
+            let target = match resolved.iter().find(|(k, _)| k == "target") {
+                Some((_, ParamValue::Str(s))) => match s.as_str() {
+                    "disk" => LimpTarget::Disk,
+                    "nic" => LimpTarget::Nic,
+                    other => {
+                        return Err(WtqlError::Semantic(format!(
+                            "gray_storm target must be \"disk\" or \"nic\", got \"{other}\""
+                        )))
+                    }
+                },
+                None => LimpTarget::Disk,
+                Some(_) => {
+                    return Err(WtqlError::Semantic(
+                        "gray_storm 'target' needs a string value".into(),
+                    ))
+                }
+            };
+            FaultKind::GrayStorm {
+                spec: LimpwareSpec {
+                    target,
+                    probability: num("probability")?,
+                    slowdown: Dist::deterministic(num("slowdown")?),
+                },
+                center_rack: num("center_rack")? as usize,
+                radius_racks: num("radius")? as usize,
+                duration_s: num("duration")?,
+            }
+        }
+        "maintenance" => FaultKind::MaintenanceWindow {
+            first_node: num("first_node")? as usize,
+            nodes: num("nodes")? as usize,
+            duration_s: num("duration")?,
+        },
+        "repair_throttle" => FaultKind::RepairThrottle {
+            max_parallel: num("max_parallel")? as usize,
+            duration_s: num("duration")?,
+            breaker_pending: num("breaker_pending")? as usize,
+        },
+        other => {
+            return Err(WtqlError::Semantic(format!(
+                "unknown INJECT kind '{other}'"
+            )))
+        }
+    };
+    Ok(InjectionRule {
+        name: inj.kind.clone(),
+        at_s,
+        fault,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +461,114 @@ mod tests {
         assert!(!is_monotone("placement"));
         assert!(is_known_axis("disk"));
         assert!(!is_known_axis("nonsense"));
+    }
+
+    #[test]
+    fn injection_resolves_axis_refs() {
+        let inj = Injection {
+            kind: "power_loss".into(),
+            args: vec![
+                ("at".into(), InjectArg::Value(ParamValue::Num(3600.0))),
+                ("first_rack".into(), InjectArg::Value(ParamValue::Num(0.0))),
+                ("racks".into(), InjectArg::Axis("blast".into())),
+                ("restore".into(), InjectArg::Value(ParamValue::Num(900.0))),
+            ],
+        };
+        let assignment = vec![("blast".to_string(), ParamValue::Num(2.0))];
+        let rule = resolve_injection(&inj, &assignment).unwrap();
+        assert_eq!(rule.name, "power_loss");
+        assert_eq!(rule.at_s, 3600.0);
+        assert_eq!(
+            rule.fault,
+            FaultKind::PowerDomainLoss {
+                first_rack: 0,
+                racks: 2,
+                restore_s: 900.0
+            }
+        );
+    }
+
+    #[test]
+    fn injection_missing_axis_rejected() {
+        let inj = Injection {
+            kind: "tor_death".into(),
+            args: vec![
+                ("rack".into(), InjectArg::Axis("blast".into())),
+                ("repair".into(), InjectArg::Value(ParamValue::Num(60.0))),
+            ],
+        };
+        let e = resolve_injection(&inj, &[]).unwrap_err();
+        assert!(e.to_string().contains("not swept"), "{e}");
+    }
+
+    #[test]
+    fn injection_gray_storm_builds_spec() {
+        let inj = Injection {
+            kind: "gray_storm".into(),
+            args: vec![
+                (
+                    "target".into(),
+                    InjectArg::Value(ParamValue::Str("nic".into())),
+                ),
+                ("probability".into(), InjectArg::Value(ParamValue::Num(0.5))),
+                ("slowdown".into(), InjectArg::Value(ParamValue::Num(10.0))),
+                ("center_rack".into(), InjectArg::Value(ParamValue::Num(1.0))),
+                ("radius".into(), InjectArg::Value(ParamValue::Num(1.0))),
+                ("duration".into(), InjectArg::Value(ParamValue::Num(600.0))),
+            ],
+        };
+        let rule = resolve_injection(&inj, &[]).unwrap();
+        match rule.fault {
+            FaultKind::GrayStorm {
+                spec, radius_racks, ..
+            } => {
+                assert_eq!(spec.target, LimpTarget::Nic);
+                assert_eq!(spec.probability, 0.5);
+                assert_eq!(radius_racks, 1);
+            }
+            other => panic!("expected gray storm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_injection_validates_kind_args_and_axes() {
+        let swept = vec!["blast".to_string()];
+        let ok = Injection {
+            kind: "maintenance".into(),
+            args: vec![
+                ("first_node".into(), InjectArg::Value(ParamValue::Num(0.0))),
+                ("nodes".into(), InjectArg::Axis("blast".into())),
+                ("duration".into(), InjectArg::Value(ParamValue::Num(60.0))),
+            ],
+        };
+        check_injection(&ok, &swept).unwrap();
+
+        let bad_kind = Injection {
+            kind: "meteor_strike".into(),
+            args: vec![],
+        };
+        assert!(check_injection(&bad_kind, &swept)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown INJECT kind"));
+
+        let bad_arg = Injection {
+            kind: "tor_death".into(),
+            args: vec![("rak".into(), InjectArg::Value(ParamValue::Num(0.0)))],
+        };
+        assert!(check_injection(&bad_arg, &swept)
+            .unwrap_err()
+            .to_string()
+            .contains("no argument"));
+
+        let bad_axis = Injection {
+            kind: "tor_death".into(),
+            args: vec![("rack".into(), InjectArg::Axis("nope".into()))],
+        };
+        assert!(check_injection(&bad_axis, &swept)
+            .unwrap_err()
+            .to_string()
+            .contains("not swept"));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! constraint/objective verdicts.
 
 use crate::ast::{Constraint, Query};
-use crate::bind::apply_assignment;
+use crate::bind::{apply_assignment, is_known_axis, resolve_injection};
 use crate::error::WtqlError;
 use crate::plan::{Assignment, Plan};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use windtunnel::cluster::Scenario;
 use windtunnel::des::time::SimDuration;
@@ -257,24 +257,47 @@ pub fn run_query(
     // handles dispatch, in-order collection, and sharded recording —
     // each configuration's runs land in a private `StoreShard` that is
     // merged into the tunnel's store in plan order, so record ids are
-    // deterministic for any thread count. The pruning decision stays
-    // inside the work closure because it consults the live set of failed
-    // configurations (best-effort: a config is skipped only if a
-    // dominating failure finished before it started).
-    let failed: RwLock<Vec<usize>> = RwLock::new(Vec::new());
+    // deterministic for any thread count.
+    //
+    // Pruning is *deterministic*: every configuration gets a verdict
+    // (passed / failed / pruned) in a shared table, and a configuration
+    // blocks until all dominating configurations *earlier in plan order*
+    // have verdicts, then prunes iff one of them failed. Verdicts
+    // therefore depend only on the plan order, never on worker count or
+    // scheduling. The wait cannot deadlock: dependencies have strictly
+    // smaller plan indices, and the farm claims index ranges as an
+    // ascending prefix and walks each range in ascending order, so the
+    // minimal undecided index is always being executed and its
+    // dependencies are all decided. A pruned configuration deliberately
+    // gets a non-failed verdict: whatever failure dominated it also
+    // dominates (by transitivity) everything it dominates.
+    let verdicts: Mutex<Vec<Option<Verdict>>> = Mutex::new(vec![None; n]);
+    let decided = Condvar::new();
     let grid = SweepGrid::explicit("wtql-explore", base.seed, plan.configs.clone());
     debug_assert_eq!(grid.len(), n);
     let runner = SweepRunner::new(Farm::new(opts.threads));
     let rows: Vec<RunRow> = runner.run_points(&grid, tunnel.store(), |point, _ctx, sink| {
         let assignment = &point.assignment;
 
-        // Dominance check against already-failed configurations.
+        // Dominance check against every earlier-planned configuration.
         if opts.prune {
-            let dominated = failed
-                .read()
-                .iter()
-                .any(|&f| plan.dominated_by_failure(assignment, &plan.configs[f]));
+            let deps: Vec<usize> = (0..point.index)
+                .filter(|&j| plan.dominated_by_failure(assignment, &plan.configs[j]))
+                .collect();
+            let mut table = verdicts.lock();
+            let dominated = loop {
+                if deps.iter().any(|&j| table[j] == Some(Verdict::Failed)) {
+                    break true;
+                }
+                if deps.iter().all(|&j| table[j].is_some()) {
+                    break false;
+                }
+                decided.wait(&mut table);
+            };
             if dominated {
+                table[point.index] = Some(Verdict::Pruned);
+                decided.notify_all();
+                drop(table);
                 return RunRow {
                     assignment: assignment.clone(),
                     metrics: BTreeMap::new(),
@@ -305,8 +328,15 @@ pub fn run_query(
                 aborted: false,
             },
         };
-        if !row.passes && !query.constraints.is_empty() && opts.prune {
-            failed.write().push(point.index);
+        if opts.prune {
+            let verdict = if !row.passes && !query.constraints.is_empty() {
+                Verdict::Failed
+            } else {
+                Verdict::Passed
+            };
+            let mut table = verdicts.lock();
+            table[point.index] = Some(verdict);
+            decided.notify_all();
         }
         row
     });
@@ -344,6 +374,16 @@ pub fn run_query(
     })
 }
 
+/// A configuration's pruning verdict. `Passed` covers any fully-evaluated
+/// run that doesn't fail its constraints (including constraint-free
+/// queries); only `Failed` triggers downstream pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Passed,
+    Failed,
+    Pruned,
+}
+
 /// Simulates one configuration and evaluates the constraints. Every
 /// fully-simulated run records into `sink` — the caller's per-config
 /// shard during parallel execution.
@@ -360,7 +400,19 @@ fn evaluate(
 ) -> Result<RunRow, WtqlError> {
     let mut scenario = base.clone();
     for (axis, value) in assignment {
-        apply_assignment(&mut scenario, axis, value)?;
+        // Chaos-only axes (swept but referenced solely from INJECT
+        // arguments) are not scenario knobs; they reach the run below,
+        // through the resolved fault schedule.
+        if is_known_axis(axis) {
+            apply_assignment(&mut scenario, axis, value)?;
+        }
+    }
+    if !query.injects.is_empty() {
+        let mut schedule = scenario.faults.clone().unwrap_or_default();
+        for inj in &query.injects {
+            schedule.rules.push(resolve_injection(inj, assignment)?);
+        }
+        scenario.faults = Some(schedule);
     }
     scenario.name = assignment
         .iter()
@@ -665,6 +717,155 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(key(&serial.rows), key(&par.rows));
+    }
+
+    #[test]
+    fn pruning_verdicts_are_worker_count_invariant() {
+        // The old failed-set pruning skipped a config only when a
+        // dominating failure happened to finish first — a race on worker
+        // count. The verdict table keys decisions on plan order alone, so
+        // every thread count must produce the identical pruned set.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [1, 2, 3], repair_parallel IN [1, 2] \
+             SUBJECT TO availability >= 1.0 AND unavailability_events <= 0",
+        )
+        .unwrap();
+        let mut sc = base();
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(10.0 * 86_400.0);
+        sc.repair.detection_delay_s = 24.0 * 3600.0;
+        let run = |threads: usize| {
+            let tunnel = WindTunnel::new();
+            run_query(
+                &q,
+                &sc,
+                &tunnel,
+                &ExecOptions {
+                    threads,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.pruned >= 1, "{serial:?}");
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            let flags = |out: &QueryOutcome| {
+                out.rows
+                    .iter()
+                    .map(|r| (r.assignment.clone(), r.pruned, r.passes))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(flags(&serial), flags(&par), "threads = {threads}");
+            assert_eq!(serial.pruned, par.pruned);
+            assert_eq!(serial.executed, par.executed);
+        }
+    }
+
+    #[test]
+    fn inject_sweeps_chaos_parameters() {
+        // Sweep the blast radius of a power-domain loss: the chaos-only
+        // axis `blast` reaches the run through the INJECT clause. Zero
+        // racks lost = no injection effect; the whole cluster dark for
+        // ~42% of the horizon caps availability accordingly.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP blast IN [0, 2] \
+             INJECT power_loss(at = 1000000, first_rack = 0, racks = blast, restore = 4000000)",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        let avail = |blast: f64| {
+            out.rows
+                .iter()
+                .find(|r| r.assignment[0].1.as_num() == Some(blast))
+                .unwrap()
+                .metrics["availability"]
+        };
+        assert!(
+            avail(0.0) > avail(2.0) + 0.3,
+            "blast=0 {} vs blast=2 {}",
+            avail(0.0),
+            avail(2.0)
+        );
+        // The injection fired and was recorded in run telemetry.
+        tunnel.store().with(|s| {
+            let fired: u64 = s
+                .records()
+                .filter_map(|r| r.telemetry.as_ref())
+                .filter_map(|t| t.marks.get("inject_power_loss"))
+                .sum();
+            assert_eq!(fired, 2, "one injection per run, even at blast=0");
+        });
+    }
+
+    #[test]
+    fn inject_is_deterministic_across_threads() {
+        let q = parse(
+            "EXPLORE availability, unavailability_events \
+             SWEEP blast IN [1, 2], replication IN [1, 3] \
+             INJECT maintenance(at = 500000, first_node = 0, nodes = blast, duration = 250000)",
+        )
+        .unwrap();
+        let run = |threads: usize| {
+            let tunnel = WindTunnel::new();
+            run_query(
+                &q,
+                &base(),
+                &tunnel,
+                &ExecOptions {
+                    threads,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        let key = |out: &QueryOutcome| {
+            out.rows
+                .iter()
+                .map(|r| (r.assignment.clone(), r.metrics.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn inject_composes_with_base_scenario_faults() {
+        // A base scenario that already schedules chaos keeps it; the
+        // query's injections are appended, not substituted.
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] \
+             INJECT maintenance(at = 2000000, first_node = 0, nodes = 10, duration = 1000000)",
+        )
+        .unwrap();
+        let mut sc = base();
+        sc.faults = Some(windtunnel::cluster::FaultSchedule::new().rule(
+            "planned",
+            100_000.0,
+            windtunnel::cluster::FaultKind::MaintenanceWindow {
+                first_node: 0,
+                nodes: 10,
+                duration_s: 1_000_000.0,
+            },
+        ));
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        // Two full-cluster windows of 1e6 s out of a ~9.47e6 s horizon.
+        let a = out.rows[0].metrics["availability"];
+        assert!(a < 0.85, "both windows applied: {a}");
+        tunnel.store().with(|s| {
+            let fired: u64 = s
+                .records()
+                .filter_map(|r| r.telemetry.as_ref())
+                .filter_map(|t| t.marks.get("inject_maintenance"))
+                .sum();
+            assert_eq!(fired, 2, "base rule + injected rule both fired");
+        });
     }
 
     #[test]

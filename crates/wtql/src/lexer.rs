@@ -39,8 +39,8 @@ pub enum TokenKind {
 }
 
 const KEYWORDS: &[&str] = &[
-    "EXPLORE", "SWEEP", "IN", "WHERE", "SUBJECT", "TO", "MINIMIZE", "MAXIMIZE", "AND", "OPTIONS",
-    "TRUE", "FALSE", "STATS",
+    "EXPLORE", "SWEEP", "IN", "INJECT", "WHERE", "SUBJECT", "TO", "MINIMIZE", "MAXIMIZE", "AND",
+    "OPTIONS", "TRUE", "FALSE", "STATS",
 ];
 
 /// Tokenizes WTQL source text.

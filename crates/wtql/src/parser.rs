@@ -3,10 +3,13 @@
 //! Grammar (clauses in order; all but EXPLORE and SWEEP optional):
 //!
 //! ```text
-//! query      := explore sweep where? subject? objective? options?
+//! query      := explore sweep inject? where? subject? objective? options?
 //! explore    := EXPLORE ident ("," ident)*
 //! sweep      := SWEEP axis ("," axis)*
 //! axis       := ident IN "[" value ("," value)* "]"
+//! inject     := INJECT injection ("," injection)*
+//! injection  := ident "(" (arg ("," arg)*)? ")"
+//! arg        := ident "=" (value | ident)        -- bare ident = axis ref
 //! where      := WHERE filter (AND filter)*
 //! filter     := ident cmp value
 //! subject    := SUBJECT TO constraint ("," constraint | AND constraint)*
@@ -16,7 +19,9 @@
 //! value      := number | string | TRUE | FALSE
 //! ```
 
-use crate::ast::{Comparison, Constraint, Filter, Objective, Query, Statement, SweepAxis};
+use crate::ast::{
+    Comparison, Constraint, Filter, InjectArg, Injection, Objective, Query, Statement, SweepAxis,
+};
 use crate::error::WtqlError;
 use crate::lexer::{lex, Token, TokenKind};
 use wt_store::ParamValue;
@@ -179,6 +184,16 @@ impl Parser {
             sweeps.push(self.axis()?);
         }
 
+        // INJECT kind(k = v, ...), ...
+        let mut injects = Vec::new();
+        if self.eat_keyword("INJECT") {
+            injects.push(self.injection()?);
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                injects.push(self.injection()?);
+            }
+        }
+
         // WHERE f AND f ...
         let mut filters = Vec::new();
         if self.eat_keyword("WHERE") {
@@ -246,6 +261,7 @@ impl Parser {
         Ok(Query {
             explore,
             sweeps,
+            injects,
             filters,
             constraints,
             objective,
@@ -274,6 +290,49 @@ impl Parser {
             _ => return Err(self.err("']'")),
         }
         Ok(SweepAxis { param, values })
+    }
+
+    fn injection(&mut self) -> Result<Injection, WtqlError> {
+        let kind = self.ident()?;
+        match self.peek() {
+            TokenKind::LParen => {
+                self.bump();
+            }
+            _ => return Err(self.err("'(' after INJECT kind")),
+        }
+        let mut args = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                let key = self.ident()?;
+                match self.cmp()? {
+                    Comparison::Eq => {}
+                    _ => return Err(self.err("'=' in INJECT argument")),
+                }
+                // A bare identifier on the right-hand side names a sweep
+                // axis; anything else is a literal value.
+                let arg = match self.peek() {
+                    TokenKind::Ident(name) => {
+                        let name = name.clone();
+                        self.bump();
+                        InjectArg::Axis(name)
+                    }
+                    _ => InjectArg::Value(self.value()?),
+                };
+                args.push((key, arg));
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        match self.peek() {
+            TokenKind::RParen => {
+                self.bump();
+            }
+            _ => return Err(self.err("')'")),
+        }
+        Ok(Injection { kind, args })
     }
 
     fn filter(&mut self) -> Result<Filter, WtqlError> {
@@ -332,6 +391,47 @@ mod tests {
         assert!(q.filters.is_empty());
         assert!(q.constraints.is_empty());
         assert!(q.objective.is_none());
+    }
+
+    #[test]
+    fn inject_clause_parses() {
+        let q = parse(
+            r#"EXPLORE availability
+               SWEEP blast IN [0, 2]
+               INJECT power_loss(at = 3600, first_rack = 0, racks = blast, restore = 7200),
+                      gray_storm(target = "disk", probability = 1, slowdown = 10,
+                                 center_rack = 1, radius = 1, duration = 600)
+               SUBJECT TO availability >= 0.99"#,
+        )
+        .unwrap();
+        assert_eq!(q.injects.len(), 2);
+        assert_eq!(q.injects[0].kind, "power_loss");
+        assert_eq!(
+            q.injects[0].args[0],
+            ("at".to_string(), InjectArg::Value(ParamValue::Num(3600.0)))
+        );
+        assert_eq!(
+            q.injects[0].args[2],
+            ("racks".to_string(), InjectArg::Axis("blast".into()))
+        );
+        assert_eq!(q.injects[0].axis_refs().collect::<Vec<_>>(), vec!["blast"]);
+        assert_eq!(q.injects[1].kind, "gray_storm");
+        assert_eq!(q.injects[1].args.len(), 6);
+        assert_eq!(q.constraints.len(), 1);
+    }
+
+    #[test]
+    fn inject_with_no_args_parses() {
+        let q = parse("EXPLORE a SWEEP x IN [1] INJECT tor_death()").unwrap();
+        assert_eq!(q.injects.len(), 1);
+        assert!(q.injects[0].args.is_empty());
+    }
+
+    #[test]
+    fn inject_requires_parens_and_equals() {
+        assert!(parse("EXPLORE a SWEEP x IN [1] INJECT tor_death").is_err());
+        assert!(parse("EXPLORE a SWEEP x IN [1] INJECT tor_death(rack < 1)").is_err());
+        assert!(parse("EXPLORE a SWEEP x IN [1] INJECT tor_death(rack = 1").is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! with the 1Gb configuration", generalized to many dimensions).
 
 use crate::ast::Query;
-use crate::bind::{is_known_axis, is_monotone, monotone_rank};
+use crate::bind::{check_injection, is_known_axis, is_monotone, monotone_rank};
 use crate::error::WtqlError;
 #[cfg(test)]
 use wt_store::ParamValue;
@@ -37,8 +37,16 @@ impl Plan {
     /// Builds the plan for a query: expands the sweep grid, applies WHERE
     /// filters, and orders runs for maximal pruning opportunity.
     pub fn build(query: &Query) -> Result<Plan, WtqlError> {
+        // Axes referenced from INJECT arguments are chaos parameters, not
+        // scenario knobs — they are legal sweep axes even though the
+        // binder can't apply them to a scenario directly.
+        let inject_axes: std::collections::BTreeSet<&str> = query
+            .injects
+            .iter()
+            .flat_map(|inj| inj.axis_refs())
+            .collect();
         for axis in &query.sweeps {
-            if !is_known_axis(&axis.param) {
+            if !is_known_axis(&axis.param) && !inject_axes.contains(axis.param.as_str()) {
                 return Err(WtqlError::Semantic(format!(
                     "unknown sweep axis '{}'",
                     axis.param
@@ -59,6 +67,13 @@ impl Plan {
                     axis.param
                 )));
             }
+        }
+
+        // Validate injections once at plan time: unknown kinds, argument
+        // typos, and dangling axis references fail the query up front.
+        let swept: Vec<String> = query.sweeps.iter().map(|a| a.param.clone()).collect();
+        for inj in &query.injects {
+            check_injection(inj, &swept)?;
         }
 
         // Cartesian product.
@@ -314,6 +329,45 @@ mod tests {
     fn unknown_axis_rejected() {
         let q = parse("EXPLORE a SWEEP quantum IN [1]").unwrap();
         assert!(Plan::build(&q).is_err());
+    }
+
+    #[test]
+    fn inject_referenced_axis_is_legal_and_categorical() {
+        let p = plan_of(
+            r#"EXPLORE a SWEEP replication IN [3, 5], blast IN [0, 2]
+               INJECT power_loss(first_rack = 0, racks = blast, restore = 900)"#,
+        );
+        assert_eq!(p.len(), 4);
+        // The chaos axis is categorical: a failure at blast=0 must never
+        // prune the blast=2 arm.
+        assert_eq!(p.categorical_idx, vec![1]);
+        assert_eq!(p.monotone_idx, vec![0]);
+    }
+
+    #[test]
+    fn inject_validation_happens_at_plan_time() {
+        let q = parse("EXPLORE a SWEEP replication IN [3] INJECT meteor_strike()").unwrap();
+        assert!(Plan::build(&q)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown INJECT kind"));
+        let q = parse("EXPLORE a SWEEP replication IN [3] INJECT tor_death(rack = blast)").unwrap();
+        assert!(Plan::build(&q)
+            .unwrap_err()
+            .to_string()
+            .contains("not swept"));
+    }
+
+    #[test]
+    fn unreferenced_chaos_axis_still_rejected() {
+        let q = parse(
+            "EXPLORE a SWEEP blast IN [1] INJECT repair_throttle(max_parallel = 0, duration = 60, breaker_pending = 9)",
+        )
+        .unwrap();
+        assert!(Plan::build(&q)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown sweep axis"));
     }
 
     #[test]

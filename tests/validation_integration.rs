@@ -70,6 +70,7 @@ fn availability_engine_brackets_markov_prediction() {
         switches: None,
         disks: None,
         queue: QueueBackend::Heap,
+        chaos: None,
     };
     let mut avail = 0.0;
     let reps = 6;
