@@ -24,10 +24,12 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use wt_cluster::availability::{AvailabilityModel, DiskFailureModel, RebuildModel};
 use wt_des::prelude::*;
 use wt_des::rng::RngFactory;
 use wt_des::{CalendarQueue, EventQueue, ServerPool};
 use wt_dist::Dist;
+use wt_sw::{Placement, RedundancyScheme, RepairPolicy};
 
 const SAMPLES: usize = 10;
 
@@ -160,6 +162,156 @@ fn run_mmc<Q: PendingEvents<MmcEv> + Default>(seed: u64) -> (u64, SimTime, u64) 
     )
 }
 
+// --- avail scale: the availability engine at 100k / 1M components --------
+//
+// Engine-in-the-loop at data-center scale: dense storage nodes (63 disk
+// slots each, so components = 64 × nodes), half a replica-set of objects
+// per component, realistic failure rates. Unlike `churn`/`mmc`, these
+// arms time a *real* `AvailabilityModel::run` end to end — placement and
+// initial-timer setup included — because setup cost is part of what the
+// SoA layout buys at this size. Each sample runs in a re-exec'd child
+// process so peak RSS (Linux `VmHWM`) is attributable per arm.
+
+/// Disk slots per node in the scale arms; components = nodes × (1 + 63).
+const SCALE_DISKS_PER_NODE: usize = 63;
+/// 15_625 × 64 = exactly 1M components.
+const SCALE_1M_NODES: usize = 15_625;
+/// 1_563 × 64 = 100_032 components (the "100k" arm).
+const SCALE_100K_NODES: usize = 1_563;
+const SCALE_SAMPLES: usize = 3;
+const SCALE_HORIZON_YEARS: f64 = 0.1;
+const SCALE_SEED: u64 = 1;
+
+fn scale_model(nodes: usize, queue: QueueBackend) -> AvailabilityModel {
+    const DAY: f64 = 86_400.0;
+    const YEAR: f64 = 365.0 * DAY;
+    AvailabilityModel {
+        n_nodes: nodes,
+        redundancy: RedundancyScheme::replication(3),
+        placement: Placement::Random,
+        // Half an object per component: 3 replicas land on ~1.5× the
+        // disk-slot count, so a disk death destroys ~1.5 replicas.
+        objects: (nodes * (1 + SCALE_DISKS_PER_NODE) / 2) as u64,
+        object_bytes: 64 << 30,
+        node_ttf: Dist::exponential_mean(20.0 * YEAR),
+        node_replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
+        rebuild: RebuildModel::Timed(Dist::exponential_mean(1800.0)),
+        repair: RepairPolicy {
+            max_parallel: 128,
+            bandwidth_share: 0.5,
+            detection_delay_s: 300.0,
+        },
+        switches: None,
+        disks: Some(DiskFailureModel {
+            per_node: SCALE_DISKS_PER_NODE,
+            ttf: Dist::exponential_mean(2.0 * YEAR),
+            replace: Dist::lognormal_mean_cv(4.0 * 3600.0, 1.0),
+        }),
+        queue,
+        chaos: None,
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One end-to-end scale run; returns (events executed, result hash).
+fn run_scale(nodes: usize, queue: QueueBackend) -> (u64, u64) {
+    let m = scale_model(nodes, queue);
+    let r = m.run(SCALE_SEED, SimDuration::from_years(SCALE_HORIZON_YEARS));
+    let json = serde_json::to_string(&r).expect("result serializes");
+    (r.sim_events, fnv1a(json.as_bytes()))
+}
+
+/// Peak resident set of this process so far, in KiB (Linux `VmHWM`).
+fn vmhwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Child-process entry: run one scale arm and report on stdout. The
+/// parent re-execs itself with this env var so each sample's peak RSS
+/// is the arm's own, not the max across every arm in one process.
+const SCALE_CHILD_ENV: &str = "BENCH_KERNEL_SCALE_CHILD";
+
+fn scale_child(spec: &str) -> ! {
+    let (nodes, queue) = spec.split_once(',').expect("child spec: <nodes>,<queue>");
+    let nodes: usize = nodes.parse().expect("child nodes");
+    let queue = QueueBackend::parse(queue).expect("child queue");
+    let t0 = Instant::now();
+    let (events, fp) = run_scale(nodes, queue);
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "events={events} elapsed={elapsed} vmhwm_kb={} fp={fp:x}",
+        vmhwm_kb()
+    );
+    std::process::exit(0);
+}
+
+struct ScaleStats {
+    events: u64,
+    elapsed: Vec<f64>,
+    peak_rss_kb: u64,
+    fp: String,
+}
+
+fn run_scale_arm(nodes: usize, queue: QueueBackend) -> ScaleStats {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut stats = ScaleStats {
+        events: 0,
+        elapsed: Vec::with_capacity(SCALE_SAMPLES),
+        peak_rss_kb: 0,
+        fp: String::new(),
+    };
+    for _ in 0..SCALE_SAMPLES {
+        let out = std::process::Command::new(&exe)
+            .env(SCALE_CHILD_ENV, format!("{nodes},{}", queue.as_str()))
+            .output()
+            .expect("spawn scale child");
+        assert!(out.status.success(), "scale child failed: {:?}", out.status);
+        let text = String::from_utf8(out.stdout).expect("child stdout");
+        let mut events = 0u64;
+        let mut elapsed = 0.0f64;
+        let mut rss = 0u64;
+        let mut fp = String::new();
+        for field in text.split_whitespace() {
+            if let Some(v) = field.strip_prefix("events=") {
+                events = v.parse().expect("events");
+            } else if let Some(v) = field.strip_prefix("elapsed=") {
+                elapsed = v.parse().expect("elapsed");
+            } else if let Some(v) = field.strip_prefix("vmhwm_kb=") {
+                rss = v.parse().expect("vmhwm");
+            } else if let Some(v) = field.strip_prefix("fp=") {
+                fp = v.to_string();
+            }
+        }
+        assert!(
+            events > 0 && elapsed > 0.0,
+            "malformed child report: {text}"
+        );
+        if !stats.fp.is_empty() {
+            assert_eq!(stats.fp, fp, "scale arm fingerprint drifted across samples");
+        }
+        stats.events = events;
+        stats.elapsed.push(elapsed);
+        stats.peak_rss_kb = stats.peak_rss_kb.max(rss);
+        stats.fp = fp;
+    }
+    stats
+}
+
 // --- harness -------------------------------------------------------------
 
 fn best(v: &[f64]) -> f64 {
@@ -189,6 +341,10 @@ fn time_arms(arms: &[Arm<'_>]) -> Vec<Vec<f64>> {
 }
 
 fn main() {
+    // Re-exec'd child running one scale sample? Do that and nothing else.
+    if let Ok(spec) = std::env::var(SCALE_CHILD_ENV) {
+        scale_child(&spec);
+    }
     // Warm-up + determinism gate: both backends must execute the full
     // budget AND land on the same fingerprint — same events, same final
     // clock, same model state — before anything is timed. This is the
@@ -236,6 +392,66 @@ fn main() {
             let _ = writeln!(json, "  \"{slug}_events_per_s_median\": {m:.0},");
         }
     }
+    // Availability engine at scale, one re-exec'd child per sample.
+    println!();
+    println!(
+        "avail scale arms: {} samples each, horizon {SCALE_HORIZON_YEARS}y, \
+         64 components/node ({SCALE_DISKS_PER_NODE} disks + the node)",
+        SCALE_SAMPLES
+    );
+    for (label, nodes) in [("100k", SCALE_100K_NODES), ("1m", SCALE_1M_NODES)] {
+        let heap = run_scale_arm(nodes, QueueBackend::Heap);
+        let cal = run_scale_arm(nodes, QueueBackend::Calendar);
+        assert_eq!(
+            heap.fp, cal.fp,
+            "avail/{label}: backends diverged (events {} vs {})",
+            heap.events, cal.events
+        );
+        for (qname, s) in [("heap", &heap), ("calendar", &cal)] {
+            let b = s.events as f64 / best(&s.elapsed);
+            let m = s.events as f64 / median(&s.elapsed);
+            let rss_mb = s.peak_rss_kb as f64 / 1024.0;
+            println!(
+                "avail_{label}/{qname}: {} events, best {b:.0} ev/s, median {m:.0} ev/s, \
+                 peak RSS {rss_mb:.0} MiB",
+                s.events
+            );
+            let _ = writeln!(json, "  \"avail_{label}_{qname}_events\": {},", s.events);
+            let _ = writeln!(
+                json,
+                "  \"avail_{label}_{qname}_events_per_s_best\": {b:.0},"
+            );
+            let _ = writeln!(
+                json,
+                "  \"avail_{label}_{qname}_events_per_s_median\": {m:.0},"
+            );
+            let _ = writeln!(
+                json,
+                "  \"avail_{label}_{qname}_peak_rss_mb\": {rss_mb:.0},"
+            );
+        }
+        // Pre-refactor (AoS `Vec<Vec<_>>` layout) numbers, measured on the
+        // same host with identical arm code before the SoA refactor landed
+        // — recorded so the JSON documents the layout win.
+        let env_key = format!("BENCH_KERNEL_PRE_SOA_{}", label.to_uppercase());
+        if let Ok(pre) = std::env::var(&env_key) {
+            // value format: "<events_per_s_best>,<peak_rss_mb>"
+            if let Some((evs, rss)) = pre.split_once(',') {
+                let _ = writeln!(
+                    json,
+                    "  \"avail_{label}_pre_soa_events_per_s_best\": {evs},"
+                );
+                let _ = writeln!(json, "  \"avail_{label}_pre_soa_peak_rss_mb\": {rss},");
+                let post = heap.events as f64 / best(&heap.elapsed);
+                if let Ok(pre_evs) = evs.parse::<f64>() {
+                    let ratio = post / pre_evs;
+                    println!("avail_{label}: {ratio:.2}x ev/s vs pre-SoA layout");
+                    let _ = writeln!(json, "  \"avail_{label}_soa_speedup_best\": {ratio:.2},");
+                }
+            }
+        }
+    }
+
     let churn_speedup = best(&churn_times[0]) / best(&churn_times[1]);
     let mmc_ratio = best(&mmc_times[0]) / best(&mmc_times[1]);
     println!();

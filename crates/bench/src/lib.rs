@@ -53,16 +53,20 @@ pub fn runner_from_args(args: &[String]) -> SweepRunner {
 /// experiment output is byte-identical either way, which the CI
 /// kernel-smoke job diffs.
 pub fn queue_from_args(args: &[String]) -> wt_des::QueueBackend {
-    match flag_value(args, "--queue") {
-        Some(v) => match wt_des::QueueBackend::parse(v) {
-            Some(q) => q,
-            None => {
-                eprintln!("error: --queue expects 'heap' or 'calendar', got '{v}'");
-                std::process::exit(2);
-            }
-        },
-        None => wt_des::QueueBackend::default(),
-    }
+    queue_opt_from_args(args).unwrap_or_default()
+}
+
+/// [`queue_from_args`] preserving "no flag given" as `None`, for binaries
+/// that let scenario-level adaptive selection pick the backend when the
+/// user expresses no preference (see `Scenario::queue_backend_for`).
+pub fn queue_opt_from_args(args: &[String]) -> Option<wt_des::QueueBackend> {
+    flag_value(args, "--queue").map(|v| match wt_des::QueueBackend::parse(v) {
+        Some(q) => q,
+        None => {
+            eprintln!("error: --queue expects 'heap' or 'calendar', got '{v}'");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// Writes a recorded run as Chrome trace-event JSON (`--trace <path>`)

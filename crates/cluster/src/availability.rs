@@ -20,6 +20,7 @@
 //!   straightforward extension; node granularity is what Figure 1 and the
 //!   §1 example reason about).
 
+use crate::arena::NodeLists;
 use crate::chaos::{ChaosConfig, CompiledFault, FaultEffect};
 use crate::results::AvailabilityResult;
 use std::collections::VecDeque;
@@ -180,7 +181,10 @@ impl AvailabilityModel {
     /// Builds the simulation and seeds the initial failure events — the
     /// shared front half of [`run`](Self::run) and
     /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
-    fn seeded_sim<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> Simulation<AvailState, Q> {
+    fn seeded_sim<Q: PendingEvents<Ev> + Default>(
+        &self,
+        seed: u64,
+    ) -> Simulation<AvailState<'_>, Q> {
         // Compile the fault schedule once per run: the per-rule streams
         // derive from this run's seed, so replications re-sample storms.
         let chaos_faults: Vec<CompiledFault> = self
@@ -190,7 +194,7 @@ impl AvailabilityModel {
             .unwrap_or_default();
         let n_chaos = chaos_faults.len();
         let mut sim = Simulation::with_queue(
-            AvailState::new(self, seed, chaos_faults.clone()),
+            AvailState::new(self, seed, chaos_faults),
             seed,
             Q::default(),
         );
@@ -241,9 +245,12 @@ impl AvailabilityModel {
         }
         // The compiled chaos schedule is already content-ordered, so the
         // events' (time, seq) order is independent of rule declaration.
-        for (i, f) in chaos_faults.iter().enumerate() {
+        // (The schedule now lives in the state; read the start times back
+        // rather than cloning the whole compiled schedule.)
+        for i in 0..n_chaos {
+            let at_s = sim.model().chaos_faults[i].at_s;
             sim.schedule_at(
-                SimTime::ZERO + SimDuration::from_secs(f.at_s),
+                SimTime::ZERO + SimDuration::from_secs(at_s),
                 Ev::ChaosStart(i),
             );
         }
@@ -281,21 +288,42 @@ enum Ev {
     ChaosEnd(usize),
 }
 
-struct ObjectState {
-    holders: Vec<u16>,
-    operable: bool,
-    lost: bool,
-    became_unavailable: SimTime,
-    unavail_s: f64,
-}
-
-struct AvailState {
-    cfg: AvailabilityModel,
+/// The availability engine's run state, laid out struct-of-arrays for
+/// data-center scale (the §4.2 "million disks" regime): per-object state
+/// lives in parallel flat arrays, holder sets in one fixed-stride `u16`
+/// arena, per-node object lists in a chunked [`NodeLists`] pool, and the
+/// immutable configuration is *borrowed* from the model for the run's
+/// duration instead of cloned into it. All hot-path temporaries are
+/// reusable scratch buffers, so steady-state event handling performs no
+/// heap allocation.
+struct AvailState<'a> {
+    cfg: &'a AvailabilityModel,
+    /// Redundancy width — also the holder arena's stride.
+    width: usize,
+    /// Cached switch-model rack size (0 = no switch-failure model).
+    switch_npr: usize,
     node_up: Vec<bool>,
     /// Rack reachability (all true when switch failures are disabled).
     rack_up: Vec<bool>,
-    node_objects: Vec<Vec<u32>>,
-    objects: Vec<ObjectState>,
+    /// Cached per-node reachability: `node_up[n] ∧ rack_up ∧ no chaos
+    /// window`. Kept in lockstep with its inputs by the handlers (every
+    /// site that flips a `node_up`/`rack_up`/chaos counter refreshes the
+    /// affected span), so the hot paths read one bool per node instead
+    /// of re-deriving the predicate.
+    reachable: Vec<bool>,
+    node_objects: NodeLists,
+    // --- per-object state, struct-of-arrays -----------------------------
+    /// Fixed-stride holder arena: object `o`'s live holders are
+    /// `holders_pool[o*width .. o*width + holder_len[o]]`. A holder count
+    /// can never exceed the width (each rebuild task replaces exactly one
+    /// removed replica), so the stride never overflows.
+    holders_pool: Vec<u16>,
+    holder_len: Vec<u8>,
+    operable: Vec<bool>,
+    lost: Vec<bool>,
+    became_unavailable: Vec<SimTime>,
+    unavail_s: Vec<f64>,
+    // --------------------------------------------------------------------
     queue: RepairQueue,
     /// FIFO mirror of the repair queue's pending tasks: (object, enqueued).
     pending_mirror: VecDeque<(u64, SimTime)>,
@@ -313,6 +341,15 @@ struct AvailState {
     chaos_slowdowns: Vec<(usize, f64)>,
     /// Active repair throttle: (fault index, saved max_parallel).
     chaos_throttle: Option<(usize, usize)>,
+    // --- reusable hot-path scratch (zero per-event allocation) ----------
+    /// Objects drained off a failed node/disk this event.
+    scratch_hosted: Vec<u32>,
+    /// Objects to re-assess after a reachability change (sorted+deduped).
+    scratch_touched: Vec<u32>,
+    /// Node spans assembled for chaos rack windows.
+    scratch_nodes: Vec<usize>,
+    /// Rebuild-target candidates.
+    scratch_candidates: Vec<u16>,
     // counters
     node_failures: u64,
     switch_failures: u64,
@@ -322,35 +359,48 @@ struct AvailState {
     rebuild_waits: Tally,
 }
 
-impl AvailState {
-    fn new(cfg: &AvailabilityModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
+impl<'a> AvailState<'a> {
+    fn new(cfg: &'a AvailabilityModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
+        let width = cfg.redundancy.width();
+        assert!(
+            cfg.n_nodes <= u16::MAX as usize + 1,
+            "node ids are u16: n_nodes must be ≤ {}",
+            u16::MAX as usize + 1
+        );
+        assert!(width <= u8::MAX as usize, "holder counts are u8");
         let factory = RngFactory::new(seed);
         let mut placer = Placer::new(
             cfg.placement,
             cfg.n_nodes,
-            cfg.redundancy.width(),
+            width,
             factory.stream("placement"),
         );
-        let mut node_objects = vec![Vec::new(); cfg.n_nodes];
-        let mut objects = Vec::with_capacity(cfg.objects as usize);
+        let n_objects = cfg.objects as usize;
+        let mut node_objects = NodeLists::with_capacity(cfg.n_nodes, n_objects * width);
+        let mut holders_pool: Vec<u16> = Vec::with_capacity(n_objects * width);
+        let mut holder_len: Vec<u8> = Vec::with_capacity(n_objects);
+        let mut placed: Vec<usize> = Vec::with_capacity(width);
         for obj in 0..cfg.objects {
-            let holders: Vec<u16> = placer.place(obj).into_iter().map(|n| n as u16).collect();
-            for &h in &holders {
-                node_objects[h as usize].push(obj as u32);
+            placer.place_into(obj, &mut placed);
+            for &n in &placed {
+                holders_pool.push(n as u16);
+                node_objects.push(n, obj as u32);
             }
-            objects.push(ObjectState {
-                holders,
-                operable: true,
-                lost: false,
-                became_unavailable: SimTime::ZERO,
-                unavail_s: 0.0,
-            });
+            // Pad to the stride (placers yield exactly `width` nodes; the
+            // resize is a no-op then, but keeps short sets representable).
+            holders_pool.resize((obj as usize + 1) * width, 0);
+            holder_len.push(placed.len() as u8);
         }
         let racks = cfg
             .switches
             .as_ref()
             .map(|sw| cfg.n_nodes / sw.nodes_per_rack)
             .unwrap_or(1);
+        let switch_npr = cfg
+            .switches
+            .as_ref()
+            .map(|sw| sw.nodes_per_rack)
+            .unwrap_or(0);
         let chaos_npr = cfg
             .chaos
             .as_ref()
@@ -362,11 +412,19 @@ impl AvailState {
             0
         };
         AvailState {
-            cfg: cfg.clone(),
+            cfg,
+            width,
+            switch_npr,
             node_up: vec![true; cfg.n_nodes],
             rack_up: vec![true; racks],
+            reachable: vec![true; cfg.n_nodes],
             node_objects,
-            objects,
+            holders_pool,
+            holder_len,
+            operable: vec![true; n_objects],
+            lost: vec![false; n_objects],
+            became_unavailable: vec![SimTime::ZERO; n_objects],
+            unavail_s: vec![0.0; n_objects],
             queue: RepairQueue::new(cfg.repair),
             pending_mirror: VecDeque::new(),
             rng: factory.stream("dynamics"),
@@ -376,6 +434,10 @@ impl AvailState {
             chaos_npr,
             chaos_slowdowns: Vec::new(),
             chaos_throttle: None,
+            scratch_hosted: Vec::new(),
+            scratch_touched: Vec::new(),
+            scratch_nodes: Vec::new(),
+            scratch_candidates: Vec::new(),
             node_failures: 0,
             switch_failures: 0,
             disk_failures: 0,
@@ -385,10 +447,44 @@ impl AvailState {
         }
     }
 
-    /// True when `node` is alive, its rack's switch is up, and no chaos
-    /// window (node span or rack span) currently covers it.
-    fn reachable(&self, node: u16) -> bool {
-        let node = node as usize;
+    /// Object `o`'s live holders (a view into the fixed-stride arena).
+    #[inline]
+    fn holders(&self, object: u32) -> &[u16] {
+        let base = object as usize * self.width;
+        &self.holders_pool[base..base + self.holder_len[object as usize] as usize]
+    }
+
+    /// Removes `node` from `object`'s holder set (order-preserving, like
+    /// the old `Vec::retain`).
+    fn holders_remove(&mut self, object: u32, node: usize) {
+        let base = object as usize * self.width;
+        let len = self.holder_len[object as usize] as usize;
+        let mut k = 0;
+        for i in 0..len {
+            let h = self.holders_pool[base + i];
+            if h as usize != node {
+                self.holders_pool[base + k] = h;
+                k += 1;
+            }
+        }
+        self.holder_len[object as usize] = k as u8;
+    }
+
+    /// Appends `target` to `object`'s holder set.
+    fn holders_push(&mut self, object: u32, target: u16) {
+        let len = self.holder_len[object as usize] as usize;
+        assert!(
+            len < self.width,
+            "holder set overflow: object {object} already has {len} holders"
+        );
+        self.holders_pool[object as usize * self.width + len] = target;
+        self.holder_len[object as usize] = (len + 1) as u8;
+    }
+
+    /// The reachability predicate, computed from first principles: alive,
+    /// rack switch up, no chaos window covering the node. The `reachable`
+    /// vec caches this; every mutation site refreshes the affected span.
+    fn compute_reachable(&self, node: usize) -> bool {
         if !self.node_up[node] {
             return false;
         }
@@ -398,10 +494,12 @@ impl AvailState {
         if self.chaos_npr > 0 && self.chaos_rack_down[node / self.chaos_npr] > 0 {
             return false;
         }
-        match &self.cfg.switches {
-            Some(sw) => self.rack_up[node / sw.nodes_per_rack],
-            None => true,
-        }
+        self.switch_npr == 0 || self.rack_up[node / self.switch_npr]
+    }
+
+    #[inline]
+    fn refresh_reachable(&mut self, node: usize) {
+        self.reachable[node] = self.compute_reachable(node);
     }
 
     /// Re-evaluates operability/durability of `object` after a change.
@@ -410,31 +508,29 @@ impl AvailState {
     /// behind a dead switch is not lost). Returns `true` iff the object
     /// became lost in this call (for the caller's `object_lost` mark).
     fn update_object(&mut self, object: u32, now: SimTime) -> bool {
-        let redundancy = self.cfg.redundancy;
-        let width = redundancy.width();
-        let (up, intact, was_operable, lost) = {
-            let o = &self.objects[object as usize];
-            let reachable = o.holders.iter().filter(|h| self.reachable(**h)).count();
-            (
-                reachable.min(width),
-                o.holders.len().min(width),
-                o.operable,
-                o.lost,
-            )
-        };
-        if lost {
+        let i = object as usize;
+        if self.lost[i] {
             return false;
         }
+        let redundancy = self.cfg.redundancy;
+        let width = self.width;
+        let mut up = 0usize;
+        for &h in self.holders(object) {
+            if self.reachable[h as usize] {
+                up += 1;
+            }
+        }
+        let up = up.min(width);
+        let intact = (self.holder_len[i] as usize).min(width);
+        let was_operable = self.operable[i];
         let operable = redundancy.operable(up);
         if was_operable && !operable {
-            let o = &mut self.objects[object as usize];
-            o.operable = false;
-            o.became_unavailable = now;
+            self.operable[i] = false;
+            self.became_unavailable[i] = now;
             self.unavailability_events += 1;
         } else if !was_operable && operable {
-            let o = &mut self.objects[object as usize];
-            o.operable = true;
-            o.unavail_s += now.since(o.became_unavailable).as_secs();
+            self.operable[i] = true;
+            self.unavail_s[i] += now.since(self.became_unavailable[i]).as_secs();
         }
         // Durability: can the data still be reconstructed? A lost object
         // stays unavailable until the horizon (finish() closes the interval).
@@ -443,7 +539,7 @@ impl AvailState {
             RedundancyScheme::Erasure(s) => intact >= s.k,
         };
         if !recoverable {
-            self.objects[object as usize].lost = true;
+            self.lost[i] = true;
             // Cancel queued rebuilds for this object — its sources are gone.
             while self.cancel_pending(object) {}
         }
@@ -514,46 +610,68 @@ impl AvailState {
     /// policy bought (a hardware/software interaction the wind tunnel
     /// surfaces; see experiment E11).
     fn pick_target(&mut self, object: u32) -> Option<u16> {
-        let holders = &self.objects[object as usize].holders;
-        let candidates: Vec<u16> = (0..self.cfg.n_nodes as u16)
-            .filter(|n| self.reachable(*n) && !holders.contains(n))
-            .collect();
+        // Borrow-juggle: the candidate buffer is a reusable field, so take
+        // it out while we scan (the scan borrows `self` immutably).
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        {
+            let base = object as usize * self.width;
+            let holders =
+                &self.holders_pool[base..base + self.holder_len[object as usize] as usize];
+            for n in 0..self.cfg.n_nodes as u16 {
+                if self.reachable[n as usize] && !holders.contains(&n) {
+                    candidates.push(n);
+                }
+            }
+        }
         if candidates.is_empty() {
+            self.scratch_candidates = candidates;
             return None;
         }
         if let Placement::RackAware { nodes_per_rack } = self.cfg.placement {
-            let holder_racks: Vec<usize> = holders
-                .iter()
-                .map(|&h| h as usize / nodes_per_rack)
-                .collect();
-            let diverse: Vec<u16> = candidates
-                .iter()
-                .copied()
-                .filter(|&n| !holder_racks.contains(&(n as usize / nodes_per_rack)))
-                .collect();
-            if !diverse.is_empty() {
-                return Some(diverse[self.rng.index(diverse.len())]);
+            let base = object as usize * self.width;
+            let holders =
+                &self.holders_pool[base..base + self.holder_len[object as usize] as usize];
+            let diverse = |n: u16| {
+                !holders
+                    .iter()
+                    .any(|&h| h as usize / nodes_per_rack == n as usize / nodes_per_rack)
+            };
+            let count = candidates.iter().filter(|&&n| diverse(n)).count();
+            if count > 0 {
+                let k = self.rng.index(count);
+                let pick = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| diverse(n))
+                    .nth(k)
+                    .expect("k < diverse count");
+                self.scratch_candidates = candidates;
+                return Some(pick);
             }
         }
-        Some(candidates[self.rng.index(candidates.len())])
+        let pick = candidates[self.rng.index(candidates.len())];
+        self.scratch_candidates = candidates;
+        Some(pick)
     }
 
     fn finish(mut self, end: SimTime, sim_events: u64) -> AvailabilityResult {
         // Close out open unavailability intervals.
         let mut total_unavail = 0.0f64;
-        for obj in &mut self.objects {
-            if !obj.operable {
-                obj.unavail_s += end.since(obj.became_unavailable).as_secs();
+        let n_objects = self.operable.len();
+        for i in 0..n_objects {
+            if !self.operable[i] {
+                self.unavail_s[i] += end.since(self.became_unavailable[i]).as_secs();
             }
-            total_unavail += obj.unavail_s;
+            total_unavail += self.unavail_s[i];
         }
         let horizon_s = end.since(SimTime::ZERO).as_secs();
-        let availability = 1.0 - total_unavail / (self.objects.len() as f64 * horizon_s);
+        let availability = 1.0 - total_unavail / (n_objects as f64 * horizon_s);
         AvailabilityResult {
             availability,
             nines: AvailabilityResult::nines_of(availability),
             unavailability_events: self.unavailability_events,
-            objects_lost: self.objects.iter().filter(|o| o.lost).count() as u64,
+            objects_lost: self.lost.iter().filter(|&&l| l).count() as u64,
             node_failures: self.node_failures,
             switch_failures: self.switch_failures,
             disk_failures: self.disk_failures,
@@ -565,7 +683,7 @@ impl AvailState {
     }
 }
 
-impl Model for AvailState {
+impl Model for AvailState<'_> {
     type Event = Ev;
 
     fn label(ev: &Ev) -> &'static str {
@@ -592,34 +710,39 @@ impl Model for AvailState {
                     return; // already down (stale event)
                 }
                 self.node_up[node] = false;
+                self.refresh_reachable(node);
                 self.node_failures += 1;
-                // Destroy this node's replicas.
-                let hosted = std::mem::take(&mut self.node_objects[node]);
-                for object in hosted {
-                    let obj = &mut self.objects[object as usize];
-                    obj.holders.retain(|&h| h as usize != node);
+                // Destroy this node's replicas (drained in insertion order,
+                // the same order the old Vec layout yielded).
+                let mut hosted = std::mem::take(&mut self.scratch_hosted);
+                hosted.clear();
+                self.node_objects.drain_into(node, &mut hosted);
+                for &object in &hosted {
+                    self.holders_remove(object, node);
                     if self.update_object(object, now) {
                         ctx.mark("object_lost");
                     }
-                    if !self.objects[object as usize].lost {
+                    if !self.lost[object as usize] {
                         ctx.schedule_in(
                             SimDuration::from_secs(self.cfg.repair.detection_delay_s),
                             Ev::EnqueueRebuild { object },
                         );
                     }
                 }
+                self.scratch_hosted = hosted;
                 // Machine replacement.
                 let back = SimDuration::from_secs(self.node_replace_sample());
                 ctx.schedule_in(back, Ev::NodeBack(node));
             }
             Ev::NodeBack(node) => {
                 self.node_up[node] = true;
+                self.refresh_reachable(node);
                 // Next failure of the (fresh) machine.
                 let ttf = SimDuration::from_secs(self.cfg.node_ttf.sample(&mut self.rng));
                 ctx.schedule_in(ttf, Ev::NodeFail(node));
             }
             Ev::EnqueueRebuild { object } => {
-                if self.objects[object as usize].lost {
+                if self.lost[object as usize] {
                     return;
                 }
                 self.queue.enqueue(RepairTask {
@@ -645,11 +768,11 @@ impl Model for AvailState {
             }
             Ev::RebuildDone { object } => {
                 self.queue.complete_one();
-                if !self.objects[object as usize].lost {
+                if !self.lost[object as usize] {
                     match self.pick_target(object) {
                         Some(target) => {
-                            self.objects[object as usize].holders.push(target);
-                            self.node_objects[target as usize].push(object);
+                            self.holders_push(object, target);
+                            self.node_objects.push(target as usize, object);
                             self.rebuilds_completed += 1;
                             self.update_object(object, now);
                         }
@@ -668,13 +791,13 @@ impl Model for AvailState {
                 self.start_rebuilds(now, ctx);
             }
             Ev::RetryPlace { object, delay_s } => {
-                if self.objects[object as usize].lost {
+                if self.lost[object as usize] {
                     return;
                 }
                 match self.pick_target(object) {
                     Some(target) => {
-                        self.objects[object as usize].holders.push(target);
-                        self.node_objects[target as usize].push(object);
+                        self.holders_push(object, target);
+                        self.node_objects.push(target as usize, object);
                         self.rebuilds_completed += 1;
                         self.update_object(object, now);
                     }
@@ -696,23 +819,25 @@ impl Model for AvailState {
                 }
                 self.rack_up[rack] = false;
                 self.switch_failures += 1;
+                for n in rack * self.switch_npr..(rack + 1) * self.switch_npr {
+                    self.refresh_reachable(n);
+                }
                 self.reassess_rack(rack, now);
-                let sw = self
-                    .cfg
-                    .switches
-                    .as_ref()
-                    .expect("switch event without model");
+                // Copy the `&'a` config reference out of `self` so its
+                // distributions and `self.rng` can be borrowed together.
+                let cfg = self.cfg;
+                let sw = cfg.switches.as_ref().expect("switch event without model");
                 let back = SimDuration::from_secs(sw.repair.sample(&mut self.rng));
                 ctx.schedule_in(back, Ev::SwitchBack(rack));
             }
             Ev::SwitchBack(rack) => {
                 self.rack_up[rack] = true;
+                for n in rack * self.switch_npr..(rack + 1) * self.switch_npr {
+                    self.refresh_reachable(n);
+                }
                 self.reassess_rack(rack, now);
-                let sw = self
-                    .cfg
-                    .switches
-                    .as_ref()
-                    .expect("switch event without model");
+                let cfg = self.cfg;
+                let sw = cfg.switches.as_ref().expect("switch event without model");
                 let ttf = SimDuration::from_secs(sw.ttf.sample(&mut self.rng));
                 ctx.schedule_in(ttf, Ev::SwitchFail(rack));
             }
@@ -727,68 +852,94 @@ impl Model for AvailState {
                 // Destroy only the replicas living in this slot. A dead
                 // node's replicas are already gone; skip it.
                 if self.node_up[node] {
-                    let hosted = std::mem::take(&mut self.node_objects[node]);
-                    let (hit, kept): (Vec<u32>, Vec<u32>) = hosted
-                        .into_iter()
-                        .partition(|&obj| slot_of(obj, node, per_node) == slot);
-                    self.node_objects[node] = kept;
-                    for object in hit {
-                        let o = &mut self.objects[object as usize];
-                        o.holders.retain(|&h| h as usize != node);
+                    let mut hosted = std::mem::take(&mut self.scratch_hosted);
+                    hosted.clear();
+                    self.node_objects.drain_into(node, &mut hosted);
+                    // Stable in-place partition: survivors go straight back
+                    // to the node (insertion order preserved); hits compact
+                    // to the buffer's front — same split the old two-Vec
+                    // `partition` produced.
+                    let mut n_hit = 0;
+                    for i in 0..hosted.len() {
+                        let obj = hosted[i];
+                        if slot_of(obj, node, per_node) == slot {
+                            hosted[n_hit] = obj;
+                            n_hit += 1;
+                        } else {
+                            self.node_objects.push(node, obj);
+                        }
+                    }
+                    hosted.truncate(n_hit);
+                    for &object in &hosted {
+                        self.holders_remove(object, node);
                         if self.update_object(object, now) {
                             ctx.mark("object_lost");
                         }
-                        if !self.objects[object as usize].lost {
+                        if !self.lost[object as usize] {
                             ctx.schedule_in(
                                 SimDuration::from_secs(self.cfg.repair.detection_delay_s),
                                 Ev::EnqueueRebuild { object },
                             );
                         }
                     }
+                    self.scratch_hosted = hosted;
                 }
-                let dm = self.cfg.disks.as_ref().expect("checked above");
+                let cfg = self.cfg;
+                let dm = cfg.disks.as_ref().expect("checked above");
                 let back = SimDuration::from_secs(dm.replace.sample(&mut self.rng));
                 ctx.schedule_in(back, Ev::DiskBack { node, slot });
             }
             Ev::DiskBack { node, slot } => {
                 // The fresh disk carries no data; just arm its next failure.
-                let dm = self.cfg.disks.as_ref().expect("disk event without model");
+                let cfg = self.cfg;
+                let dm = cfg.disks.as_ref().expect("disk event without model");
                 let ttf = SimDuration::from_secs(dm.ttf.sample(&mut self.rng));
                 ctx.schedule_in(ttf, Ev::DiskFail { node, slot });
             }
             Ev::ChaosStart(i) => {
                 ctx.mark(self.chaos_faults[i].mark);
                 let until = self.chaos_faults[i].until_s;
-                match self.chaos_faults[i].effect.clone() {
+                // Take the schedule out of `self` so the effect can be
+                // matched by reference while the handlers mutate state (no
+                // per-event clone; nothing below reads `chaos_faults`).
+                let faults = std::mem::take(&mut self.chaos_faults);
+                match &faults[i].effect {
                     FaultEffect::NodesDown { nodes } => {
-                        for &n in &nodes {
+                        for &n in nodes {
                             self.chaos_node_down[n] += 1;
+                            self.refresh_reachable(n);
                         }
-                        self.reassess_nodes(&nodes, now);
+                        self.reassess_nodes(nodes, now);
                     }
                     FaultEffect::RacksDown { racks } => {
-                        let mut nodes = Vec::new();
-                        for &r in &racks {
+                        let mut span = std::mem::take(&mut self.scratch_nodes);
+                        span.clear();
+                        for &r in racks {
                             self.chaos_rack_down[r] += 1;
                             let lo = (r * self.chaos_npr).min(self.cfg.n_nodes);
                             let hi = ((r + 1) * self.chaos_npr).min(self.cfg.n_nodes);
-                            nodes.extend(lo..hi);
+                            span.extend(lo..hi);
                         }
-                        self.reassess_nodes(&nodes, now);
+                        for &n in &span {
+                            self.refresh_reachable(n);
+                        }
+                        self.reassess_nodes(&span, now);
+                        self.scratch_nodes = span;
                     }
                     FaultEffect::Limp { aggregate, .. } => {
-                        self.chaos_slowdowns.push((i, aggregate));
+                        self.chaos_slowdowns.push((i, *aggregate));
                     }
                     FaultEffect::RepairThrottle { max_parallel, .. } => {
                         // One throttle at a time; later windows are no-ops
                         // while an earlier one is active.
                         if self.chaos_throttle.is_none() {
                             let saved = self.queue.policy().max_parallel;
-                            self.queue.set_max_parallel(max_parallel);
+                            self.queue.set_max_parallel(*max_parallel);
                             self.chaos_throttle = Some((i, saved));
                         }
                     }
                 }
+                self.chaos_faults = faults;
                 ctx.schedule_at(
                     SimTime::ZERO + SimDuration::from_secs(until.max(now.as_secs())),
                     Ev::ChaosEnd(i),
@@ -796,22 +947,29 @@ impl Model for AvailState {
             }
             Ev::ChaosEnd(i) => {
                 ctx.mark("chaos_restore");
-                match self.chaos_faults[i].effect.clone() {
+                let faults = std::mem::take(&mut self.chaos_faults);
+                match &faults[i].effect {
                     FaultEffect::NodesDown { nodes } => {
-                        for &n in &nodes {
+                        for &n in nodes {
                             self.chaos_node_down[n] -= 1;
+                            self.refresh_reachable(n);
                         }
-                        self.reassess_nodes(&nodes, now);
+                        self.reassess_nodes(nodes, now);
                     }
                     FaultEffect::RacksDown { racks } => {
-                        let mut nodes = Vec::new();
-                        for &r in &racks {
+                        let mut span = std::mem::take(&mut self.scratch_nodes);
+                        span.clear();
+                        for &r in racks {
                             self.chaos_rack_down[r] -= 1;
                             let lo = (r * self.chaos_npr).min(self.cfg.n_nodes);
                             let hi = ((r + 1) * self.chaos_npr).min(self.cfg.n_nodes);
-                            nodes.extend(lo..hi);
+                            span.extend(lo..hi);
                         }
-                        self.reassess_nodes(&nodes, now);
+                        for &n in &span {
+                            self.refresh_reachable(n);
+                        }
+                        self.reassess_nodes(&span, now);
+                        self.scratch_nodes = span;
                     }
                     FaultEffect::Limp { .. } => {
                         self.chaos_slowdowns.retain(|&(idx, _)| idx != i);
@@ -828,6 +986,7 @@ impl Model for AvailState {
                         }
                     }
                 }
+                self.chaos_faults = faults;
             }
         }
     }
@@ -842,7 +1001,7 @@ fn slot_of(object: u32, node: usize, per_node: usize) -> usize {
     (h % per_node as u64) as usize
 }
 
-impl AvailState {
+impl AvailState<'_> {
     fn node_replace_sample(&mut self) -> f64 {
         self.cfg.node_replace.sample(&mut self.rng)
     }
@@ -850,37 +1009,35 @@ impl AvailState {
     /// Re-evaluates every object with a replica on one of `nodes` after
     /// their reachability changed (chaos windows opening/closing).
     fn reassess_nodes(&mut self, nodes: &[usize], now: SimTime) {
-        let mut touched: Vec<u32> = nodes
-            .iter()
-            .flat_map(|&n| self.node_objects[n].iter().copied())
-            .collect();
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        touched.clear();
+        for &n in nodes {
+            self.node_objects.extend_into(n, &mut touched);
+        }
         touched.sort_unstable();
         touched.dedup();
-        for object in touched {
+        for &object in &touched {
             self.update_object(object, now);
         }
+        self.scratch_touched = touched;
     }
 
     /// Re-evaluates every object with a replica in `rack` after its
     /// reachability changed.
     fn reassess_rack(&mut self, rack: usize, now: SimTime) {
-        let sw = self
-            .cfg
-            .switches
-            .as_ref()
-            .expect("rack event without model");
-        let lo = rack * sw.nodes_per_rack;
-        let hi = lo + sw.nodes_per_rack;
-        let mut touched: Vec<u32> = self.node_objects[lo..hi]
-            .iter()
-            .flatten()
-            .copied()
-            .collect();
+        let lo = rack * self.switch_npr;
+        let hi = lo + self.switch_npr;
+        let mut touched = std::mem::take(&mut self.scratch_touched);
+        touched.clear();
+        for n in lo..hi {
+            self.node_objects.extend_into(n, &mut touched);
+        }
         touched.sort_unstable();
         touched.dedup();
-        for object in touched {
+        for &object in &touched {
             self.update_object(object, now);
         }
+        self.scratch_touched = touched;
     }
 }
 
@@ -1572,6 +1729,66 @@ mod proptests {
             // Determinism.
             let r2 = m.run(seed, SimDuration::from_days(60.0));
             prop_assert_eq!(r, r2);
+        }
+
+        /// The SoA construction (fixed-stride holder arena + chunked
+        /// `NodeLists`) lays out exactly what the old `Vec<Vec<_>>`
+        /// representation held, for arbitrary placements and geometries:
+        /// same holders per object (in order), same objects per node (in
+        /// order).
+        #[test]
+        fn soa_construction_matches_vec_of_vecs(
+            racks in 3usize..8,
+            npr in 1usize..6,
+            rep in 1usize..4,
+            objects in 1u64..200,
+            seed in any::<u64>(),
+            placement_sel in 0usize..3,
+        ) {
+            let n_nodes = racks * npr;
+            prop_assume!(rep <= n_nodes);
+            let placement = match placement_sel {
+                0 => Placement::Random,
+                1 => Placement::RoundRobin,
+                _ => Placement::RackAware { nodes_per_rack: npr },
+            };
+            let m = AvailabilityModel {
+                n_nodes,
+                redundancy: RedundancyScheme::replication(rep),
+                placement,
+                objects,
+                object_bytes: 1 << 30,
+                node_ttf: Dist::exponential_mean(30.0 * DAY),
+                node_replace: Dist::deterministic(3600.0),
+                rebuild: RebuildModel::Timed(Dist::deterministic(600.0)),
+                repair: RepairPolicy::parallel(8),
+                switches: None,
+                disks: None,
+                queue: QueueBackend::Heap,
+                chaos: None,
+            };
+            let st = AvailState::new(&m, seed, Vec::new());
+            // Naive reference layout from an identically-seeded placer.
+            let mut placer = Placer::new(
+                placement,
+                n_nodes,
+                rep,
+                RngFactory::new(seed).stream("placement"),
+            );
+            let mut naive: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+            for obj in 0..objects {
+                let placed = placer.place(obj);
+                let want: Vec<u16> = placed.iter().map(|&n| n as u16).collect();
+                prop_assert_eq!(st.holders(obj as u32), want.as_slice());
+                for &n in &placed {
+                    naive[n].push(obj as u32);
+                }
+            }
+            for (n, want) in naive.iter().enumerate() {
+                let mut got = Vec::new();
+                st.node_objects.extend_into(n, &mut got);
+                prop_assert_eq!(&got, want);
+            }
         }
     }
 }

@@ -23,6 +23,7 @@
 //! (`wt-wtql`) sweeps over, and [`results`] the serializable outputs the
 //! result store (`wt-store`) persists.
 
+pub mod arena;
 pub mod availability;
 pub mod chaos;
 pub mod perf;
@@ -30,6 +31,7 @@ pub mod results;
 pub mod scenario;
 pub mod unavailability;
 
+pub use arena::NodeLists;
 pub use availability::{AvailabilityModel, RebuildModel};
 pub use chaos::{ChaosGeometry, FaultKind, FaultSchedule, InjectionRule};
 pub use perf::PerfModel;

@@ -125,7 +125,10 @@ impl PerfModel {
     /// Builds the simulation and seeds initial arrivals/failures — the
     /// shared front half of [`run`](Self::run) and
     /// [`run_observed`](Self::run_observed), so the two paths cannot drift.
-    fn seeded_sim<Q: PendingEvents<Ev> + Default>(&self, seed: u64) -> Simulation<PerfState, Q> {
+    fn seeded_sim<Q: PendingEvents<Ev> + Default>(
+        &self,
+        seed: u64,
+    ) -> Simulation<PerfState<'_>, Q> {
         assert!(
             !self.tenants.is_empty(),
             "perf run needs at least one tenant"
@@ -137,11 +140,9 @@ impl PerfModel {
             .as_ref()
             .map(|c| c.compile(self.topology.node_count(), seed))
             .unwrap_or_default();
-        let mut sim = Simulation::with_queue(
-            PerfState::new(self, seed, chaos_faults.clone()),
-            seed,
-            Q::default(),
-        );
+        let n_chaos = chaos_faults.len();
+        let mut sim =
+            Simulation::with_queue(PerfState::new(self, seed, chaos_faults), seed, Q::default());
         // One pending arrival per tenant, one failure timer per node when
         // injection is on, start/end per chaos fault, plus in-flight
         // request stages.
@@ -152,13 +153,16 @@ impl PerfModel {
                 } else {
                     0
                 }
-                + 2 * chaos_faults.len(),
+                + 2 * n_chaos,
         );
         // Chaos faults are content-ordered at compile time, so the
         // (time, seq) order here is independent of declaration order.
-        for (i, f) in chaos_faults.iter().enumerate() {
+        // (The schedule lives in the state; read the start times back
+        // rather than cloning the whole compiled schedule.)
+        for i in 0..n_chaos {
+            let at_s = sim.model().chaos_faults[i].at_s;
             sim.schedule_at(
-                SimTime::ZERO + SimDuration::from_secs(f.at_s),
+                SimTime::ZERO + SimDuration::from_secs(at_s),
                 Ev::ChaosStart { fault: i },
             );
         }
@@ -222,12 +226,21 @@ struct Req {
     start: SimTime,
 }
 
-struct PerfState {
-    cfg: PerfModel,
+struct PerfState<'a> {
+    /// Immutable configuration, borrowed from the model for the run's
+    /// duration (nothing here is mutated; cloning tenants/topology per run
+    /// was pure overhead at scale).
+    cfg: &'a PerfModel,
     topo: Topology,
     node_up: Vec<bool>,
-    /// partitions[tenant][partition] = holder nodes.
-    partitions: Vec<Vec<Vec<usize>>>,
+    /// Redundancy width — the partition table's stride.
+    width: usize,
+    /// Flat fixed-stride partition table: tenant `t`, partition `p`'s
+    /// holders are `partitions[(t * PARTITIONS + p) * width ..][..width]`.
+    /// Placement is immutable in this engine (liveness is filtered at read
+    /// time), so a CSR-style flat layout replaces the old triple-nested
+    /// `Vec<Vec<Vec<usize>>>`.
+    partitions: Vec<u32>,
     zipfs: Vec<Zipf>,
     disk_pools: Vec<ServerPool<u64>>,
     nic_pools: Vec<ServerPool<u64>>,
@@ -255,17 +268,21 @@ struct PerfState {
     /// Probability a point read is served from the cluster-wide buffer
     /// cache (skipping the disk stage).
     cache_hit_p: f64,
+    /// Reusable per-arrival buffer for a key's live holders.
+    scratch_holders: Vec<usize>,
     rng: wt_des::rng::Stream,
 }
 
-impl PerfState {
-    fn new(cfg: &PerfModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
+impl<'a> PerfState<'a> {
+    fn new(cfg: &'a PerfModel, seed: u64, chaos_faults: Vec<CompiledFault>) -> Self {
         let topo = cfg.topology.build();
         let n = topo.node_count();
         let factory = RngFactory::new(seed);
         let width = cfg.redundancy.width();
 
-        let mut partitions = Vec::with_capacity(cfg.tenants.len());
+        let mut partitions: Vec<u32> =
+            Vec::with_capacity(cfg.tenants.len() * PARTITIONS as usize * width);
+        let mut placed: Vec<usize> = Vec::with_capacity(width);
         for (t, _) in cfg.tenants.iter().enumerate() {
             let mut placer = Placer::new(
                 cfg.placement,
@@ -273,7 +290,11 @@ impl PerfState {
                 width,
                 factory.numbered("perf-placement", t as u64),
             );
-            partitions.push((0..PARTITIONS).map(|p| placer.place(p)).collect::<Vec<_>>());
+            for p in 0..PARTITIONS {
+                placer.place_into(p, &mut placed);
+                assert_eq!(placed.len(), width, "placers yield exactly `width` nodes");
+                partitions.extend(placed.iter().map(|&h| h as u32));
+            }
         }
         let zipfs = cfg.tenants.iter().map(|t| t.mix.make_zipf()).collect();
 
@@ -302,9 +323,10 @@ impl PerfState {
             0.0
         };
         PerfState {
-            cfg: cfg.clone(),
+            cfg,
             topo,
             node_up: vec![true; n],
+            width,
             partitions,
             zipfs,
             disk_pools: (0..n)
@@ -325,6 +347,7 @@ impl PerfState {
             failed: vec![0; cfg.tenants.len()],
             node_failures: 0,
             cache_hit_p,
+            scratch_holders: Vec::with_capacity(width),
             rng: factory.stream("perf-dynamics"),
         }
     }
@@ -349,7 +372,11 @@ impl PerfState {
     /// which inflates per-packet handling as well as throughput.
     fn nic_service(&self, src: usize, rid: u64) -> SimDuration {
         let r = &self.reqs[&rid];
-        let path = self.topo.path(NodeId(src as u32), NodeId(r.nic_dst as u32));
+        // path_info is the hop-free form: no per-transfer Vec for a hop
+        // list nobody reads here.
+        let path = self
+            .topo
+            .path_info(NodeId(src as u32), NodeId(r.nic_dst as u32));
         let nic = &self.cfg.topology.node.nic;
         let gbps = nic.bandwidth_gbps.min(path.bottleneck_gbps);
         let t = (nic.latency_s + path.latency_s + r.nic_bytes as f64 * 8.0 / (gbps * 1e9))
@@ -361,16 +388,6 @@ impl PerfState {
     /// True when `node` is failed-up *and* outside any chaos window.
     fn node_available(&self, node: usize) -> bool {
         self.node_up[node] && self.chaos_down[node] == 0
-    }
-
-    /// Node indices of the given racks, clamped to the cluster.
-    fn rack_nodes(&self, racks: &[usize]) -> Vec<usize> {
-        let npr = self.cfg.topology.nodes_per_rack.max(1);
-        let n = self.node_up.len();
-        racks
-            .iter()
-            .flat_map(|&r| (r * npr).min(n)..((r + 1) * npr).min(n))
-            .collect()
     }
 
     /// Rebuilds the per-node storm multipliers from the set of active
@@ -396,25 +413,37 @@ impl PerfState {
         }
     }
 
-    /// Live holders of (tenant, key).
-    fn holders(&self, tenant: usize, key: u64) -> Vec<usize> {
+    /// Collects the live holders of (tenant, key) into `out` (cleared
+    /// first) — the per-arrival hot path, so the buffer is caller-owned.
+    fn holders_into(&self, tenant: usize, key: u64, out: &mut Vec<usize>) {
+        out.clear();
         let part = (key % PARTITIONS) as usize;
-        self.partitions[tenant][part]
-            .iter()
-            .copied()
-            .filter(|&n| self.node_available(n))
-            .collect()
+        let base = (tenant * PARTITIONS as usize + part) * self.width;
+        for &h in &self.partitions[base..base + self.width] {
+            if self.node_available(h as usize) {
+                out.push(h as usize);
+            }
+        }
     }
 
-    /// Prefer a holder in the client's rack, else any live holder.
+    /// Prefer a holder in the client's rack, else any live holder. Counts
+    /// rack-local holders and picks the k-th in a second scan — same
+    /// single RNG draw as the old buffered version, no temporary list.
     fn choose_serving(&mut self, client: usize, holders: &[usize]) -> usize {
-        let local: Vec<usize> = holders
-            .iter()
-            .copied()
-            .filter(|&h| self.topo.same_rack(NodeId(client as u32), NodeId(h as u32)))
-            .collect();
-        let pool = if local.is_empty() { holders } else { &local };
-        pool[self.rng.index(pool.len())]
+        let topo = &self.topo;
+        let is_local = |h: usize| topo.same_rack(NodeId(client as u32), NodeId(h as u32));
+        let local = holders.iter().filter(|&&h| is_local(h)).count();
+        if local > 0 {
+            let k = self.rng.index(local);
+            holders
+                .iter()
+                .copied()
+                .filter(|&h| is_local(h))
+                .nth(k)
+                .expect("k < local count")
+        } else {
+            holders[self.rng.index(holders.len())]
+        }
     }
 
     /// Enqueues a disk job; schedules completion if it starts immediately.
@@ -500,7 +529,8 @@ impl PerfState {
             .mix
             .draw_request(tenant, zipf, &mut self.rng);
         let client = self.rng.index(self.topo.node_count());
-        let holders = self.holders(tenant, request.key);
+        let mut holders = std::mem::take(&mut self.scratch_holders);
+        self.holders_into(tenant, request.key, &mut holders);
 
         let rid = self.next_rid;
         self.next_rid += 1;
@@ -512,6 +542,7 @@ impl PerfState {
             };
             if holders.len() < w {
                 self.failed[tenant] += 1;
+                self.scratch_holders = holders;
                 return;
             }
             let targets: Vec<usize> = holders[..w].to_vec();
@@ -530,33 +561,31 @@ impl PerfState {
                     start: now,
                 },
             );
+            self.scratch_holders = holders;
             // Push all copies out the client NIC, then commit on disks.
             self.submit_nic(client, rid, ctx);
         } else {
             // Reads: replication serves from one replica; erasure coding
             // must gather k shards from k distinct holders (degraded or
             // not), then stream the reassembled object to the client.
-            let (read_targets, per_disk): (Vec<usize>, u64) = match self.cfg.redundancy {
+            let (serving, fan, per_disk): (usize, usize, u64) = match self.cfg.redundancy {
                 RedundancyScheme::Replication(_) => {
                     if holders.is_empty() {
                         self.failed[tenant] += 1;
+                        self.scratch_holders = holders;
                         return;
                     }
-                    (vec![self.choose_serving(client, &holders)], request.bytes)
+                    (self.choose_serving(client, &holders), 1, request.bytes)
                 }
                 RedundancyScheme::Erasure(spec) => {
                     if holders.len() < spec.k {
                         self.failed[tenant] += 1;
+                        self.scratch_holders = holders;
                         return;
                     }
-                    (
-                        holders[..spec.k].to_vec(),
-                        (request.bytes / spec.k as u64).max(1),
-                    )
+                    (holders[0], spec.k, (request.bytes / spec.k as u64).max(1))
                 }
             };
-            let serving = read_targets[0];
-            let fan = read_targets.len();
             self.reqs.insert(
                 rid,
                 Req {
@@ -574,11 +603,16 @@ impl PerfState {
             // Point reads may be served from the buffer cache (no disk I/O).
             if !request.sequential && self.rng.chance(self.cache_hit_p) {
                 self.submit_nic(serving, rid, ctx);
+            } else if fan == 1 {
+                // Replication: the single chosen replica serves the read.
+                self.submit_disk(serving, rid, ctx);
             } else {
-                for target in read_targets {
-                    self.submit_disk(target, rid, ctx);
+                // Erasure: gather the first k shards.
+                for &h in holders.iter().take(fan) {
+                    self.submit_disk(h, rid, ctx);
                 }
             }
+            self.scratch_holders = holders;
         }
     }
 
@@ -624,7 +658,7 @@ impl PerfState {
     }
 }
 
-impl Model for PerfState {
+impl Model for PerfState<'_> {
     type Event = Ev;
 
     fn label(ev: &Ev) -> &'static str {
@@ -706,11 +740,8 @@ impl Model for PerfState {
 
             Ev::NodeBack { node } => {
                 self.node_up[node] = true;
-                let ttf_dist = self
-                    .cfg
-                    .node_ttf
-                    .clone()
-                    .unwrap_or_else(|| self.cfg.topology.node.ttf.clone());
+                let cfg = self.cfg;
+                let ttf_dist = cfg.node_ttf.as_ref().unwrap_or(&cfg.topology.node.ttf);
                 let ttf = ttf_dist.sample(&mut self.rng);
                 ctx.schedule_in(SimDuration::from_secs(ttf), Ev::NodeFail { node });
             }
@@ -718,25 +749,37 @@ impl Model for PerfState {
             Ev::ChaosStart { fault } => {
                 ctx.mark(self.chaos_faults[fault].mark);
                 let until = self.chaos_faults[fault].until_s;
-                match self.chaos_faults[fault].effect.clone() {
+                // Borrow the effect in place (it lives in `chaos_faults`,
+                // the arms only touch `chaos_down`/`chaos_limp_active`);
+                // `recompute_chaos_limp` re-reads `chaos_faults`, so it
+                // runs after the borrow ends.
+                let npr = self.cfg.topology.nodes_per_rack.max(1);
+                let count = self.chaos_down.len();
+                let mut limp_changed = false;
+                match &self.chaos_faults[fault].effect {
                     FaultEffect::NodesDown { nodes } => {
-                        for n in nodes {
+                        for &n in nodes {
                             self.chaos_down[n] += 1;
                         }
                     }
                     FaultEffect::RacksDown { racks } => {
-                        for n in self.rack_nodes(&racks) {
-                            self.chaos_down[n] += 1;
+                        for &r in racks {
+                            for n in (r * npr).min(count)..((r + 1) * npr).min(count) {
+                                self.chaos_down[n] += 1;
+                            }
                         }
                     }
                     FaultEffect::Limp { .. } => {
                         self.chaos_limp_active.push(fault);
-                        self.recompute_chaos_limp();
+                        limp_changed = true;
                     }
                     // Repair concurrency is an availability-engine
                     // resource; the perf engine's repair traffic is
                     // open-loop streams with no concurrency knob to clamp.
                     FaultEffect::RepairThrottle { .. } => {}
+                }
+                if limp_changed {
+                    self.recompute_chaos_limp();
                 }
                 ctx.schedule_at(
                     SimTime::ZERO + SimDuration::from_secs(until.max(now.as_secs())),
@@ -746,22 +789,30 @@ impl Model for PerfState {
 
             Ev::ChaosEnd { fault } => {
                 ctx.mark("chaos_restore");
-                match self.chaos_faults[fault].effect.clone() {
+                let npr = self.cfg.topology.nodes_per_rack.max(1);
+                let count = self.chaos_down.len();
+                let mut limp_changed = false;
+                match &self.chaos_faults[fault].effect {
                     FaultEffect::NodesDown { nodes } => {
-                        for n in nodes {
+                        for &n in nodes {
                             self.chaos_down[n] = self.chaos_down[n].saturating_sub(1);
                         }
                     }
                     FaultEffect::RacksDown { racks } => {
-                        for n in self.rack_nodes(&racks) {
-                            self.chaos_down[n] = self.chaos_down[n].saturating_sub(1);
+                        for &r in racks {
+                            for n in (r * npr).min(count)..((r + 1) * npr).min(count) {
+                                self.chaos_down[n] = self.chaos_down[n].saturating_sub(1);
+                            }
                         }
                     }
                     FaultEffect::Limp { .. } => {
                         self.chaos_limp_active.retain(|&i| i != fault);
-                        self.recompute_chaos_limp();
+                        limp_changed = true;
                     }
                     FaultEffect::RepairThrottle { .. } => {}
+                }
+                if limp_changed {
+                    self.recompute_chaos_limp();
                 }
             }
         }

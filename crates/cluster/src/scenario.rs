@@ -60,6 +60,42 @@ impl Scenario {
         self.queue.unwrap_or_default()
     }
 
+    /// The backend to run with, honoring an explicit choice and otherwise
+    /// inferring one from an estimated steady-state pending-set size (see
+    /// [`QueueBackend::for_pending_set`]). The engine-deriving callers
+    /// (`WindTunnel::availability_model` / `perf_model`) pass the matching
+    /// estimate; a wrong estimate costs wall-clock time, never results.
+    pub fn queue_backend_for(&self, pending_estimate: usize) -> QueueBackend {
+        self.queue
+            .unwrap_or_else(|| QueueBackend::for_pending_set(pending_estimate))
+    }
+
+    /// Estimated steady-state pending-set size of the availability engine:
+    /// one outstanding fail/repair timer per node, one per disk when disk
+    /// failures are simulated, one per ToR when switch failures are, plus
+    /// the repair policy's in-flight rebuild cap. Every existing
+    /// sub-hundred-node scenario lands far below the adaptive threshold
+    /// (so defaults keep the heap); million-component runs land far above.
+    pub fn availability_pending_estimate(&self) -> usize {
+        let nodes = self.topology.node_count();
+        let mut estimate = nodes;
+        if self.disk_failures {
+            estimate += nodes * self.topology.node.disks.len().max(1);
+        }
+        if self.switch_failures {
+            estimate += self.topology.racks;
+        }
+        estimate + self.repair.max_parallel
+    }
+
+    /// Estimated steady-state pending-set size of the performance engine:
+    /// one open-loop arrival timer per tenant plus in-flight service
+    /// completions, which scale with the node count (per-node disk and
+    /// NIC queues each keep at most one completion pending).
+    pub fn perf_pending_estimate(&self) -> usize {
+        self.topology.node_count() * 2 + self.tenants.len()
+    }
+
     /// The fault schedule, if one is declared and non-empty.
     pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
         self.faults.as_ref().filter(|f| !f.is_empty())
@@ -171,6 +207,38 @@ mod tests {
         assert_eq!(back.redundancy, s.redundancy);
         assert_eq!(back.seed, s.seed);
         assert_eq!(back.queue_backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn adaptive_backend_tracks_scale_and_respects_explicit_choice() {
+        // Small scenario, no explicit choice: the estimate is tiny, the
+        // heap wins.
+        let s = base();
+        assert!(s.availability_pending_estimate() < wt_des::ADAPTIVE_PENDING_THRESHOLD);
+        assert_eq!(
+            s.queue_backend_for(s.availability_pending_estimate()),
+            QueueBackend::Heap
+        );
+
+        // Scale the same design to thousands of nodes with per-disk
+        // failures: the estimate crosses the threshold and the calendar
+        // queue is inferred.
+        let mut big = base();
+        big.topology.racks = 200;
+        big.topology.nodes_per_rack = 40;
+        big.disk_failures = true;
+        assert!(big.availability_pending_estimate() >= wt_des::ADAPTIVE_PENDING_THRESHOLD);
+        assert_eq!(
+            big.queue_backend_for(big.availability_pending_estimate()),
+            QueueBackend::Calendar
+        );
+
+        // An explicit choice always wins over the inference.
+        big.queue = Some(QueueBackend::Heap);
+        assert_eq!(
+            big.queue_backend_for(big.availability_pending_estimate()),
+            QueueBackend::Heap
+        );
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl WindTunnel {
                 ttf: scenario.topology.node.disks[0].ttf.clone(),
                 replace: scenario.topology.node.disks[0].repair.clone(),
             }),
-            queue: scenario.queue_backend(),
+            queue: scenario.queue_backend_for(scenario.availability_pending_estimate()),
             chaos: Self::chaos_config(scenario),
         }
     }
@@ -147,7 +147,7 @@ impl WindTunnel {
             inject_failures,
             node_ttf: None,
             horizon_s: (scenario.horizon_years * 365.0 * 86_400.0).min(600.0),
-            queue: scenario.queue_backend(),
+            queue: scenario.queue_backend_for(scenario.perf_pending_estimate()),
             chaos: Self::chaos_config(scenario),
         }
     }
@@ -535,6 +535,39 @@ mod tests {
         let rc = tunnel.run_availability(&calm);
         assert_eq!(rc.switch_failures, 0);
         assert!(rc.availability >= r.availability);
+    }
+
+    #[test]
+    fn adaptive_backend_reaches_the_derived_models() {
+        use wt_des::QueueBackend;
+        // Small scenario, no explicit queue: both engines keep the heap.
+        let sc = small();
+        assert_eq!(sc.queue, None);
+        assert_eq!(
+            WindTunnel::availability_model(&sc).queue,
+            QueueBackend::Heap
+        );
+        assert_eq!(WindTunnel::perf_model(&sc, false).queue, QueueBackend::Heap);
+
+        // Scale past the adaptive threshold: the inferred calendar backend
+        // lands in the derived model (and from there into telemetry).
+        let mut big = small();
+        big.topology.racks = 600;
+        assert_eq!(
+            WindTunnel::availability_model(&big).queue,
+            QueueBackend::Calendar
+        );
+        assert_eq!(
+            WindTunnel::perf_model(&big, false).queue,
+            QueueBackend::Calendar
+        );
+
+        // An explicit choice is never overridden.
+        big.queue = Some(QueueBackend::Heap);
+        assert_eq!(
+            WindTunnel::availability_model(&big).queue,
+            QueueBackend::Heap
+        );
     }
 
     #[test]

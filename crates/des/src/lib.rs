@@ -53,7 +53,7 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Ctx, Model, Simulation, StopReason};
-pub use pending::{PendingEvents, QueueBackend};
+pub use pending::{PendingEvents, QueueBackend, ADAPTIVE_PENDING_THRESHOLD};
 pub use queue::EventQueue;
 pub use resource::ServerPool;
 pub use rng::{RngFactory, Stream};

@@ -75,7 +75,26 @@ pub enum QueueBackend {
     Calendar,
 }
 
+/// Pending-set size at which [`QueueBackend::for_pending_set`] switches
+/// from the heap to the calendar queue. Below this the heap's cache-hot
+/// sift beats the calendar's bucket walk; above it the calendar's O(1)
+/// amortized operations win (DESIGN.md §8 has the measured crossover).
+pub const ADAPTIVE_PENDING_THRESHOLD: usize = 4096;
+
 impl QueueBackend {
+    /// Picks a backend for an *estimated* steady-state pending-set size:
+    /// [`Heap`](Self::Heap) below [`ADAPTIVE_PENDING_THRESHOLD`],
+    /// [`Calendar`](Self::Calendar) at or above it. Purely a wall-clock
+    /// heuristic — a wrong estimate costs time, never correctness, since
+    /// both backends produce bitwise-identical results.
+    pub fn for_pending_set(estimate: usize) -> Self {
+        if estimate >= ADAPTIVE_PENDING_THRESHOLD {
+            QueueBackend::Calendar
+        } else {
+            QueueBackend::Heap
+        }
+    }
+
     /// The lower-case backend name, as accepted by [`parse`](Self::parse)
     /// and recorded in telemetry.
     pub fn as_str(self) -> &'static str {
@@ -114,6 +133,23 @@ mod tests {
         }
         assert_eq!(QueueBackend::parse("splay"), None);
         assert_eq!(QueueBackend::default(), QueueBackend::Heap);
+    }
+
+    #[test]
+    fn adaptive_selection_crosses_at_the_threshold() {
+        assert_eq!(QueueBackend::for_pending_set(0), QueueBackend::Heap);
+        assert_eq!(
+            QueueBackend::for_pending_set(ADAPTIVE_PENDING_THRESHOLD - 1),
+            QueueBackend::Heap
+        );
+        assert_eq!(
+            QueueBackend::for_pending_set(ADAPTIVE_PENDING_THRESHOLD),
+            QueueBackend::Calendar
+        );
+        assert_eq!(
+            QueueBackend::for_pending_set(usize::MAX),
+            QueueBackend::Calendar
+        );
     }
 
     #[test]

@@ -130,18 +130,26 @@ impl Stream {
     /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
     /// Uses Floyd's algorithm: O(k) expected draws.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
-        assert!(k <= n, "cannot sample {k} distinct values from {n}");
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        self.sample_indices_into(n, k, &mut chosen);
+        chosen
+    }
+
+    /// [`sample_indices`](Self::sample_indices) into a caller-owned buffer
+    /// (cleared first) — the allocation-free path bulk construction uses.
+    /// Identical draw sequence to `sample_indices`.
+    pub fn sample_indices_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        out.clear();
         for j in (n - k)..n {
             let t = self.index(j + 1);
-            if chosen.contains(&t) {
-                chosen.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                chosen.push(t);
+                out.push(t);
             }
         }
-        self.shuffle(&mut chosen);
-        chosen
+        self.shuffle(out);
     }
 }
 

@@ -123,6 +123,26 @@ impl Path {
     }
 }
 
+/// The scalar facts of a path — latency and bottleneck — without the hop
+/// list. `Copy`, so hot loops (the perf engine prices every NIC transfer)
+/// get path answers with no heap allocation; [`Topology::path`] layers the
+/// hop vector on top for callers that need the route itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathInfo {
+    /// One-way propagation + switching latency, seconds (NIC latency at
+    /// both ends included).
+    pub latency_s: f64,
+    /// Bottleneck bandwidth along the path, Gbit/s.
+    pub bottleneck_gbps: f64,
+}
+
+impl PathInfo {
+    /// Time to move `bytes` over this path, unloaded.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 * 8.0 / (self.bottleneck_gbps * 1e9)
+    }
+}
+
 impl Topology {
     /// The spec this topology was built from.
     pub fn spec(&self) -> &TopologySpec {
@@ -173,24 +193,23 @@ impl Topology {
     }
 
     /// Every failable component, in a stable order: nodes, disks, NICs,
-    /// switches.
+    /// switches. Streaming form of [`components`](Self::components) — at
+    /// million-component scale, callers that only scan (fault pickers,
+    /// census counters) should not materialize the whole census.
+    pub fn components_iter(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.nodes()
+            .map(ComponentId::Node)
+            .chain(
+                self.nodes()
+                    .flat_map(|n| self.disks_of(n).map(ComponentId::Disk)),
+            )
+            .chain(self.nodes().map(ComponentId::Nic))
+            .chain((0..self.switch_count() as u32).map(|s| ComponentId::Switch(SwitchId(s))))
+    }
+
+    /// [`components_iter`](Self::components_iter), collected.
     pub fn components(&self) -> Vec<ComponentId> {
-        let mut out = Vec::new();
-        for n in self.nodes() {
-            out.push(ComponentId::Node(n));
-        }
-        for n in self.nodes() {
-            for d in self.disks_of(n) {
-                out.push(ComponentId::Disk(d));
-            }
-        }
-        for n in self.nodes() {
-            out.push(ComponentId::Nic(n));
-        }
-        for s in 0..self.switch_count() as u32 {
-            out.push(ComponentId::Switch(SwitchId(s)));
-        }
-        out
+        self.components_iter().collect()
     }
 
     /// Effective uplink bandwidth from a rack to the aggregation layer,
@@ -200,42 +219,79 @@ impl Topology {
         edge / self.spec.oversubscription
     }
 
-    /// The network path from `src` to `dst`. Same node → empty path (local
-    /// I/O). Same rack → one ToR hop. Otherwise ToR → agg → ToR.
-    pub fn path(&self, src: NodeId, dst: NodeId) -> Path {
+    /// Latency and bottleneck bandwidth from `src` to `dst`, without
+    /// materializing the hop list. Same node → free path. Same rack → one
+    /// ToR hop. Otherwise ToR → agg → ToR with the oversubscribed uplink.
+    pub fn path_info(&self, src: NodeId, dst: NodeId) -> PathInfo {
         let nic = &self.spec.node.nic;
         if src == dst {
-            return Path {
-                hops: Vec::new(),
+            return PathInfo {
                 latency_s: 0.0,
                 bottleneck_gbps: f64::INFINITY,
             };
         }
-        let r_src = self.rack_of(src);
-        let r_dst = self.rack_of(dst);
-        if r_src == r_dst {
-            let tor = self.tor_of_rack(r_src);
-            Path {
-                hops: vec![tor],
+        if self.rack_of(src) == self.rack_of(dst) {
+            PathInfo {
                 latency_s: 2.0 * nic.latency_s + self.spec.tor.latency_s,
                 bottleneck_gbps: nic.bandwidth_gbps.min(self.spec.tor.port_bandwidth_gbps),
             }
         } else {
-            let hops = vec![
-                self.tor_of_rack(r_src),
-                self.agg_switch(),
-                self.tor_of_rack(r_dst),
-            ];
-            let latency =
-                2.0 * nic.latency_s + 2.0 * self.spec.tor.latency_s + self.spec.agg.latency_s;
-            let bottleneck = nic
-                .bandwidth_gbps
-                .min(self.spec.tor.port_bandwidth_gbps)
-                .min(self.uplink_gbps());
-            Path {
-                hops,
-                latency_s: latency,
-                bottleneck_gbps: bottleneck,
+            PathInfo {
+                latency_s: 2.0 * nic.latency_s
+                    + 2.0 * self.spec.tor.latency_s
+                    + self.spec.agg.latency_s,
+                bottleneck_gbps: nic
+                    .bandwidth_gbps
+                    .min(self.spec.tor.port_bandwidth_gbps)
+                    .min(self.uplink_gbps()),
+            }
+        }
+    }
+
+    /// The network path from `src` to `dst`, hops included. The scalar
+    /// facts come from [`path_info`](Self::path_info), so the two views
+    /// cannot drift.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Path {
+        let info = self.path_info(src, dst);
+        let hops = if src == dst {
+            Vec::new()
+        } else {
+            let r_src = self.rack_of(src);
+            let r_dst = self.rack_of(dst);
+            if r_src == r_dst {
+                vec![self.tor_of_rack(r_src)]
+            } else {
+                vec![
+                    self.tor_of_rack(r_src),
+                    self.agg_switch(),
+                    self.tor_of_rack(r_dst),
+                ]
+            }
+        };
+        Path {
+            hops,
+            latency_s: info.latency_s,
+            bottleneck_gbps: info.bottleneck_gbps,
+        }
+    }
+
+    /// Appends the components involved in a transfer from `src` to `dst`
+    /// to `out` (not cleared) — the allocation-free form of
+    /// [`transfer_footprint`](Self::transfer_footprint).
+    pub fn transfer_footprint_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<ComponentId>) {
+        out.push(ComponentId::Node(src));
+        out.push(ComponentId::Node(dst));
+        out.push(ComponentId::Nic(src));
+        out.push(ComponentId::Nic(dst));
+        if src != dst {
+            let r_src = self.rack_of(src);
+            let r_dst = self.rack_of(dst);
+            if r_src == r_dst {
+                out.push(ComponentId::Switch(self.tor_of_rack(r_src)));
+            } else {
+                out.push(ComponentId::Switch(self.tor_of_rack(r_src)));
+                out.push(ComponentId::Switch(self.agg_switch()));
+                out.push(ComponentId::Switch(self.tor_of_rack(r_dst)));
             }
         }
     }
@@ -244,15 +300,8 @@ impl Topology {
     /// (the paper's §4.2 interaction example: the two nodes, the two NICs,
     /// and the switches on the path — everything else is unaffected).
     pub fn transfer_footprint(&self, src: NodeId, dst: NodeId) -> Vec<ComponentId> {
-        let mut out = vec![
-            ComponentId::Node(src),
-            ComponentId::Node(dst),
-            ComponentId::Nic(src),
-            ComponentId::Nic(dst),
-        ];
-        for hop in self.path(src, dst).hops {
-            out.push(ComponentId::Switch(hop));
-        }
+        let mut out = Vec::with_capacity(7);
+        self.transfer_footprint_into(src, dst, &mut out);
         out
     }
 }
@@ -362,6 +411,30 @@ mod tests {
     #[should_panic(expected = "exceeds ToR ports")]
     fn too_many_nodes_per_rack_rejected() {
         let _ = spec(1, 60).build();
+    }
+
+    #[test]
+    fn path_info_and_footprint_into_agree_with_allocating_forms() {
+        let t = spec(3, 4).build();
+        for src in t.nodes() {
+            for dst in t.nodes() {
+                let p = t.path(src, dst);
+                let info = t.path_info(src, dst);
+                assert_eq!(p.latency_s, info.latency_s);
+                assert_eq!(p.bottleneck_gbps, info.bottleneck_gbps);
+                assert_eq!(p.transfer_time(1 << 20), info.transfer_time(1 << 20));
+                let mut fp = Vec::new();
+                t.transfer_footprint_into(src, dst, &mut fp);
+                assert_eq!(fp, t.transfer_footprint(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn components_iter_streams_the_same_census() {
+        let t = spec(2, 3).build();
+        assert_eq!(t.components_iter().collect::<Vec<_>>(), t.components());
+        assert_eq!(t.components_iter().count(), 6 + 24 + 6 + 3);
     }
 
     #[test]

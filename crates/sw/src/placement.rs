@@ -57,6 +57,8 @@ pub struct Placer {
     /// Pre-built copysets (empty for other policies).
     copysets: Vec<Vec<usize>>,
     rng: Stream,
+    /// Reusable rack-order buffer for `RackAware` placement.
+    rack_scratch: Vec<usize>,
 }
 
 impl Placer {
@@ -84,47 +86,59 @@ impl Placer {
             n_replicas,
             copysets,
             rng,
+            rack_scratch: Vec::new(),
         }
     }
 
     /// The nodes holding object `obj`'s replicas (distinct, length
     /// `n_replicas`).
     pub fn place(&mut self, obj: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.n_replicas);
+        self.place_into(obj, &mut out);
+        out
+    }
+
+    /// [`place`](Self::place) into a caller-owned buffer (cleared first):
+    /// the allocation-free path million-object model construction uses.
+    /// Identical RNG draw sequence to `place`.
+    pub fn place_into(&mut self, obj: u64, out: &mut Vec<usize>) {
+        out.clear();
         match self.policy {
-            Placement::Random => self.rng.sample_indices(self.n_nodes, self.n_replicas),
+            Placement::Random => self
+                .rng
+                .sample_indices_into(self.n_nodes, self.n_replicas, out),
             Placement::RoundRobin => {
                 let start = (obj % self.n_nodes as u64) as usize;
-                (0..self.n_replicas)
-                    .map(|i| (start + i) % self.n_nodes)
-                    .collect()
+                out.extend((0..self.n_replicas).map(|i| (start + i) % self.n_nodes));
             }
             Placement::Copyset { .. } => {
                 let idx = (obj % self.copysets.len() as u64) as usize;
-                self.copysets[idx].clone()
+                out.extend_from_slice(&self.copysets[idx]);
             }
             Placement::RackAware { nodes_per_rack } => {
                 let racks = self.n_nodes / nodes_per_rack;
                 // Pick distinct racks (cycling if replicas > racks), then a
                 // random node inside each chosen rack, avoiding duplicates
                 // on wrap-around.
-                let rack_order = self.rng.sample_indices(racks, racks.min(self.n_replicas));
-                let mut chosen: Vec<usize> = Vec::with_capacity(self.n_replicas);
+                let mut rack_order = std::mem::take(&mut self.rack_scratch);
+                self.rng
+                    .sample_indices_into(racks, racks.min(self.n_replicas), &mut rack_order);
                 let mut i = 0;
-                while chosen.len() < self.n_replicas {
+                while out.len() < self.n_replicas {
                     let rack = rack_order[i % rack_order.len()];
                     let base = rack * nodes_per_rack;
                     // Rejection-sample a free node in this rack (always
                     // terminates: width ≤ n_nodes guarantees capacity).
                     loop {
                         let node = base + self.rng.index(nodes_per_rack);
-                        if !chosen.contains(&node) {
-                            chosen.push(node);
+                        if !out.contains(&node) {
+                            out.push(node);
                             break;
                         }
                     }
                     i += 1;
                 }
-                chosen
+                self.rack_scratch = rack_order;
             }
         }
     }

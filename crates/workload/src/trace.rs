@@ -126,98 +126,134 @@ impl Trace {
         Ok(())
     }
 
-    /// Loads from JSON lines, streaming: a reader thread pulls the file
-    /// in ~256 KiB chunks cut at newline boundaries and feeds them over a
-    /// bounded channel while this thread parses — I/O and JSON decoding
-    /// overlap, which is where the wall time goes on big traces (see the
-    /// EXPERIMENTS.md trace-ingestion note for measured throughput).
-    /// Produces exactly what [`load_jsonl_sync`](Self::load_jsonl_sync)
-    /// produces, which the round-trip test asserts.
+    /// Loads from JSON lines, in parallel: a reader thread pulls the file
+    /// in ~256 KiB chunks cut at newline boundaries and fans them over a
+    /// bounded channel to a pool of parser workers (`WT_WORKERS` when
+    /// set, the host's parallelism otherwise — the same knob the farm
+    /// honors); chunks are tagged with their file position and the merge
+    /// restores file order, so the result is exactly what
+    /// [`load_jsonl_sync`](Self::load_jsonl_sync) produces, which the
+    /// round-trip test asserts. JSON decoding dominates the wall time on
+    /// big traces (see the EXPERIMENTS.md trace-ingestion note), so the
+    /// fan-out scales with cores where the old single-parser overlap
+    /// capped at 2×.
     pub fn load_jsonl(path: &std::path::Path) -> std::io::Result<Trace> {
         use std::io::Read as _;
         const CHUNK: usize = 256 * 1024;
         // Open here so a missing file fails before any thread is spawned.
         let mut f = std::fs::File::open(path)?;
-        // Bounded: if parsing falls behind, the reader blocks instead of
-        // buffering the whole file in memory.
-        let (tx, rx) = std::sync::mpsc::sync_channel::<std::io::Result<String>>(4);
-        let reader = std::thread::spawn(move || {
-            let invalid = |e: std::string::FromUtf8Error| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
-            };
-            let mut carry: Vec<u8> = Vec::new();
-            let mut buf = vec![0u8; CHUNK];
-            loop {
-                match f.read(&mut buf) {
-                    Ok(0) => break,
-                    Ok(n) => {
-                        carry.extend_from_slice(&buf[..n]);
-                        // Ship everything up to the last complete line;
-                        // the tail carries into the next chunk.
-                        if let Some(pos) = carry.iter().rposition(|&b| b == b'\n') {
-                            let rest = carry.split_off(pos + 1);
-                            let whole = std::mem::replace(&mut carry, rest);
-                            let sent = match String::from_utf8(whole) {
-                                Ok(text) => tx.send(Ok(text)),
-                                Err(e) => {
-                                    let _ = tx.send(Err(invalid(e)));
+        let workers = std::env::var("WT_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(8);
+
+        // Chunks travel as (index, text); the index is the merge key and
+        // the error-priority key. Bounded: if parsing falls behind, the
+        // reader blocks instead of buffering the whole file in memory.
+        type Tagged = (usize, std::io::Result<String>);
+        let (chunk_tx, chunk_rx) = std::sync::mpsc::sync_channel::<Tagged>(workers * 2);
+        let chunk_rx = std::sync::Mutex::new(chunk_rx);
+        let (out_tx, out_rx) =
+            std::sync::mpsc::channel::<(usize, std::io::Result<Vec<TraceEntry>>)>();
+
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let invalid = |e: std::string::FromUtf8Error| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                };
+                let mut idx = 0usize;
+                let mut carry: Vec<u8> = Vec::new();
+                let mut buf = vec![0u8; CHUNK];
+                loop {
+                    match f.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            carry.extend_from_slice(&buf[..n]);
+                            // Ship everything up to the last complete line;
+                            // the tail carries into the next chunk.
+                            if let Some(pos) = carry.iter().rposition(|&b| b == b'\n') {
+                                let rest = carry.split_off(pos + 1);
+                                let whole = std::mem::replace(&mut carry, rest);
+                                let msg = String::from_utf8(whole).map_err(invalid);
+                                let fatal = msg.is_err();
+                                if chunk_tx.send((idx, msg)).is_err() || fatal {
                                     return;
                                 }
-                            };
-                            if sent.is_err() {
-                                // Consumer hit a parse error and hung up.
-                                return;
+                                idx += 1;
                             }
                         }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
-                        return;
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            let _ = chunk_tx.send((idx, Err(e)));
+                            return;
+                        }
                     }
                 }
+                // Final line without a trailing newline.
+                if !carry.is_empty() {
+                    let _ = chunk_tx.send((idx, String::from_utf8(carry).map_err(invalid)));
+                }
+            });
+
+            for _ in 0..workers {
+                let out_tx = out_tx.clone();
+                let chunk_rx = &chunk_rx;
+                scope.spawn(move || loop {
+                    // Lock only to receive; parsing runs unlocked so the
+                    // pool actually fans out.
+                    let msg = chunk_rx.lock().expect("receiver lock").recv();
+                    let Ok((idx, chunk)) = msg else { break };
+                    let parsed = chunk.and_then(|text| {
+                        let mut out = Vec::new();
+                        for line in text.lines() {
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            out.push(serde_json::from_str(line).map_err(|e| {
+                                std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                            })?);
+                        }
+                        Ok(out)
+                    });
+                    if out_tx.send((idx, parsed)).is_err() {
+                        break;
+                    }
+                });
             }
-            // Final line without a trailing newline.
-            if !carry.is_empty() {
-                let _ = match String::from_utf8(carry) {
-                    Ok(text) => tx.send(Ok(text)),
-                    Err(e) => tx.send(Err(invalid(e))),
-                };
-            }
+            drop(out_tx);
         });
-        let mut entries = Vec::new();
-        let mut failure: Option<std::io::Error> = None;
-        'chunks: for chunk in rx.iter() {
-            match chunk {
-                Ok(text) => {
-                    for line in text.lines() {
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        match serde_json::from_str(line) {
-                            Ok(entry) => entries.push(entry),
-                            Err(e) => {
-                                failure =
-                                    Some(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
-                                break 'chunks;
-                            }
-                        }
-                    }
-                }
+
+        // All threads have exited; merge in chunk order. On failure,
+        // report the error of the earliest chunk — each chunk parses
+        // sequentially and stops at its first bad line, so this is the
+        // same error the sync loader would have hit first.
+        let mut parts: Vec<(usize, Vec<TraceEntry>)> = Vec::new();
+        let mut failure: Option<(usize, std::io::Error)> = None;
+        for (idx, res) in out_rx {
+            match res {
+                Ok(v) => parts.push((idx, v)),
                 Err(e) => {
-                    failure = Some(e);
-                    break 'chunks;
+                    if failure.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        failure = Some((idx, e));
+                    }
                 }
             }
         }
-        // Dropping the receiver disconnects the channel, so a reader
-        // still mid-file unblocks and exits before the join.
-        drop(rx);
-        let _ = reader.join();
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(Trace::from_entries(entries)),
+        if let Some((_, e)) = failure {
+            return Err(e);
         }
+        parts.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut entries = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
+        for (_, v) in parts {
+            entries.extend(v);
+        }
+        Ok(Trace::from_entries(entries))
     }
 
     /// Loads from JSON lines on the calling thread — the simple
@@ -498,6 +534,38 @@ mod tests {
             bytes / (1024.0 * 1024.0) / sync_s,
             bytes / (1024.0 * 1024.0) / stream_s,
             sync_s / stream_s
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A malformed line in a *late* chunk of a multi-chunk file: the
+    /// earlier chunks parse fine on other workers, but the failure still
+    /// surfaces (and the loader returns an error, not a truncated trace).
+    #[test]
+    fn jsonl_parallel_surfaces_late_chunk_errors() {
+        let tenant = TenantWorkload::oltp("late-err", 400.0, 5_000);
+        let trace = Trace::record(&tenant, 60.0, 21);
+        let dir = std::env::temp_dir().join("wt-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace-late-err.jsonl");
+        trace.save_jsonl(&path).unwrap();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 512 * 1024,
+            "file must span multiple parser chunks"
+        );
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "{{\"not\": \"a trace entry\"}}").unwrap();
+        drop(f);
+        let err = Trace::load_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(
+            Trace::load_jsonl_sync(&path).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData,
+            "oracle agrees the file is bad"
         );
         std::fs::remove_file(&path).ok();
     }
