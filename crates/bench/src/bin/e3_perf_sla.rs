@@ -97,13 +97,27 @@ fn main() {
         let m = arm_model(&point.axis_str("arm"), queue);
         let r = m.run(rep.seed);
         let shop = r.tenant("shop").expect("shop tenant present");
+        // The reported percentiles come from the constant-memory sketch
+        // path; the exact histogram stays recorded as the oracle, and
+        // the two SLA verdicts must agree — a divergence would mean the
+        // sketch's error band swallowed the SLA threshold.
+        let sk_p50 = shop.sketch_p50_s.expect("sketch path present");
+        let sk_p95 = shop.sketch_p95_s.expect("sketch path present");
+        let sk_p99 = shop.sketch_p99_s.expect("sketch path present");
+        assert_eq!(
+            shop.sketch_sla_met, shop.sla_met,
+            "sketch SLA verdict diverged from exact-histogram oracle"
+        );
         let mut record = point
             .record(spec.name(), rep.seed)
             .param("inject_failures", m.inject_failures)
             .param("tenants", m.tenants.len())
-            .metric("shop_p50_s", shop.p50_s)
-            .metric("shop_p95_s", shop.p95_s)
-            .metric("shop_p99_s", shop.p99_s)
+            .metric("shop_p50_s", sk_p50)
+            .metric("shop_p95_s", sk_p95)
+            .metric("shop_p99_s", sk_p99)
+            .metric("shop_exact_p50_s", shop.p50_s)
+            .metric("shop_exact_p95_s", shop.p95_s)
+            .metric("shop_exact_p99_s", shop.p99_s)
             .metric("shop_failed", shop.failed as f64)
             .metric("node_failures", r.node_failures as f64);
         if let Some(met) = shop.sla_met {
@@ -111,9 +125,10 @@ fn main() {
         }
         sink.record(record);
         let mut metrics: std::collections::BTreeMap<String, f64> = [
-            ("shop_p50_s".to_string(), shop.p50_s),
-            ("shop_p95_s".to_string(), shop.p95_s),
-            ("shop_p99_s".to_string(), shop.p99_s),
+            ("shop_p50_s".to_string(), sk_p50),
+            ("shop_p95_s".to_string(), sk_p95),
+            ("shop_p99_s".to_string(), sk_p99),
+            ("shop_exact_p99_s".to_string(), shop.p99_s),
             ("shop_failed".to_string(), shop.failed as f64),
             ("node_failures".to_string(), r.node_failures as f64),
         ]
@@ -180,5 +195,20 @@ fn main() {
         "check: cluster events inflate p99 beyond workload-only prediction: {} -> {}",
         fmt_secs(p99("shop + analytics")),
         fmt_secs(p99("shop + analytics + failures")),
+    );
+    // Sketch-vs-oracle accuracy: the reported (sketch) p99 must sit
+    // within the DDSketch relative-error band of the exact histogram's.
+    let worst_rel = out
+        .rows
+        .iter()
+        .map(|row| {
+            let exact = row.metric("shop_exact_p99_s");
+            let sketch = row.metric("shop_p99_s");
+            ((sketch - exact) / exact).abs()
+        })
+        .fold(0.0f64, f64::max);
+    println!(
+        "check: sketch p99 within {:.2}% of exact oracle across arms",
+        worst_rel * 100.0
     );
 }

@@ -18,13 +18,21 @@
 //! * `--trace <path>` — additionally run one representative DES
 //!   availability run with the probe stack attached and write it as
 //!   Chrome trace-event JSON (open in Perfetto / `about:tracing`),
-//! * `--csv <path>` — write the raw series for plotting.
+//! * `--csv <path>` — write the raw series for plotting,
+//! * `--metrics <path>` — run a small farm-recorded availability sweep
+//!   through the observed (sketch-recording) path and write the merged
+//!   store's [`MetricsSnapshot`] as Prometheus-style text exposition.
+//!   The exposition is bitwise-identical for any `--workers` count and
+//!   either `--queue` backend, which CI's obs-smoke job diffs.
+//!
+//! [`MetricsSnapshot`]: wt_obs::MetricsSnapshot
 
 use windtunnel::obs::TraceProbe;
 use windtunnel::prelude::*;
 use wt_bench::fig1::{compute, Fig1Config};
 use wt_bench::{banner, export_trace, flag_value, fmt_p, queue_from_args, runner_from_args};
 use wt_des::SimDuration;
+use wt_store::SharedStore;
 
 /// The figure itself is a Monte-Carlo quorum computation, so `--trace`
 /// records one representative DES availability run instead: the default
@@ -91,6 +99,40 @@ fn main() {
 
     if let Some(path) = flag_value(&args, "--trace") {
         trace_representative_run(path, queue);
+    }
+
+    // `--metrics`: a small sketch-bearing sweep (observed availability
+    // runs on the farm, shards merged in item order) folded into one
+    // MetricsSnapshot. Every byte of the exposition is derived from
+    // simulation-determined state, so the file is identical for any
+    // worker count and either queue backend.
+    if let Some(path) = flag_value(&args, "--metrics") {
+        let store = SharedStore::new();
+        let spec = SweepSpec::new("fig1-metrics")
+            .axis("ttf_days", [30.0, 60.0])
+            .replications(2)
+            .seed(2014);
+        runner.run(&spec, &store, |point, rep, sink| {
+            let mut sc = ScenarioBuilder::new("fig1-metrics")
+                .racks(1)
+                .nodes_per_rack(10)
+                .objects(150)
+                .object_gb(4.0)
+                .horizon_years(0.25)
+                .seed(rep.seed)
+                .queue(queue)
+                .build();
+            sc.topology.node.ttf =
+                Dist::weibull_mean(0.8, point.axis_num("ttf_days") * 86_400.0);
+            let tunnel = WindTunnel::new();
+            let (r, _telemetry) = tunnel.run_availability_observed_into(&sc, sink, None);
+            [("availability".to_string(), r.availability)].into()
+        });
+        if let Err(e) = std::fs::write(path, store.metrics_snapshot().render()) {
+            eprintln!("error: failed to write --metrics {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics written to {path}");
     }
 
     if smoke {

@@ -28,8 +28,73 @@ use wt_des::prelude::*;
 use wt_des::rng::RngFactory;
 use wt_des::{CalendarQueue, EventQueue};
 use wt_dist::Dist;
+use wt_des::obs::{Hll, QuantileSketch, SketchSet};
 use wt_sw::repair::{RepairQueue, RepairTask};
 use wt_sw::{Placement, Placer, RedundancyScheme, RepairPolicy};
+
+/// Sketch-backed rebuild telemetry, armed only on observed runs.
+///
+/// These live in the model rather than behind the probe's
+/// `Ctx::observe` path on purpose: rebuild starts are roughly half of
+/// all events in a busy cluster, and routing each one through the
+/// per-event emission buffer plus two virtual probe calls costs more
+/// than the sketch update itself. Recording inline keeps the probed
+/// run inside DESIGN.md §7's overhead budget; lower-rate engines (the
+/// performance engine's request latencies) stay on the probe path.
+#[derive(Debug, Default)]
+struct RebuildSketches {
+    wait_s: QuantileSketch,
+    duration_s: QuantileSketch,
+    objects: Hll,
+    /// Run-length batch of the current (wait, duration) pair. One event
+    /// starts every rebuild a freed slot (or a fresh failure's detection)
+    /// allows, so bursts share one timestamp — and therefore bit-equal
+    /// waits — and bandwidth-model durations repeat exactly. Identical
+    /// pairs collapse to a counter bump here and reach the sketches via
+    /// [`QuantileSketch::record_n`] when the pair changes.
+    pend_wait_s: f64,
+    pend_dur_s: f64,
+    pend_n: u64,
+}
+
+impl RebuildSketches {
+    /// Records one started rebuild (its queueing wait, stream duration,
+    /// and object identity).
+    fn record(&mut self, wait_s: f64, dur_s: f64, object: u64) {
+        if wait_s == self.pend_wait_s && dur_s == self.pend_dur_s && self.pend_n > 0 {
+            self.pend_n += 1;
+        } else {
+            self.flush();
+            self.pend_wait_s = wait_s;
+            self.pend_dur_s = dur_s;
+            self.pend_n = 1;
+        }
+        self.objects.insert(object);
+    }
+
+    /// Pushes the pending run-length batch into the sketches.
+    fn flush(&mut self) {
+        if self.pend_n > 0 {
+            self.wait_s.record_n(self.pend_wait_s, self.pend_n);
+            self.duration_s.record_n(self.pend_dur_s, self.pend_n);
+            self.pend_n = 0;
+        }
+    }
+
+    /// True when the run never started a rebuild (nothing was recorded).
+    fn is_empty(&self) -> bool {
+        self.wait_s.count() == 0 && self.objects.estimate() == 0.0
+    }
+
+    /// Folds the sketches into a telemetry [`SketchSet`] under the same
+    /// labels the probe path would have used.
+    fn into_sketch_set(mut self, set: &mut SketchSet) {
+        self.flush();
+        set.values.insert("rebuild_wait_s".into(), self.wait_s);
+        set.values.insert("rebuild_duration_s".into(), self.duration_s);
+        set.distincts.insert("objects_rebuilt".into(), self.objects);
+    }
+}
 
 /// How long one replica rebuild takes.
 #[derive(Debug, Clone)]
@@ -163,6 +228,7 @@ impl AvailabilityModel {
         extra: Option<&mut dyn wt_des::obs::Probe>,
     ) -> (AvailabilityResult, wt_des::obs::RunTelemetry) {
         let mut sim = self.seeded_sim::<Q>(seed);
+        sim.model_mut().sketches = Some(Box::default());
         let end = SimTime::ZERO + horizon;
         let mut sp = wt_des::obs::SimProbe::new();
         let reason = match extra {
@@ -175,7 +241,13 @@ impl AvailabilityModel {
         let mut telemetry = sp.finish(sim.now().as_secs(), reason.as_str());
         telemetry.queue = Some(self.queue.as_str().to_string());
         let events = sim.events_executed();
-        (sim.into_model().finish(end, events), telemetry)
+        let mut model = sim.into_model();
+        if let Some(s) = model.sketches.take() {
+            if !s.is_empty() {
+                s.into_sketch_set(telemetry.sketches.get_or_insert_with(SketchSet::default));
+            }
+        }
+        (model.finish(end, events), telemetry)
     }
 
     /// Builds the simulation and seeds the initial failure events — the
@@ -357,6 +429,9 @@ struct AvailState<'a> {
     unavailability_events: u64,
     rebuilds_completed: u64,
     rebuild_waits: Tally,
+    /// Per-rebuild quantile/distinct sketches; `None` on unprobed runs,
+    /// so the probe-free path pays one never-taken branch per rebuild.
+    sketches: Option<Box<RebuildSketches>>,
 }
 
 impl<'a> AvailState<'a> {
@@ -444,6 +519,7 @@ impl<'a> AvailState<'a> {
             unavailability_events: 0,
             rebuilds_completed: 0,
             rebuild_waits: Tally::new(),
+            sketches: None,
         }
     }
 
@@ -593,8 +669,15 @@ impl<'a> AvailState<'a> {
                 }
                 None => now,
             };
-            self.rebuild_waits.record(now.since(enqueued).as_secs());
+            let wait_s = now.since(enqueued).as_secs();
+            self.rebuild_waits.record(wait_s);
             let dur = self.rebuild_duration();
+            // Per-rebuild wait and duration quantiles, plus the distinct
+            // objects repair ever touched — recorded inline (see
+            // [`RebuildSketches`]) and absent from unprobed runs.
+            if let Some(s) = self.sketches.as_deref_mut() {
+                s.record(wait_s, dur.as_secs(), task.object);
+            }
             ctx.schedule_in(
                 dur,
                 Ev::RebuildDone {

@@ -262,6 +262,10 @@ struct PerfState<'a> {
     reqs: HashMap<u64, Req>,
     next_rid: u64,
     latencies: Vec<Histogram>,
+    /// Per-tenant DDSketch latency quantiles, recorded alongside the
+    /// exact histograms so the sketch pipeline can be validated against
+    /// the retained-bucket oracle (`sketch_*` fields of `TenantPerf`).
+    lat_sketches: Vec<QuantileSketch>,
     completed: Vec<u64>,
     failed: Vec<u64>,
     node_failures: u64,
@@ -343,6 +347,9 @@ impl<'a> PerfState<'a> {
             reqs: HashMap::new(),
             next_rid: 0,
             latencies: (0..cfg.tenants.len()).map(|_| Histogram::new()).collect(),
+            lat_sketches: (0..cfg.tenants.len())
+                .map(|_| QuantileSketch::new())
+                .collect(),
             completed: vec![0; cfg.tenants.len()],
             failed: vec![0; cfg.tenants.len()],
             node_failures: 0,
@@ -468,14 +475,16 @@ impl<'a> PerfState<'a> {
         }
     }
 
-    fn complete(&mut self, rid: u64, now: SimTime) {
+    fn complete(&mut self, rid: u64, now: SimTime, ctx: &mut Ctx<'_, Ev>) {
         if let Some(req) = self.reqs.remove(&rid) {
             if req.tenant == REPAIR_TENANT {
                 return;
             }
             let latency = now.since(req.start).as_secs();
             self.latencies[req.tenant].record(latency);
+            self.lat_sketches[req.tenant].record(latency);
             self.completed[req.tenant] += 1;
+            ctx.observe("request_latency_s", latency);
         }
     }
 
@@ -488,6 +497,7 @@ impl<'a> PerfState<'a> {
             .enumerate()
             .map(|(i, t)| {
                 let h = &self.latencies[i];
+                let s = &self.lat_sketches[i];
                 let (q, _) = t.latency_sla.unwrap_or((0.95, f64::INFINITY));
                 let at_quantile = h.quantile(q);
                 TenantPerf {
@@ -498,6 +508,10 @@ impl<'a> PerfState<'a> {
                     p50_s: h.p50(),
                     p95_s: h.p95(),
                     p99_s: h.p99(),
+                    sketch_p50_s: Some(s.p50()),
+                    sketch_p95_s: Some(s.p95()),
+                    sketch_p99_s: Some(s.p99()),
+                    sketch_sla_met: t.latency_sla.map(|_| t.sla_met(s.quantile(q))),
                     throughput: self.completed[i] as f64 / horizon_s,
                     sla_met: t.latency_sla.map(|_| t.sla_met(at_quantile)),
                 }
@@ -529,6 +543,10 @@ impl<'a> PerfState<'a> {
             .mix
             .draw_request(tenant, zipf, &mut self.rng);
         let client = self.rng.index(self.topo.node_count());
+        // Distinct working-set tracking: keyspaces are per-tenant, so mix
+        // the tenant index into the high bits (zipf ranks stay far below
+        // 2^48) before the HLL's own scramble.
+        ctx.touch("request_keys", request.key ^ ((tenant as u64) << 48));
         let mut holders = std::mem::take(&mut self.scratch_holders);
         self.holders_into(tenant, request.key, &mut holders);
 
@@ -695,7 +713,7 @@ impl Model for PerfState<'_> {
                 req.pending_disks = req.pending_disks.saturating_sub(1);
                 if req.pending_disks == 0 {
                     if req.write {
-                        self.complete(rid, now);
+                        self.complete(rid, now, ctx);
                     } else {
                         // Read: all shards gathered; stream the object back
                         // through this node's NIC.
@@ -723,7 +741,7 @@ impl Model for PerfState<'_> {
                         self.submit_disk(target, rid, ctx);
                     }
                 } else {
-                    self.complete(rid, now);
+                    self.complete(rid, now, ctx);
                 }
             }
 

@@ -70,6 +70,20 @@ pub struct TenantPerf {
     pub p95_s: f64,
     /// 99th percentile latency, seconds.
     pub p99_s: f64,
+    /// Median latency from the mergeable DDSketch path, seconds. The
+    /// `p*_s` fields above come from the exact retained-bucket histogram
+    /// and act as the accuracy oracle; these fields are what a
+    /// sketch-only (constant-memory) pipeline reports. `None` on records
+    /// written before the sketch pipeline existed.
+    pub sketch_p50_s: Option<f64>,
+    /// 95th percentile latency from the sketch path, seconds.
+    pub sketch_p95_s: Option<f64>,
+    /// 99th percentile latency from the sketch path, seconds.
+    pub sketch_p99_s: Option<f64>,
+    /// SLA verdict evaluated at the sketch-derived quantile. Must agree
+    /// with `sla_met` whenever the SLA threshold is not inside the
+    /// sketch's relative-error band of the true quantile.
+    pub sketch_sla_met: Option<bool>,
     /// Throughput over the horizon, requests/second.
     pub throughput: f64,
     /// Whether the tenant's latency SLA (if any) was met at its quantile.
@@ -126,6 +140,10 @@ mod tests {
                     p50_s: 0.01,
                     p95_s: 0.02,
                     p99_s: 0.03,
+                    sketch_p50_s: None,
+                    sketch_p95_s: None,
+                    sketch_p99_s: None,
+                    sketch_sla_met: None,
                     throughput: 1.0,
                     sla_met: Some(true),
                 },
@@ -137,6 +155,10 @@ mod tests {
                     p50_s: 0.01,
                     p95_s: 0.02,
                     p99_s: 0.03,
+                    sketch_p50_s: None,
+                    sketch_p95_s: None,
+                    sketch_p99_s: None,
+                    sketch_sla_met: None,
                     throughput: 1.0,
                     sla_met: None,
                 },
@@ -162,6 +184,10 @@ mod tests {
                 p50_s: 1.0,
                 p95_s: 1.0,
                 p99_s: 1.0,
+                sketch_p50_s: None,
+                sketch_p95_s: None,
+                sketch_p99_s: None,
+                sketch_sla_met: None,
                 throughput: 1.0,
                 sla_met: Some(false),
             }],

@@ -200,7 +200,7 @@ impl Farm {
         F: Fn(&T, RunCtx, &StoreShard) -> R + Sync,
     {
         let results = Vec::with_capacity(items.len());
-        self.run_fold(
+        self.run_fold_with(
             root_seed,
             items,
             |item, ctx| {
@@ -213,6 +213,17 @@ impl Farm {
                 store.merge_shard(shard);
                 v.push(result);
                 v
+            },
+            // Recorded runs carry telemetry, so the heartbeat (when on)
+            // skims event counts and per-run wall time off each shard
+            // before it merges — the progress line gains cumulative ev/s
+            // and a p99 run time. Stderr only; result bytes unaffected.
+            |(_, shard), beat| {
+                shard.peek(|r| {
+                    if let Some(t) = &r.telemetry {
+                        beat.observe_run(t.events, t.wall.wall_us);
+                    }
+                });
             },
         )
     }
@@ -231,13 +242,37 @@ impl Farm {
         items: &[T],
         work: F,
         init: A,
-        mut fold: G,
+        fold: G,
     ) -> A
     where
         T: Sync,
         R: Send,
         F: Fn(&T, RunCtx) -> R + Sync,
         G: FnMut(A, usize, R) -> A,
+    {
+        self.run_fold_with(root_seed, items, work, init, fold, |_, _| {})
+    }
+
+    /// [`Farm::run_fold`] with a heartbeat observer: when the heartbeat
+    /// is enabled, `observe` sees each result on the fold thread (in
+    /// item order, just before `fold` consumes it) and can feed run
+    /// telemetry into the [`wt_obs::Heartbeat`]. With the heartbeat off,
+    /// `observe` is never called.
+    fn run_fold_with<T, R, A, F, G, O>(
+        &self,
+        root_seed: u64,
+        items: &[T],
+        work: F,
+        init: A,
+        mut fold: G,
+        mut observe: O,
+    ) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T, RunCtx) -> R + Sync,
+        G: FnMut(A, usize, R) -> A,
+        O: FnMut(&R, &mut wt_obs::Heartbeat),
     {
         let n = items.len();
         let ctx = |index: usize| RunCtx {
@@ -247,16 +282,20 @@ impl Farm {
         // Heartbeat lives on the fold/caller thread only: workers cannot
         // see it, and it writes to stderr, so result bytes are unaffected.
         let mut beat = self.heartbeat.then(|| wt_obs::Heartbeat::start(n));
-        let mut pulse = move || {
-            if let Some(line) = beat.as_mut().and_then(|b| b.tick()) {
-                eprintln!("{line}");
+        let mut pulse = move |r: &R| {
+            if let Some(b) = beat.as_mut() {
+                observe(r, b);
+                if let Some(line) = b.tick() {
+                    eprintln!("{line}");
+                }
             }
         };
         if self.workers == 1 || n <= 1 {
             let mut acc = init;
             for (i, item) in items.iter().enumerate() {
-                acc = fold(acc, i, work(item, ctx(i)));
-                pulse();
+                let result = work(item, ctx(i));
+                pulse(&result);
+                acc = fold(acc, i, result);
             }
             return acc;
         }
@@ -293,10 +332,10 @@ impl Farm {
             for (i, result) in rx {
                 pending.insert(i, result);
                 while let Some(ready) = pending.remove(&next) {
+                    pulse(&ready);
                     let a = acc.take().expect("accumulator in flight");
                     acc = Some(fold(a, next, ready));
                     next += 1;
-                    pulse();
                 }
             }
             assert_eq!(next, n, "farm lost {} result(s)", n - next);
@@ -450,6 +489,38 @@ mod tests {
             .with_heartbeat(true)
             .run(17, &items, |&x, ctx| x.wrapping_mul(ctx.seed));
         assert_eq!(serial, quiet);
+    }
+
+    #[test]
+    fn recorded_heartbeat_skims_telemetry_without_changing_results() {
+        use wt_obs::RunTelemetry;
+        use wt_store::{RecordSink, RunRecord, SharedStore};
+        let items: Vec<u64> = (0..50).collect();
+        let work = |&x: &u64, ctx: RunCtx, shard: &StoreShard| {
+            let mut t = RunTelemetry::default();
+            t.events = 100 + x;
+            t.wall.wall_us = 1_000;
+            shard.record(
+                RunRecord::new("hb-test", ctx.seed)
+                    .metric("x", x as f64)
+                    .telemetry(t),
+            );
+            x
+        };
+        let quiet_store = SharedStore::new();
+        let quiet = Farm::new(4).run_recorded(11, &items, &quiet_store, work);
+        for workers in [1, 4] {
+            let store = SharedStore::new();
+            let out = Farm::new(workers)
+                .with_heartbeat(true)
+                .run_recorded(11, &items, &store, work);
+            assert_eq!(out, quiet, "heartbeat changed results at {workers} workers");
+            assert_eq!(
+                store.snapshot(),
+                quiet_store.snapshot(),
+                "heartbeat changed records at {workers} workers"
+            );
+        }
     }
 
     #[test]

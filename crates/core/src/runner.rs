@@ -416,6 +416,95 @@ mod tests {
     }
 
     #[test]
+    fn recorded_runs_carry_sketch_telemetry() {
+        let tunnel = WindTunnel::new();
+        // Availability engine: rebuild sketches + distinct objects.
+        let mut sc = small();
+        sc.topology.node.ttf = wt_dist::Dist::exponential_mean(15.0 * 86_400.0);
+        tunnel.run_availability(&sc);
+        let rec = tunnel.store().snapshot().pop().unwrap();
+        let set = rec
+            .telemetry
+            .expect("telemetry attached")
+            .sketches
+            .expect("sketches attached");
+        assert!(set.values["rebuild_wait_s"].count() > 0);
+        assert!(set.values.contains_key("rebuild_duration_s"));
+        assert!(!set.distincts["objects_rebuilt"].is_empty());
+
+        // Perf engine: request latency sketch + distinct keys.
+        let psc = ScenarioBuilder::new("perf-sketch")
+            .racks(1)
+            .nodes_per_rack(10)
+            .disk(wt_hw::catalog::ssd_sata_1t())
+            .disks_per_node(4)
+            .tenant(TenantWorkload::oltp("shop", 50.0, 1_000))
+            .horizon_years(0.001)
+            .build();
+        let r = tunnel.run_perf(&psc, false);
+        let rec = tunnel.store().snapshot().pop().unwrap();
+        let set = rec.telemetry.unwrap().sketches.expect("sketches attached");
+        let lat = &set.values["request_latency_s"];
+        assert_eq!(lat.count(), r.tenants[0].completed);
+        // The sketch the telemetry carries is the same one TenantPerf's
+        // sketch percentiles come from.
+        assert_eq!(Some(lat.p99()), r.tenants[0].sketch_p99_s);
+        assert!(!set.distincts["request_keys"].is_empty());
+    }
+
+    #[test]
+    fn sketch_telemetry_is_worker_count_invariant() {
+        // A sketch-bearing sweep — observed availability runs recorded
+        // through farm shards — must merge to bitwise-identical records
+        // and exposition text for any worker count. Only the wall-clock
+        // sub-struct may differ (masked below).
+        use crate::farm::Farm;
+        use crate::sweep::{SweepRunner, SweepSpec};
+        use wt_store::SharedStore;
+        let run = |workers: usize| {
+            let store = SharedStore::new();
+            let spec = SweepSpec::new("wc-sketch")
+                .axis("ttf_days", [20.0, 45.0])
+                .replications(2)
+                .seed(7);
+            SweepRunner::new(Farm::new(workers)).run(&spec, &store, |point, rep, sink| {
+                let mut sc = ScenarioBuilder::new("wc-sketch")
+                    .racks(1)
+                    .nodes_per_rack(10)
+                    .objects(200)
+                    .horizon_years(0.25)
+                    .seed(rep.seed)
+                    .build();
+                sc.topology.node.ttf =
+                    wt_dist::Dist::exponential_mean(point.axis_num("ttf_days") * 86_400.0);
+                let tunnel = WindTunnel::new();
+                let (r, _t) = tunnel.run_availability_observed_into(&sc, sink, None);
+                [("availability".to_string(), r.availability)].into()
+            });
+            let exposition = store.metrics_snapshot().render();
+            let mut records = store.snapshot();
+            for rec in &mut records {
+                if let Some(t) = &mut rec.telemetry {
+                    t.mask_wall();
+                }
+            }
+            (exposition, records)
+        };
+        let (gold_text, gold_records) = run(1);
+        assert!(
+            gold_records
+                .iter()
+                .any(|r| r.telemetry.as_ref().is_some_and(|t| t.sketches.is_some())),
+            "sweep must actually produce sketch-bearing telemetry"
+        );
+        for workers in [4, 8] {
+            let (text, records) = run(workers);
+            assert_eq!(text, gold_text, "exposition diverged at {workers} workers");
+            assert_eq!(records, gold_records, "records diverged at {workers} workers");
+        }
+    }
+
+    #[test]
     fn run_perf_records_per_tenant_metrics() {
         let tunnel = WindTunnel::new();
         let sc = ScenarioBuilder::new("perf")

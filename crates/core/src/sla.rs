@@ -192,6 +192,10 @@ mod tests {
                 p50_s: p95 / 2.0,
                 p95_s: p95,
                 p99_s: p95 * 2.0,
+                sketch_p50_s: None,
+                sketch_p95_s: None,
+                sketch_p99_s: None,
+                sketch_sla_met: None,
                 throughput: 1.0,
                 sla_met: None,
             }],

@@ -50,7 +50,7 @@ use std::time::Instant;
 
 use crate::farm::{substream_seed, Farm, RunCtx};
 use crate::report::Table;
-use wt_des::Tally;
+use wt_des::{QuantileSketch, Tally};
 use wt_store::{ParamValue, RecordSink, RunRecord, SharedStore};
 
 /// One grid point's configuration: `(axis name, value)` pairs.
@@ -71,7 +71,7 @@ pub enum SeedMode {
 }
 
 /// How a metric's replications collapse into the reported value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MetricAgg {
     /// Arithmetic mean over replications (the default).
     Mean,
@@ -81,6 +81,12 @@ pub enum MetricAgg {
     Min,
     /// Maximum over replications.
     Max,
+    /// The given quantile over replications, estimated with a
+    /// [`QuantileSketch`] fed in replication order — the sketch's
+    /// order-independent bucket state plus the farm's ordered fold keep
+    /// the result bitwise worker-count-invariant, and large replication
+    /// counts stay constant-memory.
+    Quantile(f64),
 }
 
 /// A declarative sweep: named axes × seeds × replications.
@@ -419,6 +425,10 @@ pub struct SweepRow {
     pub metrics: BTreeMap<String, f64>,
     /// Full replication statistics per metric, for spread inspection.
     pub tallies: BTreeMap<String, Tally>,
+    /// Replication-value sketches, one per metric registered with
+    /// [`MetricAgg::Quantile`], fed in replication order. Lets callers
+    /// read further quantiles of the same metric without re-running.
+    pub sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl SweepRow {
@@ -560,9 +570,13 @@ impl SweepRunner {
             .zip(per_rep.chunks(reps))
             .map(|(point, chunk)| {
                 let mut tallies: BTreeMap<String, Tally> = BTreeMap::new();
+                let mut sketches: BTreeMap<String, QuantileSketch> = BTreeMap::new();
                 for rep_metrics in chunk {
                     for (metric, value) in rep_metrics {
                         tallies.entry(metric.clone()).or_default().record(*value);
+                        if matches!(grid.agg_for(metric), MetricAgg::Quantile(_)) {
+                            sketches.entry(metric.clone()).or_default().record(*value);
+                        }
                     }
                 }
                 let metrics = tallies
@@ -573,6 +587,7 @@ impl SweepRunner {
                             MetricAgg::Sum => tally.sum(),
                             MetricAgg::Min => tally.min(),
                             MetricAgg::Max => tally.max(),
+                            MetricAgg::Quantile(q) => sketches[metric].quantile(q),
                         };
                         (metric.clone(), v)
                     })
@@ -581,6 +596,7 @@ impl SweepRunner {
                     point: point.clone(),
                     metrics,
                     tallies,
+                    sketches,
                 }
             })
             .collect();
@@ -783,6 +799,50 @@ mod tests {
         assert_eq!(store.len(), 6);
         let ids: Vec<u64> = store.snapshot().iter().map(|r| r.id).collect();
         assert_eq!(ids, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quantile_agg_uses_sketch_and_exposes_it() {
+        let spec = SweepSpec::new("q")
+            .axis("x", [1usize])
+            .replications(100)
+            .aggregate("lat", MetricAgg::Quantile(0.95))
+            .seed(3);
+        let store = SharedStore::new();
+        let out = SweepRunner::serial().run(&spec, &store, |_point, rep, _sink| {
+            BTreeMap::from([("lat".to_string(), (rep.rep + 1) as f64)])
+        });
+        let row = &out.rows[0];
+        // p95 of 1..=100 within the sketch's 1% relative error.
+        let p95 = row.metric("lat");
+        assert!((p95 - 95.0).abs() / 95.0 < 0.011, "p95 {p95}");
+        // The sketch itself is exposed for further quantiles.
+        let s = &row.sketches["lat"];
+        assert_eq!(s.count(), 100);
+        let p50 = s.p50();
+        assert!((p50 - 50.0).abs() / 50.0 < 0.011, "p50 {p50}");
+        // Non-quantile metrics don't pay for a sketch.
+        assert_eq!(row.sketches.len(), 1);
+    }
+
+    #[test]
+    fn quantile_agg_is_worker_count_invariant() {
+        let spec = SweepSpec::new("qinv")
+            .axis("n", 1usize..=4)
+            .replications(8)
+            .aggregate("v", MetricAgg::Quantile(0.99))
+            .seed(11);
+        let eval = |point: &SweepPoint, rep: RepCtx, _sink: &dyn RecordSink| {
+            BTreeMap::from([("v".to_string(), (point.axis_num("n") as u64 ^ rep.seed) as f64)])
+        };
+        let store1 = SharedStore::new();
+        let out1 = SweepRunner::new(Farm::new(1)).run(&spec, &store1, eval);
+        let store4 = SharedStore::new();
+        let out4 = SweepRunner::new(Farm::new(4)).run(&spec, &store4, eval);
+        for (a, b) in out1.rows.iter().zip(&out4.rows) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.sketches, b.sketches);
+        }
     }
 
     #[test]

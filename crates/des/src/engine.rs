@@ -77,6 +77,12 @@ pub struct Ctx<'a, E> {
     // Probe` so the trait object's invariant lifetime never entangles
     // `Ctx`'s borrows. `None` when the run is unprobed.
     marks: Option<&'a mut Vec<&'static str>>,
+    // Scalar observations (label, value) emitted via `Ctx::observe`,
+    // drained like marks. `None` when unprobed.
+    values: Option<&'a mut Vec<(&'static str, f64)>>,
+    // Distinct-key touches (label, key) emitted via `Ctx::touch`,
+    // drained like marks. `None` when unprobed.
+    touches: Option<&'a mut Vec<(&'static str, u64)>>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -131,6 +137,26 @@ impl<E> Ctx<'_, E> {
     pub fn mark(&mut self, label: &'static str) {
         if let Some(buf) = self.marks.as_deref_mut() {
             buf.push(label);
+        }
+    }
+
+    /// Emits a scalar observation (a wait, a duration, a latency) to the
+    /// run's probe, if one is attached; summary probes fold these into
+    /// per-label quantile sketches (see `wt_obs::Probe::on_value`). Free
+    /// when unprobed; never affects the simulation either way.
+    pub fn observe(&mut self, label: &'static str, value: f64) {
+        if let Some(buf) = self.values.as_deref_mut() {
+            buf.push((label, value));
+        }
+    }
+
+    /// Emits an entity-key touch (an object id, a request key) to the
+    /// run's probe, if one is attached; summary probes fold these into
+    /// per-label HLL distinct counts (see `wt_obs::Probe::on_distinct`).
+    /// Free when unprobed; never affects the simulation either way.
+    pub fn touch(&mut self, label: &'static str, key: u64) {
+        if let Some(buf) = self.touches.as_deref_mut() {
+            buf.push((label, key));
         }
     }
 }
@@ -247,6 +273,8 @@ impl<M: Model, Q: PendingEvents<M::Event>> Simulation<M, Q> {
             stop: &mut stop,
             executed: self.executed,
             marks: None,
+            values: None,
+            touches: None,
         };
         self.model.handle(ev, &mut ctx);
         true
@@ -295,6 +323,8 @@ impl<M: Model, Q: PendingEvents<M::Event>> Simulation<M, Q> {
                 stop: &mut stop,
                 executed: self.executed,
                 marks: None,
+                values: None,
+                touches: None,
             };
             self.model.handle(ev, &mut ctx);
             if stop {
@@ -309,8 +339,20 @@ impl<M: Model, Q: PendingEvents<M::Event>> Simulation<M, Q> {
     /// without one attached; only with the crate's `wall-time` feature
     /// does the engine additionally time each handler and report it via
     /// `Probe::on_handler_wall`.
-    pub fn run_until_probed(&mut self, horizon: SimTime, probe: &mut dyn Probe) -> StopReason {
+    ///
+    /// Generic over the probe type so a concrete probe (the usual
+    /// [`wt_obs::SimProbe`]) gets its `on_event` inlined into the event
+    /// loop — the virtual dispatch would otherwise rival the work it
+    /// guards. `&mut dyn Probe` still satisfies the bound for callers
+    /// that only have a trait object.
+    pub fn run_until_probed<P: Probe + ?Sized>(
+        &mut self,
+        horizon: SimTime,
+        probe: &mut P,
+    ) -> StopReason {
         let mut mark_buf: Vec<&'static str> = Vec::new();
+        let mut value_buf: Vec<(&'static str, f64)> = Vec::new();
+        let mut touch_buf: Vec<(&'static str, u64)> = Vec::new();
         loop {
             if let Some(budget) = self.event_budget {
                 if self.executed >= budget {
@@ -338,10 +380,18 @@ impl<M: Model, Q: PendingEvents<M::Event>> Simulation<M, Q> {
                 stop: &mut stop,
                 executed: self.executed,
                 marks: Some(&mut mark_buf),
+                values: Some(&mut value_buf),
+                touches: Some(&mut touch_buf),
             };
             self.model.handle(ev, &mut ctx);
             for mark in mark_buf.drain(..) {
                 probe.on_mark(mark);
+            }
+            for (label, value) in value_buf.drain(..) {
+                probe.on_value(label, value);
+            }
+            for (label, key) in touch_buf.drain(..) {
+                probe.on_distinct(label, key);
             }
             #[cfg(feature = "wall-time")]
             probe.on_handler_wall(label, handler_start.elapsed().as_nanos() as u64);

@@ -60,6 +60,13 @@ pub use rng::{RngFactory, Stream};
 pub use stats::{BatchMeans, Counter, Histogram, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use wt_obs as obs;
+/// Mergeable sketches (HyperLogLog, DDSketch-style quantiles) honoring
+/// the same order-deterministic `merge` contract as [`stats`]. Defined
+/// in `wt-obs` (the bottom of the dependency graph, so telemetry can
+/// embed them) and re-exported here where model authors look for
+/// statistics.
+pub use wt_obs::sketch;
+pub use wt_obs::sketch::{Hll, QuantileSketch};
 
 /// Convenience re-exports for model authors.
 pub mod prelude {
@@ -68,4 +75,5 @@ pub mod prelude {
     pub use crate::rng::{RngFactory, Stream};
     pub use crate::stats::{Counter, Histogram, Tally, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};
+    pub use wt_obs::sketch::{Hll, QuantileSketch};
 }

@@ -321,13 +321,18 @@ impl Histogram {
         self.tally.max()
     }
 
-    /// The `q`-quantile (`0 ≤ q ≤ 1`), accurate to one bucket width.
-    /// Returns 0 when empty.
+    /// The `q`-quantile, accurate to one bucket width.
+    ///
+    /// Edge contract (shared with `wt_obs::QuantileSketch::quantile`):
+    /// `q` outside `[0, 1]` clamps to the nearest bound (a NaN `q` is a
+    /// caller bug, rejected in debug builds), and an empty histogram
+    /// reports 0 for every quantile.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        debug_assert!(!q.is_nan(), "NaN quantile");
         if self.total == 0 {
             return 0.0;
         }
+        let q = q.clamp(0.0, 1.0);
         let rank = (q * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -574,6 +579,24 @@ mod tests {
         h.record(1e12); // above max bucket — clamped
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.0) > 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_clamps_out_of_range_q() {
+        // Empty: every q — in range or not — reports 0.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0.0);
+        }
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        // Out-of-range q clamps to the nearest bound instead of panicking.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
     }
 
     #[test]

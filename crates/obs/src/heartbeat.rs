@@ -1,5 +1,8 @@
-//! Farm progress reporting: runs done/total, throughput, ETA.
+//! Farm progress reporting: runs done/total, throughput, ETA, and —
+//! when per-run telemetry is fed in — cumulative event throughput and a
+//! sketch-derived p99 of per-run wall time.
 
+use crate::sketch::QuantileSketch;
 use std::time::Instant;
 
 /// A progress reporter for a sweep of known size.
@@ -20,6 +23,11 @@ pub struct Heartbeat {
     interval_s: f64,
     last_emit_s: f64,
     started: Instant,
+    /// Cumulative simulation events across observed runs (see
+    /// [`Heartbeat::observe_run`]).
+    events: u64,
+    /// Per-run wall times in microseconds; drives the line's p99.
+    wall_us: QuantileSketch,
 }
 
 impl Heartbeat {
@@ -36,7 +44,21 @@ impl Heartbeat {
             interval_s,
             last_emit_s: 0.0,
             started: Instant::now(),
+            events: 0,
+            wall_us: QuantileSketch::new(),
         }
+    }
+
+    /// Feeds one completed run's telemetry into the heartbeat: its
+    /// simulation event count and its wall-clock duration in
+    /// microseconds. Once any run has been observed, progress lines gain
+    /// a cumulative `ev/s` figure and a sketch-derived p99 of per-run
+    /// wall time; without observations the line format is unchanged.
+    /// Purely observational — the heartbeat only ever writes to stderr,
+    /// so feeding it cannot perturb results or their bytes.
+    pub fn observe_run(&mut self, events: u64, wall_us: u64) {
+        self.events += events;
+        self.wall_us.record(wall_us as f64);
     }
 
     /// The emission interval in seconds.
@@ -90,10 +112,34 @@ impl Heartbeat {
         } else {
             "ETA --".to_string()
         };
-        format!(
+        let mut line = format!(
             "[farm] {}/{} runs ({pct:.0}%) · {rate:.1} runs/s · {eta}",
             self.done, self.total
-        )
+        );
+        if self.events > 0 && elapsed_s > 0.0 {
+            line.push_str(&format!(
+                " · {} ev/s",
+                fmt_si(self.events as f64 / elapsed_s)
+            ));
+        }
+        if self.wall_us.count() > 0 {
+            line.push_str(&format!(
+                " · p99 run {:.1}ms",
+                self.wall_us.p99() / 1_000.0
+            ));
+        }
+        line
+    }
+}
+
+/// Compact SI formatting for rates: `850`, `12.4k`, `3.1M`.
+fn fmt_si(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
     }
 }
 
@@ -143,5 +189,50 @@ mod tests {
         let hb = Heartbeat::with_interval(5, 1.0);
         let line = hb.line_at(0.0);
         assert!(line.contains("ETA --"), "{line}");
+    }
+
+    #[test]
+    fn unobserved_line_has_no_telemetry_segments() {
+        let mut hb = Heartbeat::with_interval(2, 0.0);
+        let line = hb.tick_at(1.0).expect("interval 0 always emits");
+        assert!(!line.contains("ev/s"), "{line}");
+        assert!(!line.contains("p99 run"), "{line}");
+    }
+
+    #[test]
+    fn observed_runs_enrich_the_line() {
+        let mut hb = Heartbeat::with_interval(4, 0.0);
+        // 3 runs × 1000 events, wall times 2ms/2ms/10ms by t=2s.
+        for _ in 0..3 {
+            hb.observe_run(1_000, 2_000);
+        }
+        hb.tick_at(0.5);
+        hb.tick_at(1.0);
+        let line = hb.tick_at(2.0).expect("line due");
+        assert!(line.contains("1.5k ev/s"), "{line}");
+        // All wall samples equal → the p99 sits on the 2ms sample,
+        // within DDSketch relative error.
+        assert!((p99_ms(&line) - 2.0).abs() < 0.1, "{line}");
+        // A slow straggler drags the p99.
+        hb.observe_run(1_000, 10_000);
+        let line = hb.tick_at(4.0).expect("final line");
+        assert!(line.contains("1.0k ev/s"), "{line}");
+        assert!((p99_ms(&line) - 10.0).abs() < 0.3, "{line}");
+    }
+
+    fn p99_ms(line: &str) -> f64 {
+        line.split("p99 run ")
+            .nth(1)
+            .expect("p99 segment present")
+            .trim_end_matches("ms")
+            .parse()
+            .expect("numeric p99")
+    }
+
+    #[test]
+    fn si_rate_formatting() {
+        assert_eq!(fmt_si(850.0), "850");
+        assert_eq!(fmt_si(12_400.0), "12.4k");
+        assert_eq!(fmt_si(3_100_000.0), "3.1M");
     }
 }

@@ -29,10 +29,14 @@
 
 pub mod heartbeat;
 pub mod probe;
+pub mod sketch;
+pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
 
 pub use heartbeat::Heartbeat;
 pub use probe::{Probe, SimProbe, Tee};
-pub use telemetry::{RunTelemetry, WallHist, WallTelemetry};
+pub use sketch::{Hll, QuantileSketch};
+pub use snapshot::MetricsSnapshot;
+pub use telemetry::{RunTelemetry, SketchSet, WallHist, WallTelemetry};
 pub use trace::TraceProbe;

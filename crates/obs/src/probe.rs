@@ -1,6 +1,7 @@
 //! The engine-side probe hook and the always-on summary probe.
 
-use crate::telemetry::{RunTelemetry, WallHist};
+use crate::sketch::{Hll, QuantileSketch};
+use crate::telemetry::{RunTelemetry, SketchSet, WallHist};
 
 /// Observer of a simulation run. The engine calls [`Probe::on_event`]
 /// after every handled event; models can emit custom [`Probe::on_mark`]
@@ -16,6 +17,16 @@ pub trait Probe {
 
     /// A model-emitted custom counter (via the engine's `Ctx::mark`).
     fn on_mark(&mut self, _label: &'static str) {}
+
+    /// A model-emitted scalar observation (via the engine's
+    /// `Ctx::observe`) — a rebuild wait, a request latency. Summary
+    /// probes fold these into per-label quantile sketches.
+    fn on_value(&mut self, _label: &'static str, _value: f64) {}
+
+    /// A model-touched entity key (via the engine's `Ctx::touch`) — an
+    /// object id, a request key. Summary probes fold these into
+    /// per-label HLLs for distinct counts.
+    fn on_distinct(&mut self, _label: &'static str, _key: u64) {}
 
     /// Wall-clock nanoseconds the handler for `label` just took. Only
     /// called when the engine is built with its `wall-time` feature —
@@ -35,6 +46,14 @@ impl Probe for Tee<'_, '_> {
     fn on_mark(&mut self, label: &'static str) {
         self.0.on_mark(label);
         self.1.on_mark(label);
+    }
+    fn on_value(&mut self, label: &'static str, value: f64) {
+        self.0.on_value(label, value);
+        self.1.on_value(label, value);
+    }
+    fn on_distinct(&mut self, label: &'static str, key: u64) {
+        self.0.on_distinct(label, key);
+        self.1.on_distinct(label, key);
     }
     fn on_handler_wall(&mut self, label: &'static str, ns: u64) {
         self.0.on_handler_wall(label, ns);
@@ -60,17 +79,36 @@ pub struct SimProbe {
     prev_t: f64,
     prev_depth: usize,
     depth_area: f64,
+    values: Vec<(&'static str, QuantileSketch)>,
+    distincts: Vec<(&'static str, Hll)>,
     wall: Vec<(&'static str, WallHist)>,
 }
 
-fn bump(table: &mut Vec<(&'static str, u64)>, label: &'static str) {
-    for (k, v) in table.iter_mut() {
-        if std::ptr::eq(k.as_ptr(), label.as_ptr()) || *k == label {
-            *v += 1;
-            return;
+/// Finds `label` in a small label table, keeping hot labels near the
+/// front: a hit one step deep swaps the entry forward (transposition),
+/// so the busiest one or two labels settle at the head and the common
+/// case is a single pointer compare. Table order is a scan detail only —
+/// everything user-visible is folded into sorted maps by `finish`.
+#[inline]
+fn find_label<T>(table: &mut Vec<(&'static str, T)>, label: &'static str) -> Option<usize> {
+    for i in 0..table.len() {
+        let k = table[i].0;
+        if std::ptr::eq(k.as_ptr(), label.as_ptr()) || k == label {
+            if i > 1 {
+                table.swap(i, i - 1);
+                return Some(i - 1);
+            }
+            return Some(i);
         }
     }
-    table.push((label, 1));
+    None
+}
+
+fn bump(table: &mut Vec<(&'static str, u64)>, label: &'static str) {
+    match find_label(table, label) {
+        Some(i) => table[i].1 += 1,
+        None => table.push((label, 1)),
+    }
 }
 
 impl SimProbe {
@@ -113,6 +151,16 @@ impl SimProbe {
         for (k, h) in &self.wall {
             t.wall.handlers.insert(k.to_string(), h.clone());
         }
+        if !self.values.is_empty() || !self.distincts.is_empty() {
+            let mut set = SketchSet::default();
+            for (k, s) in &self.values {
+                set.values.insert(k.to_string(), s.clone());
+            }
+            for (k, h) in &self.distincts {
+                set.distincts.insert(k.to_string(), h.clone());
+            }
+            t.sketches = Some(set);
+        }
         t
     }
 
@@ -128,6 +176,9 @@ impl SimProbe {
 }
 
 impl Probe for SimProbe {
+    // Inlined into the engine's (generic) probed event loop — the body
+    // is a few compares and adds, and the workspace builds without LTO.
+    #[inline]
     fn on_event(&mut self, label: &'static str, now_s: f64, queue_depth: usize) {
         self.events += 1;
         bump(&mut self.labels, label);
@@ -141,16 +192,37 @@ impl Probe for SimProbe {
         bump(&mut self.marks, label);
     }
 
-    fn on_handler_wall(&mut self, label: &'static str, ns: u64) {
-        for (k, h) in self.wall.iter_mut() {
-            if std::ptr::eq(k.as_ptr(), label.as_ptr()) || *k == label {
-                h.record(ns);
-                return;
+    fn on_value(&mut self, label: &'static str, value: f64) {
+        match find_label(&mut self.values, label) {
+            Some(i) => self.values[i].1.record(value),
+            None => {
+                let mut s = QuantileSketch::new();
+                s.record(value);
+                self.values.push((label, s));
             }
         }
-        let mut h = WallHist::default();
-        h.record(ns);
-        self.wall.push((label, h));
+    }
+
+    fn on_distinct(&mut self, label: &'static str, key: u64) {
+        match find_label(&mut self.distincts, label) {
+            Some(i) => self.distincts[i].1.insert(key),
+            None => {
+                let mut h = Hll::new();
+                h.insert(key);
+                self.distincts.push((label, h));
+            }
+        }
+    }
+
+    fn on_handler_wall(&mut self, label: &'static str, ns: u64) {
+        match find_label(&mut self.wall, label) {
+            Some(i) => self.wall[i].1.record(ns),
+            None => {
+                let mut h = WallHist::default();
+                h.record(ns);
+                self.wall.push((label, h));
+            }
+        }
     }
 }
 

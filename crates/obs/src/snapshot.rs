@@ -1,0 +1,228 @@
+//! A point-in-time metrics snapshot with a Prometheus-style text
+//! exposition.
+//!
+//! [`MetricsSnapshot`] is the read side of the sketch pipeline: counters
+//! and gauges for scalar state, [`QuantileSketch`]es for distributions,
+//! [`Hll`]s for cardinalities — collected from a farm or sweep in flight
+//! (via the heartbeat) or from a finished result store (via
+//! `wt-store`'s builder). [`MetricsSnapshot::render`] writes the
+//! [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! scrapers and humans both read:
+//!
+//! ```text
+//! # TYPE wt_runs_total counter
+//! wt_runs_total 24
+//! # TYPE wt_rebuild_wait_s summary
+//! wt_rebuild_wait_s{quantile="0.5"} 0.0123
+//! ...
+//! wt_rebuild_wait_s_count 512
+//! # TYPE wt_objects_touched_distinct gauge
+//! wt_objects_touched_distinct 1989
+//! ```
+//!
+//! Everything renders in `BTreeMap` order with shortest-round-trip float
+//! formatting, so a snapshot built from worker-count-invariant inputs
+//! renders byte-identically at any worker count — CI diffs exactly that.
+
+use crate::sketch::{Hll, QuantileSketch};
+use crate::telemetry::SketchSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The quantiles every summary exposes, in exposition order.
+pub const SNAPSHOT_QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// A mergeable bundle of counters, gauges, quantile sketches, and
+/// distinct-count sketches, renderable as a text exposition.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counts (events handled, runs completed, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous levels (mean queue depth, store capacity, ...).
+    pub gauges: BTreeMap<String, f64>,
+    /// Value distributions, exposed as summaries with p50/p95/p99/p999.
+    pub quantiles: BTreeMap<String, QuantileSketch>,
+    /// Distinct-key cardinalities, exposed as `<name>_distinct` gauges.
+    pub distincts: BTreeMap<String, Hll>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `name` (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Merges a quantile sketch into the summary `name`.
+    pub fn merge_quantile(&mut self, name: &str, sketch: &QuantileSketch) {
+        match self.quantiles.get_mut(name) {
+            Some(s) => s.merge(sketch),
+            None => {
+                self.quantiles.insert(name.to_string(), sketch.clone());
+            }
+        }
+    }
+
+    /// Merges an HLL into the cardinality `name`.
+    pub fn merge_distinct(&mut self, name: &str, hll: &Hll) {
+        match self.distincts.get_mut(name) {
+            Some(h) => h.merge(hll),
+            None => {
+                self.distincts.insert(name.to_string(), hll.clone());
+            }
+        }
+    }
+
+    /// Folds one run's [`SketchSet`] in, label by label.
+    pub fn merge_sketch_set(&mut self, set: &SketchSet) {
+        for (label, sketch) in &set.values {
+            self.merge_quantile(label, sketch);
+        }
+        for (label, hll) in &set.distincts {
+            self.merge_distinct(label, hll);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.quantiles.is_empty()
+            && self.distincts.is_empty()
+    }
+
+    /// Renders the Prometheus text exposition. Metric names are
+    /// sanitized to `[a-zA-Z0-9_:]` and, unless already prefixed, get a
+    /// `wt_` namespace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", fmt_f64(*v));
+        }
+        for (name, s) in &self.quantiles {
+            let n = metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (q, qs) in SNAPSHOT_QUANTILES {
+                let _ = writeln!(out, "{n}{{quantile=\"{qs}\"}} {}", fmt_f64(s.quantile(q)));
+            }
+            let _ = writeln!(out, "{n}_sum {}", fmt_f64(s.sum()));
+            let _ = writeln!(out, "{n}_count {}", s.count());
+        }
+        for (name, h) in &self.distincts {
+            let n = metric_name(name);
+            let _ = writeln!(
+                out,
+                "# TYPE {n}_distinct gauge\n{n}_distinct {}",
+                fmt_f64(h.estimate().round())
+            );
+        }
+        out
+    }
+}
+
+/// Sanitizes a label into a legal, namespaced metric name.
+fn metric_name(label: &str) -> String {
+    let mut n = String::with_capacity(label.len() + 3);
+    if !label.starts_with("wt_") {
+        n.push_str("wt_");
+    }
+    for (i, c) in label.chars().enumerate() {
+        let legal = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        // A digit can't lead a bare name, but after the prefix it's fine.
+        if legal && !(i == 0 && n.is_empty() && c.is_ascii_digit()) {
+            n.push(c);
+        } else if !legal {
+            n.push('_');
+        }
+    }
+    n
+}
+
+/// Shortest-round-trip float, with non-finite values in Prometheus
+/// spelling (`+Inf`, `-Inf`, `NaN`).
+fn fmt_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".into()
+    } else if x == f64::INFINITY {
+        "+Inf".into()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_orders_and_namespaces() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("runs_total", 3);
+        snap.add_counter("events_total", 100);
+        snap.set_gauge("mean queue depth", 1.5);
+        let mut s = QuantileSketch::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        snap.merge_quantile("latency_s", &s);
+        let mut h = Hll::new();
+        for k in 0..50u64 {
+            h.insert(k);
+        }
+        snap.merge_distinct("objects", &h);
+
+        let text = snap.render();
+        // Counters sort alphabetically; illegal chars sanitize.
+        assert!(text.contains("# TYPE wt_events_total counter\nwt_events_total 100\n"));
+        assert!(text.contains("wt_runs_total 3"));
+        assert!(text.contains("wt_mean_queue_depth 1.5"));
+        assert!(text.contains("# TYPE wt_latency_s summary"));
+        assert!(text.contains("wt_latency_s{quantile=\"0.99\"}"));
+        assert!(text.contains("wt_latency_s_count 100"));
+        assert!(text.contains("wt_objects_distinct 50"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn merge_quantile_accumulates() {
+        let mut snap = MetricsSnapshot::new();
+        let mut a = QuantileSketch::new();
+        a.record(1.0);
+        let mut b = QuantileSketch::new();
+        b.record(2.0);
+        snap.merge_quantile("x", &a);
+        snap.merge_quantile("x", &b);
+        assert_eq!(snap.quantiles["x"].count(), 2);
+    }
+
+    #[test]
+    fn counter_adds_and_empty_reports() {
+        let mut snap = MetricsSnapshot::new();
+        assert!(snap.is_empty());
+        snap.add_counter("c", 1);
+        snap.add_counter("c", 2);
+        assert_eq!(snap.counters["c"], 3);
+        assert!(!snap.is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! The per-run telemetry summary stored alongside results.
 
+use crate::sketch::{Hll, QuantileSketch};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -34,12 +35,59 @@ impl WallHist {
         self.buckets[idx] += 1;
     }
 
-    /// Mean sample in nanoseconds (0 when empty).
+    /// Mean sample in nanoseconds.
+    ///
+    /// Edge contract: a histogram with zero samples reports 0.0 (not
+    /// NaN), matching `Histogram::quantile`'s defined-empty convention.
     pub fn mean_ns(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-label mergeable sketches distilled from a run's observation
+/// stream: quantile sketches for model-emitted values (`Ctx::observe`)
+/// and HLLs for model-touched keys (`Ctx::touch`).
+///
+/// Everything here is a pure function of the simulated event sequence
+/// (the sketches' bucket/register state is order-independent, and each
+/// run records its observations in event order), so sketch-bearing
+/// telemetry stays bitwise-identical across worker counts and queue
+/// backends. Merging across runs happens in the farm's ordered fold.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SketchSet {
+    /// Quantile sketches by observation label.
+    pub values: BTreeMap<String, QuantileSketch>,
+    /// Distinct-key HLLs by touch label.
+    pub distincts: BTreeMap<String, Hll>,
+}
+
+impl SketchSet {
+    /// True when no observation of either kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty() && self.distincts.is_empty()
+    }
+
+    /// Merges another set label-wise; labels absent here are cloned in.
+    pub fn merge(&mut self, other: &SketchSet) {
+        for (label, sketch) in &other.values {
+            match self.values.get_mut(label) {
+                Some(s) => s.merge(sketch),
+                None => {
+                    self.values.insert(label.clone(), sketch.clone());
+                }
+            }
+        }
+        for (label, hll) in &other.distincts {
+            match self.distincts.get_mut(label) {
+                Some(h) => h.merge(hll),
+                None => {
+                    self.distincts.insert(label.clone(), hll.clone());
+                }
+            }
         }
     }
 }
@@ -86,6 +134,11 @@ pub struct RunTelemetry {
     /// produce bitwise-identical event streams, so this never affects
     /// any simulation-derived field.
     pub queue: Option<String>,
+    /// Mergeable per-label sketches (quantiles of `Ctx::observe` values,
+    /// HLL cardinalities of `Ctx::touch` keys). `None` on records
+    /// written before sketches existed, and on runs that observed
+    /// nothing — both deserialize identically.
+    pub sketches: Option<SketchSet>,
     /// Wall-clock measurements — the only nondeterministic fields.
     pub wall: WallTelemetry,
 }
@@ -122,6 +175,14 @@ mod tests {
         assert_eq!(h.buckets[1], 1);
         assert_eq!(h.buckets[11], 2);
         assert!((h.mean_ns() - (3301.0 / 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_hist_mean_of_zero_count_is_zero_not_nan() {
+        let h = WallHist::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert!(!h.mean_ns().is_nan());
     }
 
     #[test]
@@ -162,8 +223,38 @@ mod tests {
         t.events_by_label.insert("DiskDone".into(), 2);
         t.marks.insert("object_lost".into(), 1);
         t.wall.wall_us = 99;
+        let mut set = SketchSet::default();
+        let mut s = QuantileSketch::new();
+        s.record(0.25);
+        s.record(4.0);
+        set.values.insert("rebuild_wait_s".into(), s);
+        let mut h = Hll::new();
+        h.insert(7);
+        set.distincts.insert("objects_touched".into(), h);
+        t.sketches = Some(set);
         let json = serde_json::to_string(&t).unwrap();
         let back: RunTelemetry = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pre_sketch_json_loads_with_none_sketches() {
+        // A record serialized before the `sketches` field existed: the
+        // field is simply absent, and must deserialize as `None` (the
+        // same backward-compat contract `queue` honors).
+        let json = r#"{
+            "events": 5,
+            "horizon_s": 1.5,
+            "peak_queue_depth": 2,
+            "mean_queue_depth": 0.5,
+            "stop_reason": "HorizonReached",
+            "events_by_label": {"NodeFail": 5},
+            "marks": {},
+            "queue": null,
+            "wall": {"wall_us": 10, "handlers": {}}
+        }"#;
+        let t: RunTelemetry = serde_json::from_str(json).unwrap();
+        assert_eq!(t.events, 5);
+        assert_eq!(t.sketches, None);
     }
 }

@@ -66,6 +66,15 @@ impl StoreShard {
     pub fn into_records(self) -> Vec<RunRecord> {
         self.records.into_inner()
     }
+
+    /// Visits each buffered record in recording order without consuming
+    /// the shard — e.g. the farm's heartbeat skimming telemetry off a
+    /// shard before merging it.
+    pub fn peek<F: FnMut(&RunRecord)>(&self, mut f: F) {
+        for record in self.records.borrow().iter() {
+            f(record);
+        }
+    }
 }
 
 impl RecordSink for StoreShard {

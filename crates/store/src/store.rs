@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
+use wt_obs::MetricsSnapshot;
 
 /// An in-memory store of run records with JSON-lines persistence,
 /// id/experiment indexes, and an optional capacity bound.
@@ -111,6 +112,34 @@ impl ResultStore {
     /// A full copy of the stored records, in id order.
     pub fn snapshot(&self) -> Vec<RunRecord> {
         self.records.iter().cloned().collect()
+    }
+
+    /// Distills the stored records into a [`MetricsSnapshot`]: run and
+    /// event counters, per-metric quantile summaries (`metric_<name>`,
+    /// one observation per record), and every run's telemetry sketches
+    /// merged label-wise. Records fold in id order — the same order the
+    /// farm's deterministic shard merge assigns — so the snapshot (and
+    /// its text exposition) is bitwise worker-count-invariant.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add_counter("runs_total", self.records.len() as u64);
+        let mut events = 0u64;
+        for r in &self.records {
+            for (key, value) in &r.metrics {
+                snap.quantiles
+                    .entry(format!("metric_{key}"))
+                    .or_default()
+                    .record(*value);
+            }
+            if let Some(t) = &r.telemetry {
+                events += t.events;
+                if let Some(set) = &t.sketches {
+                    snap.merge_sketch_set(set);
+                }
+            }
+        }
+        snap.add_counter("events_total", events);
+        snap
     }
 
     /// Record by id: a binary search over the id-ordered records — no
@@ -460,6 +489,11 @@ impl SharedStore {
     pub fn snapshot(&self) -> Vec<RunRecord> {
         self.inner.read().snapshot()
     }
+
+    /// See [`ResultStore::metrics_snapshot`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.read().metrics_snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +505,40 @@ mod tests {
             .param("n", n)
             .param("placement", placement)
             .metric("availability", avail)
+    }
+
+    #[test]
+    fn metrics_snapshot_folds_metrics_and_sketches() {
+        use wt_obs::{RunTelemetry, SketchSet};
+        let mut s = ResultStore::new();
+        for i in 0..10u64 {
+            let mut set = SketchSet::default();
+            let mut q = wt_obs::QuantileSketch::new();
+            q.record((i + 1) as f64);
+            set.values.insert("wait_s".into(), q);
+            let mut h = wt_obs::Hll::new();
+            h.insert(i % 4); // 4 distinct keys across the store
+            set.distincts.insert("objects".into(), h);
+            let t = RunTelemetry {
+                events: 100,
+                sketches: Some(set),
+                ..RunTelemetry::default()
+            };
+            s.append(rec("e", i as f64, "R", 0.9).telemetry(t));
+        }
+        let snap = s.metrics_snapshot();
+        assert_eq!(snap.counters["runs_total"], 10);
+        assert_eq!(snap.counters["events_total"], 1000);
+        // Per-record scalar metrics fold into a summary...
+        assert_eq!(snap.quantiles["metric_availability"].count(), 10);
+        // ...and telemetry sketches merge label-wise.
+        assert_eq!(snap.quantiles["wait_s"].count(), 10);
+        let distinct = snap.distincts["objects"].estimate().round() as u64;
+        assert_eq!(distinct, 4);
+        let text = snap.render();
+        assert!(text.contains("wt_runs_total 10"));
+        assert!(text.contains("# TYPE wt_wait_s summary"));
+        assert!(text.contains("wt_objects_distinct 4"));
     }
 
     #[test]
@@ -600,6 +668,41 @@ mod tests {
         let mut loaded = loaded;
         let id = loaded.append(rec("fig1", 7.0, "R", 0.999));
         assert_eq!(id, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_sketch_jsonl_still_loads() {
+        // Files written before telemetry grew its `sketches` field have
+        // no such member at all; they must keep loading, with sketches
+        // deserializing as `None` and every other field intact.
+        let mut s = ResultStore::new();
+        let mut t = wt_obs::RunTelemetry::default();
+        t.events = 42;
+        t.stop_reason = "HorizonReached".into();
+        s.append(
+            RunRecord::new("old-format", 9)
+                .metric("availability", 0.99)
+                .telemetry(t),
+        );
+        let dir = std::env::temp_dir().join("wt-store-test-presketch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.jsonl");
+        s.save_jsonl(&path).unwrap();
+        // Rewrite the file as the pre-sketch format: drop the member.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped = text
+            .replace("\"sketches\":null,", "")
+            .replace(",\"sketches\":null", "");
+        assert_ne!(stripped, text, "expected a sketches member to strip");
+        std::fs::write(&path, &stripped).unwrap();
+        let loaded = ResultStore::load_jsonl(&path).unwrap();
+        let recs = loaded.snapshot();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].metrics["availability"], 0.99);
+        let t = recs[0].telemetry.as_ref().expect("telemetry still parses");
+        assert_eq!(t.events, 42);
+        assert_eq!(t.sketches, None);
         std::fs::remove_file(&path).ok();
     }
 

@@ -196,9 +196,14 @@ fn validate_metrics(query: &Query) -> Result<(), WtqlError> {
 }
 
 /// Renders the result-store report behind the `STATS` statement (and the
-/// interactive `.stats` command): record count, capacity, evictions, and
-/// per-experiment counts. Runs no simulation, never fails, and is a
-/// harmless no-op on an empty store — safe anywhere in a script.
+/// interactive `.stats` command): record count, capacity, evictions,
+/// per-experiment counts, and the store's sketch-derived distributions —
+/// p50/p95/p99/p999 of every quantile summary in the store's
+/// [`MetricsSnapshot`](wt_store::ResultStore::metrics_snapshot) (scalar
+/// metrics across runs as `metric_<name>`, plus per-run telemetry
+/// sketches merged label-wise) and the HLL distinct-key cardinalities.
+/// Runs no simulation, never fails, and is a harmless no-op on an empty
+/// store — safe anywhere in a script.
 pub fn store_stats(store: &wt_store::SharedStore) -> String {
     store.with(|s| {
         let capacity = s
@@ -218,8 +223,38 @@ pub fn store_stats(store: &wt_store::SharedStore) -> String {
                 out.push_str(&format!("  {exp}: {n} run(s)\n"));
             }
         }
+        let snap = s.metrics_snapshot();
+        if !snap.quantiles.is_empty() {
+            out.push_str("  sketch quantiles (p50 / p95 / p99 / p999):\n");
+            for (label, sk) in &snap.quantiles {
+                out.push_str(&format!(
+                    "    {label}: {} / {} / {} / {} ({} obs)\n",
+                    fmt_stat(sk.p50()),
+                    fmt_stat(sk.p95()),
+                    fmt_stat(sk.p99()),
+                    fmt_stat(sk.p999()),
+                    sk.count()
+                ));
+            }
+        }
+        if !snap.distincts.is_empty() {
+            out.push_str("  distinct cardinalities (HLL):\n");
+            for (label, h) in &snap.distincts {
+                out.push_str(&format!("    {label}: ~{}\n", h.estimate().round() as u64));
+            }
+        }
         out
     })
+}
+
+/// Compact stat formatting for the STATS view: scientific for the very
+/// small, six significant digits otherwise.
+fn fmt_stat(x: f64) -> String {
+    if x != 0.0 && x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{:.6}", (x * 1e6).round() / 1e6)
+    }
 }
 
 /// Executes a query against a base scenario through a wind tunnel.
@@ -927,6 +962,10 @@ mod tests {
         assert!(report.contains("2 record(s)"), "{report}");
         assert!(report.contains("availability: 2 run(s)"), "{report}");
         assert!(report.contains("unbounded"), "{report}");
+        // The sketch view: recorded metrics summarize as quantiles.
+        assert!(report.contains("sketch quantiles (p50 / p95 / p99 / p999)"), "{report}");
+        assert!(report.contains("metric_availability:"), "{report}");
+        assert!(report.contains("(2 obs)"), "{report}");
     }
 
     #[test]
