@@ -202,7 +202,9 @@ fn main() {
     let overhead_best = best(&overheads);
     let overhead_median = median(&overheads);
     println!();
-    println!("overhead (median paired sample): {overhead_median:.2}%   (best): {overhead_best:.2}%");
+    println!(
+        "overhead (median paired sample): {overhead_median:.2}%   (best): {overhead_best:.2}%"
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"obs_overhead\",");
@@ -225,14 +227,14 @@ fn main() {
     );
     let _ = writeln!(json, "  \"overhead_pct_best\": {overhead_best:.2},");
     let _ = writeln!(json, "  \"overhead_pct_median\": {overhead_median:.2},");
-    let _ = writeln!(
-        json,
-        "  \"sketch_record_per_s\": {sketch_record_per_s:.0},"
-    );
+    let _ = writeln!(json, "  \"sketch_record_per_s\": {sketch_record_per_s:.0},");
     let _ = writeln!(json, "  \"hll_insert_per_s\": {hll_insert_per_s:.0},");
     let _ = writeln!(json, "  \"sketch_merge_per_s\": {sketch_merge_per_s:.0},");
     let _ = writeln!(json, "  \"sketch_bytes_at_1m_samples\": {sketch_bytes},");
-    let _ = writeln!(json, "  \"retained_bytes_at_1m_samples\": {retained_bytes},");
+    let _ = writeln!(
+        json,
+        "  \"retained_bytes_at_1m_samples\": {retained_bytes},"
+    );
     let _ = writeln!(
         json,
         "  \"budget_basis\": \"marginal overhead of the sketch pipeline vs the pre-sketch probe baseline under the same paired bench; absolute medians on shared hosts include baseline machinery and host noise\","

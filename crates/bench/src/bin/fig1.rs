@@ -122,8 +122,7 @@ fn main() {
                 .seed(rep.seed)
                 .queue(queue)
                 .build();
-            sc.topology.node.ttf =
-                Dist::weibull_mean(0.8, point.axis_num("ttf_days") * 86_400.0);
+            sc.topology.node.ttf = Dist::weibull_mean(0.8, point.axis_num("ttf_days") * 86_400.0);
             let tunnel = WindTunnel::new();
             let (r, _telemetry) = tunnel.run_availability_observed_into(&sc, sink, None);
             [("availability".to_string(), r.availability)].into()

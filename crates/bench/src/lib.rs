@@ -69,6 +69,27 @@ pub fn queue_opt_from_args(args: &[String]) -> Option<wt_des::QueueBackend> {
     })
 }
 
+/// The shared `--partitions N` flag: how many conservative-lookahead
+/// partitions a single simulation run is sharded across. An explicit
+/// flag wins; otherwise the `WT_PARTITIONS` environment knob applies
+/// (parsed by the same helper as `WT_WORKERS`, warn-once on garbage);
+/// the default is 1 — the serial oracle. Exits with a usage error on a
+/// non-positive or non-numeric flag value. Partitioning affects
+/// wall-clock time only: results are bitwise-identical at any partition
+/// count, which the CI partition-smoke job diffs.
+pub fn partitions_from_args(args: &[String]) -> usize {
+    match flag_value(args, "--partitions") {
+        Some(v) => match windtunnel::knobs::parse_count("--partitions", "partition", Some(v)) {
+            Ok(n) => n.unwrap_or(1),
+            Err(reason) => {
+                eprintln!("error: {reason}");
+                std::process::exit(2);
+            }
+        },
+        None => windtunnel::knobs::partitions_from_env(),
+    }
+}
+
 /// Writes a recorded run as Chrome trace-event JSON (`--trace <path>`)
 /// and reports the span/event round trip on stderr — stderr so that
 /// experiment stdout stays byte-identical with tracing on or off.
@@ -106,5 +127,14 @@ mod tests {
     fn runner_from_args_honors_workers_flag() {
         let args: Vec<String> = vec!["prog".into(), "--workers".into(), "3".into()];
         assert_eq!(runner_from_args(&args).workers(), 3);
+    }
+
+    #[test]
+    fn partitions_flag_wins_and_defaults_to_serial() {
+        let args: Vec<String> = vec!["prog".into(), "--partitions".into(), "4".into()];
+        assert_eq!(partitions_from_args(&args), 4);
+        // No flag and no WT_PARTITIONS in the test environment: serial.
+        let bare: Vec<String> = vec!["prog".into()];
+        assert_eq!(partitions_from_args(&bare), 1);
     }
 }

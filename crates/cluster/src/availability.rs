@@ -24,11 +24,11 @@ use crate::arena::NodeLists;
 use crate::chaos::{ChaosConfig, CompiledFault, FaultEffect};
 use crate::results::AvailabilityResult;
 use std::collections::VecDeque;
+use wt_des::obs::{Hll, QuantileSketch, SketchSet};
 use wt_des::prelude::*;
 use wt_des::rng::RngFactory;
 use wt_des::{CalendarQueue, EventQueue};
 use wt_dist::Dist;
-use wt_des::obs::{Hll, QuantileSketch, SketchSet};
 use wt_sw::repair::{RepairQueue, RepairTask};
 use wt_sw::{Placement, Placer, RedundancyScheme, RepairPolicy};
 
@@ -91,13 +91,14 @@ impl RebuildSketches {
     fn into_sketch_set(mut self, set: &mut SketchSet) {
         self.flush();
         set.values.insert("rebuild_wait_s".into(), self.wait_s);
-        set.values.insert("rebuild_duration_s".into(), self.duration_s);
+        set.values
+            .insert("rebuild_duration_s".into(), self.duration_s);
         set.distincts.insert("objects_rebuilt".into(), self.objects);
     }
 }
 
 /// How long one replica rebuild takes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RebuildModel {
     /// Drawn from a distribution (e.g. exponential for Markov validation,
     /// lognormal for field realism).

@@ -26,6 +26,7 @@
 pub mod arena;
 pub mod availability;
 pub mod chaos;
+pub mod partitioned;
 pub mod perf;
 pub mod results;
 pub mod scenario;
@@ -34,6 +35,7 @@ pub mod unavailability;
 pub use arena::NodeLists;
 pub use availability::{AvailabilityModel, RebuildModel};
 pub use chaos::{ChaosGeometry, FaultKind, FaultSchedule, InjectionRule};
+pub use partitioned::{PartitionedAvailability, PartitionedPerf};
 pub use perf::PerfModel;
 pub use results::{AvailabilityResult, PerfResult, TenantPerf, UnavailabilityPoint};
 pub use scenario::Scenario;

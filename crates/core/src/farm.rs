@@ -72,22 +72,6 @@ impl Default for Farm {
     }
 }
 
-/// Interprets a `WT_WORKERS` value: `Ok(Some(n))` for a usable count,
-/// `Ok(None)` when unset, `Err` with a human-readable reason when the
-/// value is set but unusable (not a number, or zero). Pure, so the
-/// fallback logic is unit-testable without touching the process
-/// environment or capturing stderr.
-fn parse_workers(var: Option<&str>) -> Result<Option<usize>, String> {
-    match var {
-        None => Ok(None),
-        Some(v) => match v.trim().parse::<usize>() {
-            Ok(0) => Err(format!("WT_WORKERS={v} is zero; need at least 1 worker")),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!("WT_WORKERS={v} is not a number")),
-        },
-    }
-}
-
 fn host_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -111,21 +95,13 @@ impl Farm {
     /// Worker count from the `WT_WORKERS` environment variable when set,
     /// otherwise the host's available parallelism. A set-but-unusable
     /// value (non-numeric, or `0`) falls back to the host count and warns
-    /// once on stderr instead of being silently swallowed. Setting
+    /// once on stderr instead of being silently swallowed — the shared
+    /// [`crate::knobs`] behavior, mirrored by `WT_PARTITIONS`. Setting
     /// `WT_PROGRESS` (to anything but `0`) additionally turns on the
     /// [heartbeat](Self::with_heartbeat).
     pub fn from_env() -> Self {
-        let workers = match parse_workers(std::env::var("WT_WORKERS").ok().as_deref()) {
-            Ok(Some(n)) => n,
-            Ok(None) => host_parallelism(),
-            Err(reason) => {
-                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                WARN_ONCE.call_once(|| {
-                    eprintln!("[farm] warning: {reason}; using host parallelism");
-                });
-                host_parallelism()
-            }
-        };
+        let workers = crate::knobs::env_count("WT_WORKERS", "worker", "host parallelism")
+            .unwrap_or_else(host_parallelism);
         let progress = std::env::var("WT_PROGRESS").is_ok_and(|v| v != "0");
         Farm::new(workers).with_heartbeat(progress)
     }
@@ -217,11 +193,13 @@ impl Farm {
             // Recorded runs carry telemetry, so the heartbeat (when on)
             // skims event counts and per-run wall time off each shard
             // before it merges — the progress line gains cumulative ev/s
-            // and a p99 run time. Stderr only; result bytes unaffected.
+            // and a p99 run time, plus per-partition event totals when
+            // runs are partitioned. Stderr only; result bytes unaffected.
             |(_, shard), beat| {
                 shard.peek(|r| {
                     if let Some(t) = &r.telemetry {
                         beat.observe_run(t.events, t.wall.wall_us);
+                        observe_partition_marks(beat, &t.marks);
                     }
                 });
             },
@@ -351,6 +329,30 @@ fn chunk_size(n: usize) -> usize {
     (n / 64).clamp(1, 32)
 }
 
+/// Feeds a partitioned run's `partition/<i>` telemetry marks into the
+/// heartbeat as per-partition event totals. Indices are parsed
+/// numerically — the marks map is ordered by string, which would put
+/// `partition/10` before `partition/2`. Runs without partition marks
+/// (serial execution) feed nothing and leave the progress line as is.
+fn observe_partition_marks(beat: &mut wt_obs::Heartbeat, marks: &BTreeMap<String, u64>) {
+    let mut per_part: Vec<u64> = Vec::new();
+    for (key, &events) in marks {
+        let Some(idx) = key
+            .strip_prefix("partition/")
+            .and_then(|i| i.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if per_part.len() <= idx {
+            per_part.resize(idx + 1, 0);
+        }
+        per_part[idx] = events;
+    }
+    if !per_part.is_empty() {
+        beat.observe_partitions(&per_part);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,15 +466,19 @@ mod tests {
 
     #[test]
     fn wt_workers_parsing_accepts_counts_and_flags_garbage() {
-        assert_eq!(parse_workers(None), Ok(None));
-        assert_eq!(parse_workers(Some("4")), Ok(Some(4)));
-        assert_eq!(parse_workers(Some(" 8 ")), Ok(Some(8)));
+        // `Farm::from_env` parses WT_WORKERS through the shared knob
+        // helper; pin the farm-facing messages here.
+        let parse = |v| crate::knobs::parse_count("WT_WORKERS", "worker", v);
+        assert_eq!(parse(None), Ok(None));
+        assert_eq!(parse(Some("4")), Ok(Some(4)));
+        assert_eq!(parse(Some(" 8 ")), Ok(Some(8)));
         // Set-but-unusable values are reported, not silently swallowed.
-        let zero = parse_workers(Some("0")).unwrap_err();
+        let zero = parse(Some("0")).unwrap_err();
         assert!(zero.contains("WT_WORKERS=0"), "message: {zero}");
-        let junk = parse_workers(Some("many")).unwrap_err();
+        assert!(zero.contains("worker"), "message: {zero}");
+        let junk = parse(Some("many")).unwrap_err();
         assert!(junk.contains("not a number"), "message: {junk}");
-        let negative = parse_workers(Some("-2")).unwrap_err();
+        let negative = parse(Some("-2")).unwrap_err();
         assert!(negative.contains("not a number"), "message: {negative}");
     }
 
@@ -497,8 +503,10 @@ mod tests {
         use wt_store::{RecordSink, RunRecord, SharedStore};
         let items: Vec<u64> = (0..50).collect();
         let work = |&x: &u64, ctx: RunCtx, shard: &StoreShard| {
-            let mut t = RunTelemetry::default();
-            t.events = 100 + x;
+            let mut t = RunTelemetry {
+                events: 100 + x,
+                ..Default::default()
+            };
             t.wall.wall_us = 1_000;
             shard.record(
                 RunRecord::new("hb-test", ctx.seed)
@@ -521,6 +529,71 @@ mod tests {
                 "heartbeat changed records at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn partition_marks_feed_heartbeat_without_changing_results() {
+        use wt_obs::RunTelemetry;
+        use wt_store::{RecordSink, RunRecord, SharedStore};
+        let items: Vec<u64> = (0..30).collect();
+        let work = |&x: &u64, ctx: RunCtx, shard: &StoreShard| {
+            let mut t = RunTelemetry {
+                events: 600 + x,
+                ..Default::default()
+            };
+            t.wall.wall_us = 2_000;
+            t.marks.insert("partition/0".into(), 200);
+            t.marks.insert("partition/1".into(), 400 + x);
+            shard.record(
+                RunRecord::new("hb-part-test", ctx.seed)
+                    .metric("x", x as f64)
+                    .telemetry(t),
+            );
+            x
+        };
+        let quiet_store = SharedStore::new();
+        let quiet = Farm::new(4).run_recorded(13, &items, &quiet_store, work);
+        let store = SharedStore::new();
+        let out = Farm::new(4)
+            .with_heartbeat(true)
+            .run_recorded(13, &items, &store, work);
+        assert_eq!(out, quiet, "partition skim changed results");
+        assert_eq!(
+            store.snapshot(),
+            quiet_store.snapshot(),
+            "partition skim changed records"
+        );
+    }
+
+    #[test]
+    fn partition_marks_parse_numerically() {
+        // `partition/10` sorts before `partition/2` in the marks map;
+        // the skim must order by numeric index, not string order, and
+        // must ignore non-partition and malformed keys.
+        let mut beat = wt_obs::Heartbeat::with_interval(1, 0.0);
+        let mut marks = BTreeMap::new();
+        for (k, v) in [
+            ("partition/0", 1u64),
+            ("partition/2", 3),
+            ("partition/10", 11),
+            ("partition/oops", 99),
+            ("object_lost", 7),
+        ] {
+            marks.insert(k.to_string(), v);
+        }
+        observe_partition_marks(&mut beat, &marks);
+        let line = beat.tick_at(1.0).expect("interval 0 always emits");
+        assert!(line.contains("parts=11 "), "{line}");
+        // Index 10 landed in slot 10 (value 11), not slot 2.
+        assert!(line.ends_with("0 0 0 0 0 0 0 11]"), "{line}");
+
+        // Serial runs (no partition marks) feed nothing.
+        let mut beat = wt_obs::Heartbeat::with_interval(1, 0.0);
+        let mut plain = BTreeMap::new();
+        plain.insert("object_lost".to_string(), 7u64);
+        observe_partition_marks(&mut beat, &plain);
+        let line = beat.tick_at(1.0).expect("interval 0 always emits");
+        assert!(!line.contains("parts="), "{line}");
     }
 
     #[test]

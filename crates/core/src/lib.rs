@@ -44,6 +44,7 @@
 
 pub mod builder;
 pub mod farm;
+pub mod knobs;
 pub mod report;
 pub mod runner;
 pub mod sla;

@@ -5,7 +5,8 @@ use serde::{Deserialize, Serialize};
 use wt_cluster::availability::{DiskFailureModel, SwitchFailureModel};
 use wt_cluster::chaos::ChaosConfig;
 use wt_cluster::{
-    AvailabilityModel, AvailabilityResult, PerfModel, PerfResult, RebuildModel, Scenario,
+    AvailabilityModel, AvailabilityResult, PartitionedAvailability, PerfModel, PerfResult,
+    RebuildModel, Scenario,
 };
 use wt_des::obs::{Probe, RunTelemetry};
 use wt_des::time::SimDuration;
@@ -210,6 +211,79 @@ impl WindTunnel {
         let (result, mut telemetry) = model.run_observed(scenario.seed, horizon, extra);
         telemetry.wall.wall_us = started.elapsed().as_micros() as u64;
         let record = Self::base_record(scenario, "availability")
+            .metric("availability", result.availability)
+            .metric("unavailability_events", result.unavailability_events as f64)
+            .metric("objects_lost", result.objects_lost as f64)
+            .metric("node_failures", result.node_failures as f64)
+            .metric(
+                "tco_usd_per_year",
+                self.cost.cost(&scenario.topology).tco_usd_per_year,
+            )
+            .telemetry(telemetry.clone());
+        sink.record(record);
+        (result, telemetry)
+    }
+
+    /// Derives the partitioned availability engine configuration from a
+    /// scenario: the same reliability/rebuild parameters as
+    /// [`Self::availability_model`], with the wire-latency half of the
+    /// conservative lookahead taken from the topology (the NIC → ToR →
+    /// agg → ToR → NIC floor of any inter-rack path).
+    pub fn partitioned_availability_model(scenario: &Scenario) -> PartitionedAvailability {
+        PartitionedAvailability {
+            racks: scenario.topology.racks,
+            nodes_per_rack: scenario.topology.nodes_per_rack,
+            replication: scenario.redundancy.width(),
+            objects: scenario.objects,
+            object_bytes: scenario.object_bytes,
+            node_ttf: scenario.topology.node.ttf.clone(),
+            node_replace: scenario.topology.node.repair.clone(),
+            rebuild: RebuildModel::Bandwidth {
+                link_gbps: scenario.topology.node.nic.bandwidth_gbps,
+                share: scenario.repair.bandwidth_share,
+            },
+            repair: scenario.repair,
+            wire_latency_s: scenario.topology.min_cross_latency_s(),
+            queue: scenario.queue_backend_for(scenario.availability_pending_estimate()),
+            chaos: Self::chaos_config(scenario),
+        }
+    }
+
+    /// Runs the rack-sharded availability engine over `partitions`
+    /// conservative-lookahead partitions on `threads` worker threads and
+    /// records the outcome into the tunnel's own store. `partitions == 1`
+    /// is the serial oracle; any higher partition count produces
+    /// bitwise-identical results at any thread count.
+    pub fn run_availability_partitioned(
+        &self,
+        scenario: &Scenario,
+        partitions: usize,
+        threads: usize,
+    ) -> AvailabilityResult {
+        self.run_availability_partitioned_into(scenario, partitions, threads, &self.store)
+            .0
+    }
+
+    /// [`Self::run_availability_partitioned`] recording into an explicit
+    /// sink, with the run's folded [`RunTelemetry`] surfaced. Records
+    /// under the experiment name `availability_partitioned` (with a
+    /// `partitions` param) so the serial engine's `availability` records
+    /// stay comparable across PRs.
+    pub fn run_availability_partitioned_into(
+        &self,
+        scenario: &Scenario,
+        partitions: usize,
+        threads: usize,
+        sink: &dyn RecordSink,
+    ) -> (AvailabilityResult, RunTelemetry) {
+        let model = Self::partitioned_availability_model(scenario);
+        let horizon_s = SimDuration::from_years(scenario.horizon_years).as_secs();
+        let started = std::time::Instant::now();
+        let (result, mut telemetry) =
+            model.run_observed(scenario.seed, horizon_s, partitions, threads);
+        telemetry.wall.wall_us = started.elapsed().as_micros() as u64;
+        let record = Self::base_record(scenario, "availability_partitioned")
+            .param("partitions", partitions)
             .metric("availability", result.availability)
             .metric("unavailability_events", result.unavailability_events as f64)
             .metric("objects_lost", result.objects_lost as f64)
@@ -500,7 +574,10 @@ mod tests {
         for workers in [4, 8] {
             let (text, records) = run(workers);
             assert_eq!(text, gold_text, "exposition diverged at {workers} workers");
-            assert_eq!(records, gold_records, "records diverged at {workers} workers");
+            assert_eq!(
+                records, gold_records,
+                "records diverged at {workers} workers"
+            );
         }
     }
 
@@ -657,6 +734,63 @@ mod tests {
             WindTunnel::availability_model(&big).queue,
             QueueBackend::Heap
         );
+    }
+
+    #[test]
+    fn partitioned_availability_records_and_matches_serial_oracle() {
+        let tunnel = WindTunnel::new();
+        let sc = ScenarioBuilder::new("part")
+            .racks(6)
+            .nodes_per_rack(8)
+            .objects(300)
+            .horizon_years(0.25)
+            .seed(23)
+            .build();
+        // The serial oracle (1 partition) and a 3-partition run agree on
+        // the result and on everything partitioning-invariant in the
+        // telemetry (events, labels); queue-depth gauges and sketch f64
+        // sums are partitioning-dependent by construction.
+        let (oracle, to) = tunnel.run_availability_partitioned_into(&sc, 1, 1, tunnel.store());
+        let (split, ts) = tunnel.run_availability_partitioned_into(&sc, 3, 2, tunnel.store());
+        assert_eq!(oracle, split);
+        assert_eq!(to.events, ts.events);
+        assert_eq!(to.events_by_label, ts.events_by_label);
+        // Partitioned runs carry per-partition event marks that sum to
+        // the total.
+        let part_total: u64 = ts
+            .marks
+            .iter()
+            .filter(|(k, _)| k.starts_with("partition/"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(part_total, ts.events);
+        // Both runs were recorded under the partitioned experiment name
+        // with the partition count as a param.
+        let recs = tunnel.store().snapshot();
+        assert_eq!(recs.len(), 2);
+        for (rec, parts) in recs.iter().zip([1.0, 3.0]) {
+            assert_eq!(rec.experiment, "availability_partitioned");
+            assert_eq!(
+                rec.params.get("partitions"),
+                Some(&wt_store::ParamValue::Num(parts))
+            );
+            assert!(rec.get_metric("availability").is_some());
+            assert!(rec.telemetry.is_some());
+        }
+    }
+
+    #[test]
+    fn partitioned_model_mapping_mirrors_serial() {
+        let sc = small();
+        let serial = WindTunnel::availability_model(&sc);
+        let m = WindTunnel::partitioned_availability_model(&sc);
+        assert_eq!(m.racks * m.nodes_per_rack, serial.n_nodes);
+        assert_eq!(m.replication, serial.redundancy.width());
+        assert_eq!(m.objects, serial.objects);
+        assert_eq!(m.rebuild, serial.rebuild);
+        assert_eq!(m.queue, serial.queue);
+        assert_eq!(m.wire_latency_s, sc.topology.min_cross_latency_s());
+        assert!(m.lookahead_s() >= m.wire_latency_s);
     }
 
     #[test]

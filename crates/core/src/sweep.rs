@@ -833,7 +833,10 @@ mod tests {
             .aggregate("v", MetricAgg::Quantile(0.99))
             .seed(11);
         let eval = |point: &SweepPoint, rep: RepCtx, _sink: &dyn RecordSink| {
-            BTreeMap::from([("v".to_string(), (point.axis_num("n") as u64 ^ rep.seed) as f64)])
+            BTreeMap::from([(
+                "v".to_string(),
+                (point.axis_num("n") as u64 ^ rep.seed) as f64,
+            )])
         };
         let store1 = SharedStore::new();
         let out1 = SweepRunner::new(Farm::new(1)).run(&spec, &store1, eval);

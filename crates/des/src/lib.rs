@@ -44,6 +44,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod partition;
 pub mod pending;
 pub mod queue;
 pub mod resource;
@@ -53,6 +54,7 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Ctx, Model, Simulation, StopReason};
+pub use partition::{Lookahead, PartCtx, PartitionModel, PartitionedSimulation};
 pub use pending::{PendingEvents, QueueBackend, ADAPTIVE_PENDING_THRESHOLD};
 pub use queue::EventQueue;
 pub use resource::ServerPool;
@@ -71,6 +73,7 @@ pub use wt_obs::sketch::{Hll, QuantileSketch};
 /// Convenience re-exports for model authors.
 pub mod prelude {
     pub use crate::engine::{Ctx, Model, Simulation, StopReason};
+    pub use crate::partition::{Lookahead, PartCtx, PartitionModel, PartitionedSimulation};
     pub use crate::pending::{PendingEvents, QueueBackend};
     pub use crate::rng::{RngFactory, Stream};
     pub use crate::stats::{Counter, Histogram, Tally, TimeWeighted};

@@ -209,6 +209,18 @@ impl RngFactory {
         let seed = splitmix64(&mut sm);
         Stream::from_seed(seed)
     }
+
+    /// A derived *factory* for sub-entity `n` of `label` — the same
+    /// content-hash derivation as [`RngFactory::numbered`], but returning
+    /// a whole factory so the sub-entity can open its own labeled streams
+    /// (a simulation partition, a sweep shard). Derivation depends only on
+    /// `(root, label, n)`, never on call order, so sub-entity draws are
+    /// invariant to how work is grouped or scheduled.
+    pub fn subfactory(&self, label: &str, n: u64) -> RngFactory {
+        let mut sm =
+            self.root ^ fnv1a(label).rotate_left(17) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RngFactory::new(splitmix64(&mut sm))
+    }
 }
 
 #[cfg(test)]

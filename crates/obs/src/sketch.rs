@@ -642,8 +642,8 @@ impl QuantileSketch {
         let mut counts = Vec::with_capacity(keys.capacity());
         let (mut i, mut j) = (0, 0);
         while i < self.keys.len() || j < other.keys.len() {
-            let take_self = j >= other.keys.len()
-                || (i < self.keys.len() && self.keys[i] <= other.keys[j]);
+            let take_self =
+                j >= other.keys.len() || (i < self.keys.len() && self.keys[i] <= other.keys[j]);
             if take_self {
                 let k = self.keys[i];
                 let mut c = self.counts[i];
@@ -709,7 +709,14 @@ mod tests {
     fn record_n_matches_repeated_records() {
         let mut batched = QuantileSketch::new();
         let mut single = QuantileSketch::new();
-        for &(x, n) in &[(0.5, 3u64), (12.0, 1), (0.0, 2), (12.0, 5), (1e-310, 4), (0.5, 2)] {
+        for &(x, n) in &[
+            (0.5, 3u64),
+            (12.0, 1),
+            (0.0, 2),
+            (12.0, 5),
+            (1e-310, 4),
+            (0.5, 2),
+        ] {
             batched.record_n(x, n);
             for _ in 0..n {
                 single.record(x);
@@ -846,8 +853,7 @@ mod tests {
     #[test]
     fn quantile_sketch_merge_equals_whole_and_commutes() {
         let mut whole = QuantileSketch::new();
-        let mut parts: Vec<QuantileSketch> =
-            (0..4).map(|_| QuantileSketch::new()).collect();
+        let mut parts: Vec<QuantileSketch> = (0..4).map(|_| QuantileSketch::new()).collect();
         // Integer-valued observations keep every f64 sum exact, so the
         // sequential sketch and any merge order agree bit for bit.
         for i in 0..8000u64 {
@@ -893,7 +899,10 @@ mod tests {
         ab.merge(&b);
         let mut ba = b;
         ba.merge(&a);
-        assert_eq!(ab, whole, "collapse must be a pure function of the multiset");
+        assert_eq!(
+            ab, whole,
+            "collapse must be a pure function of the multiset"
+        );
         assert_eq!(ba, whole);
         assert!(whole.buckets() <= 8);
         assert_eq!(whole.count(), 200);
@@ -917,8 +926,7 @@ mod tests {
             h.insert(k.wrapping_mul(0x9e37_79b9));
         }
         s.record(0.0);
-        let s2: QuantileSketch =
-            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let s2: QuantileSketch = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(s2, s);
         let h2: Hll = serde_json::from_str(&serde_json::to_string(&h).unwrap()).unwrap();
         assert_eq!(h2, h);

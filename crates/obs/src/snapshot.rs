@@ -31,8 +31,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The quantiles every summary exposes, in exposition order.
-pub const SNAPSHOT_QUANTILES: [(f64, &str); 4] =
-    [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"), (0.999, "0.999")];
+pub const SNAPSHOT_QUANTILES: [(f64, &str); 4] = [
+    (0.5, "0.5"),
+    (0.95, "0.95"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+];
 
 /// A mergeable bundle of counters, gauges, quantile sketches, and
 /// distinct-count sketches, renderable as a text exposition.

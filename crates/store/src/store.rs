@@ -677,9 +677,11 @@ mod tests {
         // no such member at all; they must keep loading, with sketches
         // deserializing as `None` and every other field intact.
         let mut s = ResultStore::new();
-        let mut t = wt_obs::RunTelemetry::default();
-        t.events = 42;
-        t.stop_reason = "HorizonReached".into();
+        let t = wt_obs::RunTelemetry {
+            events: 42,
+            stop_reason: "HorizonReached".into(),
+            ..Default::default()
+        };
         s.append(
             RunRecord::new("old-format", 9)
                 .metric("availability", 0.99)

@@ -963,7 +963,10 @@ mod tests {
         assert!(report.contains("availability: 2 run(s)"), "{report}");
         assert!(report.contains("unbounded"), "{report}");
         // The sketch view: recorded metrics summarize as quantiles.
-        assert!(report.contains("sketch quantiles (p50 / p95 / p99 / p999)"), "{report}");
+        assert!(
+            report.contains("sketch quantiles (p50 / p95 / p99 / p999)"),
+            "{report}"
+        );
         assert!(report.contains("metric_availability:"), "{report}");
         assert!(report.contains("(2 obs)"), "{report}");
     }

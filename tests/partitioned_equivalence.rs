@@ -1,0 +1,269 @@
+//! Integration: partitioned parallel execution end to end. A single run
+//! sharded across conservative-lookahead partitions must be invisible in
+//! results, the way `queue_backends.rs` pins the queue backends:
+//!
+//! * **Thread counts** (fixed partitioning) are fully bitwise-invisible:
+//!   same `RunRecord` bytes, telemetry and sketches included (only
+//!   wall-clock is masked).
+//! * **Partition counts** are semantically invisible: identical
+//!   `AvailabilityResult`/`PerfResult`, identical event totals and
+//!   per-label counts, identical marks and sketch sample counts. Queue-
+//!   depth gauges and sketch f64 sums depend on the partitioning by
+//!   construction (per-partition queues; f64 summation order), so those
+//!   two fields are excluded — see DESIGN.md "Partitioned execution".
+//!
+//! Also covers satellite coverage for chaos landing on cross-partition
+//! targets: a power-domain loss spanning racks owned by different
+//! partitions fires identically to the serial path.
+
+use windtunnel::obs::RunTelemetry;
+use windtunnel::prelude::*;
+use wt_cluster::chaos::ChaosConfig;
+use wt_cluster::{FaultKind, FaultSchedule, PartitionedAvailability, PartitionedPerf};
+use wt_store::SharedStore;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut sc = ScenarioBuilder::new("pe")
+        .racks(6)
+        .nodes_per_rack(8)
+        .objects(300)
+        .object_gb(4.0)
+        .horizon_years(0.25)
+        .seed(seed)
+        .build();
+    // Short TTF so the horizon holds real failure/repair/mirror traffic.
+    sc.topology.node.ttf = wt_dist::Dist::exponential_mean(5.0 * 86_400.0);
+    sc.topology.node.repair = wt_dist::Dist::exponential_mean(4.0 * 3_600.0);
+    sc
+}
+
+/// Serializes every record with wall-clock masked; everything else —
+/// telemetry, sketches, marks — must be identical across thread counts.
+fn record_bytes(store: &SharedStore) -> String {
+    let snapshot = store.snapshot();
+    assert!(!snapshot.is_empty());
+    snapshot
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.telemetry
+                .as_mut()
+                .expect("observed runs attach telemetry")
+                .mask_wall();
+            serde_json::to_string(&r).expect("serializes")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The partitioning-invariant view of a telemetry blob: everything except
+/// queue-depth gauges (per-partition queues) and sketch byte payloads
+/// (f64 merge-order sums); sketch sample counts stay in.
+fn invariant_view(t: &RunTelemetry) -> (String, Vec<(String, u64)>) {
+    let mut t = t.clone();
+    t.mask_wall();
+    t.peak_queue_depth = 0;
+    t.mean_queue_depth = 0.0;
+    let counts = match t.sketches.take() {
+        Some(set) => set
+            .values
+            .iter()
+            .map(|(k, s)| (k.clone(), s.count()))
+            .collect(),
+        None => Vec::new(),
+    };
+    (serde_json::to_string(&t).expect("serializes"), counts)
+}
+
+#[test]
+fn availability_records_identical_across_thread_counts() {
+    // Fixed partitioning (3 partitions over 6 racks), varying only the
+    // worker thread count: the RunRecord bytes — telemetry, sketches,
+    // marks, everything but wall-clock — must be identical. Threads = 1
+    // is the serial execution of the same partitioned schedule.
+    let tunnel = WindTunnel::new();
+    let bytes = |threads: usize| {
+        let store = SharedStore::new();
+        tunnel.run_availability_partitioned_into(&scenario(41), 3, threads, &store);
+        record_bytes(&store)
+    };
+    let serial = bytes(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            bytes(threads),
+            serial,
+            "records diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn availability_results_invariant_across_partition_counts() {
+    let tunnel = WindTunnel::new();
+    let run = |partitions: usize| {
+        let store = SharedStore::new();
+        tunnel.run_availability_partitioned_into(&scenario(43), partitions, 2, &store)
+    };
+    let (gold, gold_t) = run(1);
+    assert!(gold_t.events > 1_000, "run must do real work");
+    let (gold_view, gold_counts) = invariant_view(&gold_t);
+    for partitions in [2, 4, 6] {
+        let (r, t) = run(partitions);
+        assert_eq!(r, gold, "result diverged at {partitions} partitions");
+        let (view, counts) = invariant_view(&t);
+        // The partition/<i> marks legitimately differ (that's what they
+        // report); compare views with those stripped.
+        let strip = |v: &str| -> String {
+            let mut t: RunTelemetry = serde_json::from_str(v).unwrap();
+            t.marks.retain(|k, _| !k.starts_with("partition/"));
+            serde_json::to_string(&t).unwrap()
+        };
+        assert_eq!(
+            strip(&view),
+            strip(&gold_view),
+            "telemetry diverged at {partitions} partitions"
+        );
+        assert_eq!(counts, gold_counts, "sketch counts diverged");
+        // Per-partition event marks account for every event.
+        let marked: u64 = t
+            .marks
+            .iter()
+            .filter(|(k, _)| k.starts_with("partition/"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(marked, t.events);
+    }
+}
+
+#[test]
+fn perf_engine_is_partition_and_thread_invisible() {
+    let m = PartitionedPerf {
+        topology: wt_hw::TopologySpec {
+            racks: 4,
+            nodes_per_rack: 4,
+            node: catalog::node_storage_server(catalog::ssd_sata_1t(), 4, catalog::nic_10g()),
+            tor: catalog::switch_tor_48x10g(),
+            agg: catalog::switch_agg_32x40g(),
+            oversubscription: 4.0,
+        },
+        tenants: vec![
+            TenantWorkload::oltp("shop", 60.0, 2_000),
+            TenantWorkload::analytics("scan", 4.0, 200),
+        ],
+        remote_read_fraction: 0.3,
+        queue: wt_des::QueueBackend::Heap,
+    };
+    let (gold, gold_t) = m.run_observed(71, 240.0, 1, 1);
+    assert!(gold_t.events > 1_000, "run must do real work");
+    // Thread counts at fixed partitioning: fully bitwise.
+    for threads in [2, 4] {
+        let (r, t) = m.run_observed(71, 240.0, 2, threads);
+        let (r1, t1) = m.run_observed(71, 240.0, 2, 1);
+        assert_eq!(r, r1, "perf result diverged at {threads} threads");
+        let masked = |mut t: RunTelemetry| {
+            t.mask_wall();
+            t
+        };
+        assert_eq!(masked(t), masked(t1));
+    }
+    // Partition counts: results and invariant telemetry agree with the
+    // serial oracle.
+    let (gold_view, gold_counts) = invariant_view(&gold_t);
+    for partitions in [2, 4] {
+        let (r, t) = m.run_observed(71, 240.0, partitions, 2);
+        assert_eq!(r, gold, "perf result diverged at {partitions} partitions");
+        let (view, counts) = invariant_view(&t);
+        let strip = |v: &str| -> String {
+            let mut t: RunTelemetry = serde_json::from_str(v).unwrap();
+            t.marks.retain(|k, _| !k.starts_with("partition/"));
+            serde_json::to_string(&t).unwrap()
+        };
+        assert_eq!(strip(&view), strip(&gold_view));
+        assert_eq!(counts, gold_counts);
+    }
+}
+
+#[test]
+fn cross_partition_power_domain_chaos_matches_serial() {
+    // A power-domain loss spanning racks 2..4 at 4 partitions over 6
+    // racks: the domain straddles a partition boundary (racks {2} and
+    // {3} land in different partitions at both 4 and 6 partitions), so
+    // the injection must be routed to each owning partition and fire
+    // identically to the serial path — including the repair/mirror wave
+    // it triggers.
+    let mut m = PartitionedAvailability::example(6, 8, 240);
+    m.node_ttf = wt_dist::Dist::exponential_mean(10.0 * 86_400.0);
+    m.chaos = Some(ChaosConfig {
+        schedule: FaultSchedule::new().rule(
+            "dc-brownout",
+            86_400.0 * 5.0,
+            FaultKind::PowerDomainLoss {
+                first_rack: 2,
+                racks: 2,
+                restore_s: 6.0 * 3_600.0,
+            },
+        ),
+        nodes_per_rack: 8,
+    });
+    let horizon = 30.0 * 86_400.0;
+    let (gold, gold_t) = m.run_observed(91, horizon, 1, 1);
+    // The mark fires once per affected rack (the injection is routed to
+    // each owning rack), so a 2-rack domain marks twice.
+    assert_eq!(
+        gold_t.marks.get("inject_power_loss"),
+        Some(&2),
+        "the chaos rule must actually fire"
+    );
+    for partitions in [2, 3, 4, 6] {
+        for threads in [1, 2] {
+            let (r, t) = m.run_observed(91, horizon, partitions, threads);
+            assert_eq!(
+                r, gold,
+                "chaos diverged at {partitions} partitions / {threads} threads"
+            );
+            assert_eq!(t.events, gold_t.events);
+            assert_eq!(t.events_by_label, gold_t.events_by_label);
+            assert_eq!(
+                t.marks.get("inject_power_loss"),
+                Some(&2),
+                "injection mark lost at {partitions} partitions"
+            );
+        }
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary small configs: the partitioned availability engine's
+        /// result (every field) is identical across partition and thread
+        /// counts, on both queue backends.
+        #[test]
+        fn partitioned_runs_equivalent(
+            racks in 1usize..7,
+            // The example model places 3 replicas in the home rack when
+            // racks == 1, so the rack needs at least 3 nodes.
+            per_rack in 3usize..9,
+            objects in 50u64..300,
+            seed in 0u64..1_000,
+            horizon_days in 10u64..60,
+            calendar in any::<bool>(),
+        ) {
+            let mut m = PartitionedAvailability::example(racks, per_rack, objects);
+            if calendar {
+                m.queue = wt_des::QueueBackend::Calendar;
+            }
+            m.node_ttf = wt_dist::Dist::exponential_mean(8.0 * 86_400.0);
+            let horizon = horizon_days as f64 * 86_400.0;
+            let gold = m.run(seed, horizon, 1, 1);
+            for (partitions, threads) in [(2, 2), (3, 1), (4, 3)] {
+                let r = m.run(seed, horizon, partitions, threads);
+                prop_assert_eq!(&r, &gold, "diverged at {} partitions", partitions);
+            }
+        }
+    }
+}
