@@ -16,9 +16,14 @@
 //! * [`markov`] — birth–death availability chains for an n-replica object
 //!   with serial or parallel repair, including exact mean time to data
 //!   loss via first-step analysis.
+//! * [`screen`] — conservative Pass/Fail/Unknown screens built from the
+//!   two modules above, used by the guided sweep planner to resolve grid
+//!   points without simulation (DESIGN.md §12).
 
 pub mod markov;
 pub mod queueing;
+pub mod screen;
 
 pub use markov::RepairableReplicas;
 pub use queueing::{allen_cunneen_ggc, erlang_b, erlang_c, kingman_gg1, Mg1, Mm1, Mmc};
+pub use screen::{decide, AvailabilityScreen, Bound, PerfScreen, Rel, ScreenVerdict};

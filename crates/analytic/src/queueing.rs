@@ -116,6 +116,18 @@ impl Mmc {
     pub fn l(&self) -> f64 {
         self.lambda * self.w()
     }
+
+    /// The `q`-quantile of the queue wait. Conditional on waiting, the
+    /// M/M/c wait is exponential with rate `cμ−λ`, so
+    /// `P(Wq > t) = C(c, a)·e^{−(cμ−λ)t}` and the quantile is
+    /// `max(0, (ln C − ln(1−q)) / (cμ−λ))` — zero whenever the no-wait
+    /// mass `1−C` already covers `q`.
+    pub fn wq_quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q));
+        let c = self.p_wait();
+        let rate = f64::from(self.c) * self.mu - self.lambda;
+        ((c.ln() - (1.0 - q).ln()) / rate).max(0.0)
+    }
 }
 
 /// The M/G/1 queue via Pollaczek–Khinchine.
@@ -365,5 +377,96 @@ mod tests {
         let mmc = Mmc::new(10.0, 4.0, 4);
         let ac = allen_cunneen_ggc(10.0, 4, 0.25, 1.0, 1.0);
         assert!((ac - mmc.wq()).abs() < 1e-12);
+    }
+
+    /// Direct factorial/power-sum Erlang C, only usable for small `c`;
+    /// the recurrence must agree with it where both are finite.
+    fn erlang_c_direct(c: u32, a: f64) -> f64 {
+        let mut sum = 0.0;
+        let mut term = 1.0; // a^k / k!
+        for k in 0..c {
+            sum += term;
+            term *= a / f64::from(k + 1);
+        }
+        // term is now a^c / c!.
+        let rho = a / f64::from(c);
+        let top = term / (1.0 - rho);
+        top / (sum + top)
+    }
+
+    #[test]
+    fn erlang_c_recurrence_matches_direct_formula_small_c() {
+        for c in 1..=20u32 {
+            for &frac in &[0.1, 0.5, 0.9, 0.99] {
+                let a = frac * f64::from(c);
+                let direct = erlang_c_direct(c, a);
+                let rec = erlang_c(c, a);
+                assert!(
+                    (rec - direct).abs() < 1e-10,
+                    "c={c} a={a}: recurrence {rec} vs direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erlang_c_finite_for_hundreds_of_servers() {
+        // Direct factorial ratios overflow near c ≈ 170; the recurrence
+        // must stay finite and sensible far beyond that.
+        for &c in &[200u32, 500, 800] {
+            let a = 0.95 * f64::from(c);
+            let p = erlang_c(c, a);
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "c={c}: p_wait={p}"
+            );
+            let q = Mmc::new(a, 1.0, c);
+            assert!(q.wq().is_finite() && q.wq() >= 0.0);
+            assert!(q.wq_quantile(0.99).is_finite());
+        }
+        // Larger pools at the same utilization pool better: less waiting.
+        assert!(erlang_c(800, 0.95 * 800.0) < erlang_c(200, 0.95 * 200.0));
+    }
+
+    #[test]
+    fn wq_quantile_zero_until_no_wait_mass_consumed() {
+        let q = Mmc::new(2.0, 1.5, 4); // lightly loaded: most arrivals don't wait
+        let p = q.p_wait();
+        assert!(p < 0.5);
+        // Below the no-wait mass the quantile is exactly zero…
+        assert_eq!(q.wq_quantile(1.0 - p - 0.01), 0.0);
+        // …and strictly positive just above it.
+        assert!(q.wq_quantile(1.0 - p + 0.01) > 0.0);
+    }
+
+    #[test]
+    fn wq_quantile_inverts_tail_probability() {
+        let q = Mmc::new(10.0, 3.0, 5);
+        let t = q.wq_quantile(0.99);
+        // P(Wq > t) = C·exp(−(cμ−λ)t) should equal 1 % at the 99th pct.
+        let rate = 5.0 * 3.0 - 10.0;
+        let tail = q.p_wait() * (-rate * t).exp();
+        assert!((tail - 0.01).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// More offered load at fixed μ, c → strictly more waiting
+        /// (monotonicity of Erlang C in λ).
+        #[test]
+        fn erlang_c_monotone_in_lambda(
+            c in 1u32..60,
+            lo in 0.01f64..0.97,
+            bump in 0.001f64..0.02,
+        ) {
+            let mu = 1.0;
+            let l1 = lo * f64::from(c) * mu;
+            let l2 = (lo + bump) * f64::from(c) * mu;
+            let p1 = Mmc::new(l1, mu, c).p_wait();
+            let p2 = Mmc::new(l2, mu, c).p_wait();
+            proptest::prop_assert!(p2 >= p1, "p_wait fell: {p1} -> {p2}");
+            let w1 = Mmc::new(l1, mu, c).wq_quantile(0.99);
+            let w2 = Mmc::new(l2, mu, c).wq_quantile(0.99);
+            proptest::prop_assert!(w2 >= w1, "wq_quantile fell: {w1} -> {w2}");
+        }
     }
 }

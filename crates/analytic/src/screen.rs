@@ -1,0 +1,435 @@
+//! Conservative analytic screens for constrained sweeps.
+//!
+//! The guided sweep planner (DESIGN.md §12) asks, per grid point and per
+//! SLA constraint, whether a closed-form model can already decide the
+//! verdict without running the DES. The contract is *conservatism*: a
+//! screen answers [`ScreenVerdict::Pass`] or [`ScreenVerdict::Fail`] only
+//! when the bound it computed cannot be on the wrong side of the
+//! threshold for the real (simulated) system, and [`ScreenVerdict::Unknown`]
+//! otherwise. A guard margin can widen the Unknown band further; it never
+//! makes a screen *more* willing to decide.
+//!
+//! Two screens are provided, mirroring the two DES layers:
+//!
+//! * [`AvailabilityScreen`] — bounds long-run object availability for a
+//!   replicated/erasure-coded cluster from node MTTF, failure-detection
+//!   delay, and the deterministic bandwidth-limited rebuild time.
+//! * [`PerfScreen`] — bounds tenant latency quantiles from M/M/c wait
+//!   quantiles at an optimistic (fastest-possible) service time.
+
+use crate::markov::RepairableReplicas;
+use crate::queueing::Mmc;
+
+/// A two-sided bound on a metric: the true value lies in `[lo, hi]`.
+///
+/// Either side may be infinite/NaN-free trivial (`lo = 0`, `hi = ∞`-like)
+/// when the screen can only bound one direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Pessimistic floor: the metric is at least this.
+    pub lo: f64,
+    /// Optimistic ceiling: the metric is at most this.
+    pub hi: f64,
+}
+
+impl Bound {
+    /// A bound with both sides.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Bound { lo, hi }
+    }
+
+    /// Only a ceiling is known (`lo` trivially `-∞`).
+    pub fn at_most(hi: f64) -> Self {
+        Bound {
+            lo: f64::NEG_INFINITY,
+            hi,
+        }
+    }
+
+    /// Only a floor is known (`hi` trivially `+∞`).
+    pub fn at_least(lo: f64) -> Self {
+        Bound {
+            lo,
+            hi: f64::INFINITY,
+        }
+    }
+}
+
+/// Direction of an SLA constraint on a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// Metric must be ≥ threshold (e.g. availability floor).
+    Ge,
+    /// Metric must be > threshold.
+    Gt,
+    /// Metric must be ≤ threshold (e.g. latency ceiling).
+    Le,
+    /// Metric must be < threshold.
+    Lt,
+}
+
+/// What a screen concluded about one constraint at one grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenVerdict {
+    /// The bound proves the constraint is satisfied.
+    Pass,
+    /// The bound proves the constraint is violated.
+    Fail,
+    /// The bound cannot decide; the DES must run.
+    Unknown,
+}
+
+/// Decides a constraint `metric REL threshold` from a conservative bound.
+///
+/// `guard ≥ 0` widens the undecided band: a Pass/Fail fires only when the
+/// bound clears the threshold by more than `guard`. Non-finite bound
+/// sides never decide (NaN compares false everywhere, so the `Unknown`
+/// arm wins by default).
+pub fn decide(bound: Bound, rel: Rel, threshold: f64, guard: f64) -> ScreenVerdict {
+    let g = guard.max(0.0);
+    match rel {
+        // metric ≥ T: even the floor clears it → Pass; even the ceiling
+        // misses it → Fail.
+        Rel::Ge | Rel::Gt => {
+            if bound.lo >= threshold + g && bound.lo.is_finite() {
+                ScreenVerdict::Pass
+            } else if bound.hi < threshold - g {
+                ScreenVerdict::Fail
+            } else {
+                ScreenVerdict::Unknown
+            }
+        }
+        // metric ≤ T: mirrored.
+        Rel::Le | Rel::Lt => {
+            if bound.hi <= threshold - g && bound.hi.is_finite() {
+                ScreenVerdict::Pass
+            } else if bound.lo > threshold + g {
+                ScreenVerdict::Fail
+            } else {
+                ScreenVerdict::Unknown
+            }
+        }
+    }
+}
+
+/// Conservative availability bounds for one redundancy group.
+///
+/// Built from scenario parameters by `wt-cluster`'s extraction layer;
+/// everything here is plain numbers so the bounds are unit-testable
+/// without a Scenario in scope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityScreen {
+    /// Stripe width: replicas for replication, `k+m` for erasure.
+    pub width: usize,
+    /// Fragments that must be reachable for a read (1 for replication,
+    /// `k` for erasure).
+    pub quorum: usize,
+    /// Mean time to node failure, seconds.
+    pub mttf_s: f64,
+    /// Minimum downtime a destroyed fragment suffers: failure-detection
+    /// delay plus the deterministic bandwidth-limited rebuild time.
+    pub min_down_s: f64,
+    /// The rebuild-stream duration alone, seconds.
+    pub rebuild_s: f64,
+    /// Simulated horizon, seconds.
+    pub horizon_s: f64,
+    /// Expected node failures over the horizon across the whole cluster
+    /// (`n_nodes · horizon / mttf`). Screens are disabled when this is
+    /// too small: with few failures the DES may measure availability
+    /// exactly 1.0 and an analytic "Fail" would be unsound.
+    pub expected_failures: f64,
+    /// True when the scenario has failure sources the model does not
+    /// capture (chaos faults, switch failures, disk failures). Disables
+    /// Pass screening (those sources only hurt availability, so Fail
+    /// screening stays sound).
+    pub extra_failure_sources: bool,
+    /// Minimum `expected_failures` for any screen to fire.
+    pub min_expected_failures: f64,
+}
+
+impl AvailabilityScreen {
+    /// Fragments that must be *lost* simultaneously to break the read
+    /// quorum: `width − quorum + 1`.
+    pub fn loss_exponent(&self) -> usize {
+        self.width - self.quorum + 1
+    }
+
+    /// Conservative two-sided bound on long-run availability.
+    ///
+    /// **Ceiling** (`hi`, used for Fail screening): each fragment is a
+    /// renewal process alternating up-time with mean ≥ `mttf_s` and
+    /// down-time ≥ `min_down_s` (detection cannot be skipped, bandwidth
+    /// rebuild cannot be beaten). Per-fragment unavailability is thus at
+    /// least `d/(mttf+d)` with `d = min_down_s`, and the object is
+    /// unavailable when any `loss_exponent` fragments are down
+    /// simultaneously. Ignoring correlation (which only *increases*
+    /// overlap), availability ≤ `1 − (d/(mttf+d))^e`.
+    ///
+    /// **Floor** (`lo`, used for Pass screening): the birth–death chain
+    /// with repair rate `1/(detection + 2·rebuild)` — serial repair,
+    /// half-rate rebuild — understates the simulator's repair capacity,
+    /// minus an absorption penalty `horizon/MTTDL` because the DES
+    /// treats data loss as absorbing (an object lost early is
+    /// unavailable for the rest of the horizon) while the chain treats
+    /// state 0 as recurrent. Disabled (trivial `-∞`) when
+    /// `extra_failure_sources` is set.
+    pub fn bound(&self) -> Bound {
+        if self.expected_failures < self.min_expected_failures {
+            // Too few failures for the asymptotic argument to bind the
+            // finite-horizon DES; refuse to decide anything.
+            return Bound::new(f64::NEG_INFINITY, f64::INFINITY);
+        }
+        let e = self.loss_exponent() as i32;
+        let frac = self.min_down_s / (self.mttf_s + self.min_down_s);
+        let hi = 1.0 - frac.powi(e);
+
+        let lo = if self.extra_failure_sources {
+            f64::NEG_INFINITY
+        } else {
+            let repair_rate = 1.0 / (self.min_down_s + self.rebuild_s);
+            let chain = RepairableReplicas::new(
+                self.width,
+                1.0 / self.mttf_s,
+                repair_rate,
+                false, // serial repair understates parallel rebuild capacity
+            );
+            let steady = chain.availability(self.quorum);
+            let absorption = self.horizon_s / chain.mean_time_to_data_loss();
+            (steady - absorption).clamp(0.0, hi)
+        };
+        Bound::new(lo, hi)
+    }
+
+    /// Screens one availability constraint (`availability REL threshold`).
+    pub fn screen(&self, rel: Rel, threshold: f64, guard: f64) -> ScreenVerdict {
+        decide(self.bound(), rel, threshold, guard)
+    }
+}
+
+/// Conservative latency-quantile bounds from an M/M/c view of the disk
+/// service tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfScreen {
+    /// Aggregate post-cache arrival rate at the disk tier, 1/s.
+    pub lambda: f64,
+    /// Number of disk servers.
+    pub servers: u32,
+    /// Fastest possible per-request service time, seconds (no screen may
+    /// assume requests finish faster than this).
+    pub min_service_s: f64,
+}
+
+impl PerfScreen {
+    /// Optimistic ceiling on the `q`-quantile of request latency: the
+    /// M/M/c wait quantile at the floor service time, plus the floor
+    /// service time itself. The real system serves no faster than
+    /// `min_service_s`, so a latency SLA violated even under this
+    /// best-case model is certainly violated in the DES. Returns
+    /// `Bound::at_least` — a *floor on the metric* — so only Fail
+    /// screening can fire for ≤-constraints.
+    ///
+    /// If the optimistic system is already overloaded (`λ ≥ c/S_min`),
+    /// the quantile floor is `+∞`: the queue grows without bound.
+    pub fn bound(&self, q: f64) -> Bound {
+        assert!((0.0..1.0).contains(&q));
+        if self.lambda <= 0.0 || self.min_service_s <= 0.0 {
+            return Bound::new(f64::NEG_INFINITY, f64::INFINITY);
+        }
+        let mu = 1.0 / self.min_service_s;
+        if self.lambda >= mu * f64::from(self.servers) {
+            return Bound::at_least(f64::INFINITY);
+        }
+        let mmc = Mmc::new(self.lambda, mu, self.servers);
+        Bound::at_least(mmc.wq_quantile(q) + self.min_service_s)
+    }
+
+    /// Screens one latency constraint (`pXX REL threshold` with the
+    /// quantile `q` matching the metric, e.g. `0.99` for p99).
+    pub fn screen(&self, q: f64, rel: Rel, threshold: f64, guard: f64) -> ScreenVerdict {
+        decide(self.bound(q), rel, threshold, guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: f64 = 86_400.0;
+    const YEAR: f64 = 365.25 * DAY;
+
+    fn avail(width: usize, quorum: usize, mttf: f64, det: f64, rebuild: f64) -> AvailabilityScreen {
+        AvailabilityScreen {
+            width,
+            quorum,
+            mttf_s: mttf,
+            min_down_s: det + rebuild,
+            rebuild_s: rebuild,
+            horizon_s: 0.25 * YEAR,
+            expected_failures: 100.0,
+            extra_failure_sources: false,
+            min_expected_failures: 10.0,
+        }
+    }
+
+    #[test]
+    fn decide_ge_pass_fail_unknown() {
+        let b = Bound::new(0.995, 0.999);
+        assert_eq!(decide(b, Rel::Ge, 0.99, 0.0), ScreenVerdict::Pass);
+        assert_eq!(decide(b, Rel::Ge, 0.9999, 0.0), ScreenVerdict::Fail);
+        assert_eq!(decide(b, Rel::Ge, 0.997, 0.0), ScreenVerdict::Unknown);
+    }
+
+    #[test]
+    fn decide_le_mirrors_ge() {
+        let b = Bound::new(0.010, 0.020);
+        assert_eq!(decide(b, Rel::Le, 0.050, 0.0), ScreenVerdict::Pass);
+        assert_eq!(decide(b, Rel::Le, 0.005, 0.0), ScreenVerdict::Fail);
+        assert_eq!(decide(b, Rel::Le, 0.015, 0.0), ScreenVerdict::Unknown);
+    }
+
+    #[test]
+    fn guard_only_widens_unknown() {
+        let b = Bound::new(0.995, 0.999);
+        // Pass at zero guard…
+        assert_eq!(decide(b, Rel::Ge, 0.99, 0.0), ScreenVerdict::Pass);
+        // …becomes Unknown once the guard swallows the margin.
+        assert_eq!(decide(b, Rel::Ge, 0.99, 0.01), ScreenVerdict::Unknown);
+        // A guard can never flip Pass to Fail or vice versa.
+        for g in [0.0, 1e-4, 1e-2, 0.5] {
+            let v = decide(b, Rel::Ge, 0.9999, g);
+            assert!(v == ScreenVerdict::Fail || v == ScreenVerdict::Unknown);
+        }
+    }
+
+    #[test]
+    fn non_finite_bounds_never_decide() {
+        let b = Bound::new(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(decide(b, Rel::Ge, 0.5, 0.0), ScreenVerdict::Unknown);
+        assert_eq!(decide(b, Rel::Le, 0.5, 0.0), ScreenVerdict::Unknown);
+        let nan = Bound::new(f64::NAN, f64::NAN);
+        assert_eq!(decide(nan, Rel::Ge, 0.5, 0.0), ScreenVerdict::Unknown);
+        assert_eq!(decide(nan, Rel::Le, 0.5, 0.0), ScreenVerdict::Unknown);
+        // An infinite metric floor CAN prove a ≤-constraint violated
+        // (overloaded queue ⇒ latency past any ceiling).
+        assert_eq!(
+            decide(Bound::at_least(f64::INFINITY), Rel::Le, 1.0, 0.0),
+            ScreenVerdict::Fail
+        );
+    }
+
+    #[test]
+    fn slow_detection_fails_tight_floor() {
+        // e6-style numbers: mttf 40 days, detection 5 days — unavailable
+        // ~11 % of the time per fragment. Replication 2 can't make
+        // 0.99985.
+        let s = avail(2, 1, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        let b = s.bound();
+        assert!(b.hi < 0.999, "ceiling {}", b.hi);
+        assert_eq!(s.screen(Rel::Ge, 0.99985, 0.0), ScreenVerdict::Fail);
+        // Replication 5 survives: Unknown, the DES must decide.
+        let s5 = avail(5, 1, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        assert_eq!(s5.screen(Rel::Ge, 0.99985, 0.0), ScreenVerdict::Unknown);
+    }
+
+    #[test]
+    fn fast_detection_easy_floor_passes() {
+        // Healthy regime: mttf 1 year, detection 60 s, quick rebuild,
+        // lax floor 0.9 — the pessimistic chain still clears it.
+        let s = avail(3, 1, YEAR, 60.0, 600.0);
+        let b = s.bound();
+        assert!(b.lo > 0.9, "floor {}", b.lo);
+        assert!(b.lo <= b.hi);
+        assert_eq!(s.screen(Rel::Ge, 0.9, 0.0), ScreenVerdict::Pass);
+    }
+
+    #[test]
+    fn extra_failure_sources_disable_pass_not_fail() {
+        let mut s = avail(2, 1, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        s.extra_failure_sources = true;
+        // Fail screening still fires (extra failures only hurt)…
+        assert_eq!(s.screen(Rel::Ge, 0.99985, 0.0), ScreenVerdict::Fail);
+        // …but the floor is gone, so nothing can Pass.
+        assert_eq!(s.bound().lo, f64::NEG_INFINITY);
+        let mut easy = avail(3, 1, YEAR, 60.0, 600.0);
+        easy.extra_failure_sources = true;
+        assert_eq!(easy.screen(Rel::Ge, 0.9, 0.0), ScreenVerdict::Unknown);
+    }
+
+    #[test]
+    fn few_expected_failures_refuse_to_screen() {
+        let mut s = avail(2, 1, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        s.expected_failures = 0.5; // catalog-default regime
+        assert_eq!(s.screen(Rel::Ge, 0.99985, 0.0), ScreenVerdict::Unknown);
+        assert_eq!(s.screen(Rel::Ge, 0.9, 0.0), ScreenVerdict::Unknown);
+    }
+
+    #[test]
+    fn erasure_exponent_uses_parity_plus_one() {
+        // RS(4,2): width 6, quorum 4 → 3 simultaneous losses break reads.
+        let s = avail(6, 4, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        assert_eq!(s.loss_exponent(), 3);
+        // More parity tolerance than rep-2 (exponent 2) at equal rates.
+        let rep2 = avail(2, 1, 40.0 * DAY, 5.0 * DAY, 3000.0);
+        assert!(s.bound().hi > rep2.bound().hi);
+    }
+
+    #[test]
+    fn floor_never_exceeds_ceiling() {
+        for &(w, q) in &[(1usize, 1usize), (2, 1), (3, 1), (5, 1), (6, 4), (14, 10)] {
+            for &det in &[60.0, 3600.0, DAY, 5.0 * DAY] {
+                let s = avail(w, q, 40.0 * DAY, det, 3000.0);
+                let b = s.bound();
+                assert!(
+                    b.lo <= b.hi,
+                    "w={w} q={q} det={det}: lo {} > hi {}",
+                    b.lo,
+                    b.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perf_screen_overload_is_infinite_floor() {
+        // 20 req/s into 1 server that takes ≥ 100 ms → overloaded.
+        let s = PerfScreen {
+            lambda: 20.0,
+            servers: 1,
+            min_service_s: 0.1,
+        };
+        assert_eq!(s.bound(0.99).lo, f64::INFINITY);
+        assert_eq!(s.screen(0.99, Rel::Le, 10.0, 0.0), ScreenVerdict::Fail);
+    }
+
+    #[test]
+    fn perf_screen_stable_queue_fails_only_sub_service_slas() {
+        let s = PerfScreen {
+            lambda: 5.0,
+            servers: 2,
+            min_service_s: 0.05,
+        };
+        let b = s.bound(0.99);
+        assert!(b.lo >= 0.05 && b.lo.is_finite());
+        // An SLA below the service-time floor is analytically impossible.
+        assert_eq!(s.screen(0.99, Rel::Le, 0.01, 0.0), ScreenVerdict::Fail);
+        // A lax SLA is Unknown: the floor can't prove the real system meets it.
+        assert_eq!(s.screen(0.99, Rel::Le, 10.0, 0.0), ScreenVerdict::Unknown);
+    }
+
+    proptest::proptest! {
+        /// The availability ceiling is monotone: longer detection delay
+        /// can only lower it, more redundancy can only raise it.
+        #[test]
+        fn ceiling_monotone(
+            width in 2usize..8,
+            det_h in 1.0f64..200.0,
+            bump_h in 0.5f64..50.0,
+        ) {
+            let base = avail(width, 1, 40.0 * DAY, det_h * 3600.0, 3000.0);
+            let slower = avail(width, 1, 40.0 * DAY, (det_h + bump_h) * 3600.0, 3000.0);
+            proptest::prop_assert!(slower.bound().hi <= base.bound().hi);
+            let wider = avail(width + 1, 1, 40.0 * DAY, det_h * 3600.0, 3000.0);
+            proptest::prop_assert!(wider.bound().hi >= base.bound().hi);
+        }
+    }
+}

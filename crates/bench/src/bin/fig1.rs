@@ -25,7 +25,7 @@
 //!   The exposition is bitwise-identical for any `--workers` count and
 //!   either `--queue` backend, which CI's obs-smoke job diffs.
 //!
-//! [`MetricsSnapshot`]: wt_obs::MetricsSnapshot
+//! [`MetricsSnapshot`]: windtunnel::obs::MetricsSnapshot
 
 use windtunnel::obs::TraceProbe;
 use windtunnel::prelude::*;

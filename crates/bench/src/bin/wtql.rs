@@ -15,6 +15,10 @@
 //! * `--base` loads a serialized `windtunnel::Scenario` as the fixed
 //!   part of the configuration (defaults: 30-node HDD cluster, 1,000×4 GB
 //!   objects, 3 simulated months),
+//! * `--stress` swaps in a failure-heavy variant of the default base
+//!   (40-day node lifetimes, 5-day failure detection) where analytic
+//!   screens and dominance pruning have real work to do — the preset used
+//!   by the guided-sweep experiments,
 //! * `--explain` prints the optimizer plan and exits without simulating,
 //! * `--csv` exports every recorded run for external plotting,
 //! * `--workers N` (alias `--threads`) sizes the farm pool `run_query`'s
@@ -32,9 +36,9 @@ use wt_wtql::{parse_script, run_query, store_stats, ExecOptions, Plan, Query, St
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wtql <script.wtql | -> [--base scenario.json] [--explain] \
+        "usage: wtql <script.wtql | -> [--base scenario.json | --stress] [--explain] \
          [--csv out.csv] [--workers N]\n       wtql --interactive \
-         [--base scenario.json] [--workers N]"
+         [--base scenario.json | --stress] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +52,19 @@ fn default_base() -> Scenario {
         .horizon_years(0.25)
         .seed(42)
         .build()
+}
+
+/// The failure-heavy preset behind `--stress`: same 30-node cluster, but
+/// nodes live ~40 days (Weibull, infant-mortality shape) and failures take
+/// five days to detect. Expected failures over the quarter ≈ 68, which is
+/// enough signal for the analytic availability screens to resolve weak
+/// redundancy configurations without simulation.
+fn stress_base() -> Scenario {
+    let mut sc = default_base();
+    sc.name = "wtql-stress".into();
+    sc.topology.node.ttf = Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+    sc.repair.detection_delay_s = 5.0 * 86_400.0;
+    sc
 }
 
 /// Parses, plans and runs one query, printing the plan, the results table
@@ -96,12 +113,25 @@ fn execute_query(query: &Query, base: &Scenario, tunnel: &WindTunnel, threads: u
         cells.push(
             if row.pruned {
                 "pruned"
+            } else if row.screened {
+                // Resolved analytically, no simulation behind this row.
+                if row.passes {
+                    "PASS*"
+                } else {
+                    "fail*"
+                }
             } else if row.aborted {
                 "aborted"
             } else if row.passes {
-                "PASS"
+                if row.early_stopped {
+                    "PASS~"
+                } else {
+                    "PASS"
+                }
             } else if query.constraints.is_empty() {
                 "done"
+            } else if row.early_stopped {
+                "fail~"
             } else {
                 "fail"
             }
@@ -113,8 +143,13 @@ fn execute_query(query: &Query, base: &Scenario, tunnel: &WindTunnel, threads: u
 
     println!();
     println!(
-        "executed {} | pruned {} | aborted {} | {} sim events",
-        outcome.executed, outcome.pruned, outcome.aborted, outcome.total_sim_events,
+        "executed {} | pruned {} | screened {} | aborted {} | early-stopped {} | {} sim events",
+        outcome.executed,
+        outcome.pruned,
+        outcome.screened,
+        outcome.aborted,
+        outcome.early_stopped,
+        outcome.total_sim_events,
     );
     eprintln!("{:.2}s wall", wall.as_secs_f64());
     if let Some(best) = outcome.best_row() {
@@ -218,11 +253,13 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut explain_only = false;
     let mut interactive = false;
+    let mut stress = false;
     let mut threads = 1usize;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--base" => base_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--stress" => stress = true,
             "--csv" => csv_path = Some(it.next().unwrap_or_else(|| usage())),
             "--workers" | "--threads" => {
                 threads = it
@@ -238,10 +275,12 @@ fn main() {
     }
 
     let base = match &base_path {
+        Some(_) if stress => usage(),
         Some(p) => {
             let json = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
             serde_json::from_str(&json).unwrap_or_else(|e| panic!("{p}: bad scenario: {e}"))
         }
+        None if stress => stress_base(),
         None => default_base(),
     };
     let tunnel = WindTunnel::new();

@@ -30,6 +30,7 @@ pub mod partitioned;
 pub mod perf;
 pub mod results;
 pub mod scenario;
+pub mod screen;
 pub mod unavailability;
 
 pub use arena::NodeLists;

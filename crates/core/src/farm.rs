@@ -120,6 +120,13 @@ impl Farm {
         self.workers
     }
 
+    /// Whether the stderr progress heartbeat is enabled. Execution paths
+    /// that schedule work themselves (the guided sweep runner) read this
+    /// to decide whether to drive their own [`wt_obs::Heartbeat`].
+    pub fn heartbeat_enabled(&self) -> bool {
+        self.heartbeat
+    }
+
     /// Runs `work` over every item and collects the results in item order.
     ///
     /// `root_seed` seeds each run's [`RunCtx::seed`] substream. The output

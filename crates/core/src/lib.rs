@@ -48,13 +48,15 @@ pub mod knobs;
 pub mod report;
 pub mod runner;
 pub mod sla;
+pub mod surrogate;
 pub mod sweep;
 
 pub use builder::ScenarioBuilder;
 pub use farm::{Farm, RunCtx};
-pub use runner::{Assessment, WindTunnel};
+pub use runner::{t_quantile_975, Assessment, MeanInterval, ReplicatedAvailability, WindTunnel};
 pub use sla::{Sla, SlaSet};
-pub use sweep::{SweepOutcome, SweepReport, SweepRunner, SweepSpec};
+pub use surrogate::Surrogate;
+pub use sweep::{GuidedCounters, SweepOutcome, SweepReport, SweepRunner, SweepSpec};
 
 // Re-export the subsystem crates under stable names so downstream users
 // depend on `windtunnel` alone.

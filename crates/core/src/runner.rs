@@ -21,6 +21,79 @@ pub struct WindTunnel {
     cost: CostModel,
 }
 
+/// Student-t 97.5% quantile for `df` degrees of freedom (normal
+/// approximation beyond 30 df) — the multiplier behind every 95%
+/// confidence half-width in the tunnel.
+pub fn t_quantile_975(df: usize) -> f64 {
+    const T: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    assert!(df >= 1, "confidence interval needs at least 2 samples");
+    if df <= 30 {
+        T[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// A sample mean with an approximate 95% confidence half-width — the
+/// common shape behind replicated availability and the guided planner's
+/// per-constraint early-stop decisions.
+///
+/// All `confidently_*` tests require a real interval (`n ≥ 2` and a
+/// finite half-width); a degenerate interval resolves nothing, in either
+/// direction — the PR-4 NaN-guard contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Approximate 95% confidence half-width of the mean.
+    pub half_width_95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanInterval {
+    /// Builds the interval from a tally of `n ≥ 2` samples.
+    pub fn from_tally(tally: &wt_des::Tally) -> Self {
+        let n = tally.count() as usize;
+        assert!(n >= 2, "confidence intervals need at least 2 samples");
+        let t = t_quantile_975(n - 1);
+        MeanInterval {
+            mean: tally.mean(),
+            half_width_95: t * (tally.variance() / n as f64).sqrt(),
+            n,
+        }
+    }
+
+    /// Is there a usable interval at all?
+    fn resolved(&self) -> bool {
+        self.n >= 2 && self.half_width_95.is_finite() && self.mean.is_finite()
+    }
+
+    /// The whole interval sits at or above `bound`.
+    pub fn confidently_at_least(&self, bound: f64) -> bool {
+        self.resolved() && self.mean - self.half_width_95 >= bound
+    }
+
+    /// The whole interval sits strictly above `bound`.
+    pub fn confidently_above(&self, bound: f64) -> bool {
+        self.resolved() && self.mean - self.half_width_95 > bound
+    }
+
+    /// The whole interval sits at or below `bound`.
+    pub fn confidently_at_most(&self, bound: f64) -> bool {
+        self.resolved() && self.mean + self.half_width_95 <= bound
+    }
+
+    /// The whole interval sits strictly below `bound`.
+    pub fn confidently_below(&self, bound: f64) -> bool {
+        self.resolved() && self.mean + self.half_width_95 < bound
+    }
+}
+
 /// Availability over independent replications, with uncertainty.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplicatedAvailability {
@@ -46,10 +119,24 @@ impl ReplicatedAvailability {
     /// interval as "confident" would let a single noisy run vacuously
     /// pass an SLA.
     pub fn confidently_meets(&self, floor: f64) -> bool {
-        if self.replications.len() < 2 || !self.half_width_95.is_finite() {
-            return false;
+        self.interval().confidently_at_least(floor)
+    }
+
+    /// True if the availability floor is missed even at the optimistic
+    /// edge of the confidence interval — the early-stop dual of
+    /// [`Self::confidently_meets`], with the same degenerate-interval
+    /// guard.
+    pub fn confidently_fails(&self, floor: f64) -> bool {
+        self.interval().confidently_below(floor)
+    }
+
+    /// The mean ± half-width as a [`MeanInterval`].
+    pub fn interval(&self) -> MeanInterval {
+        MeanInterval {
+            mean: self.mean_availability,
+            half_width_95: self.half_width_95,
+            n: self.replications.len(),
         }
-        self.mean_availability - self.half_width_95 >= floor
     }
 }
 
@@ -379,18 +466,10 @@ impl WindTunnel {
             tally.record(r.availability);
             results.push(r);
         }
-        // Student-t 97.5% quantile, normal approximation beyond 30 df.
-        const T: [f64; 30] = [
-            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
-        ];
-        let df = reps - 1;
-        let t = if df <= 30 { T[df - 1] } else { 1.96 };
-        let half_width = t * (tally.variance() / reps as f64).sqrt();
+        let interval = MeanInterval::from_tally(&tally);
         ReplicatedAvailability {
-            mean_availability: tally.mean(),
-            half_width_95: half_width,
+            mean_availability: interval.mean,
+            half_width_95: interval.half_width_95,
             min_availability: tally.min(),
             max_availability: tally.max(),
             replications: results,
@@ -674,6 +753,68 @@ mod tests {
         assert!(!poisoned.confidently_meets(0.0));
         poisoned.half_width_95 = f64::INFINITY;
         assert!(!poisoned.confidently_meets(0.0));
+        // The same guard applies to the failing direction: a degenerate
+        // interval can't confidently fail anything either.
+        assert!(!poisoned.confidently_fails(1.0));
+    }
+
+    #[test]
+    fn mean_interval_resolves_both_directions() {
+        let mut tally = wt_des::Tally::new();
+        for x in [0.90, 0.92, 0.91, 0.93] {
+            tally.record(x);
+        }
+        let iv = MeanInterval::from_tally(&tally);
+        assert_eq!(iv.n, 4);
+        assert!(iv.half_width_95 > 0.0);
+        // Far bounds resolve confidently on the right side.
+        assert!(iv.confidently_at_least(0.5) && iv.confidently_above(0.5));
+        assert!(iv.confidently_at_most(0.99) && iv.confidently_below(0.99));
+        // A bound inside the interval resolves neither way.
+        assert!(!iv.confidently_at_least(iv.mean));
+        assert!(!iv.confidently_at_most(iv.mean - 1e-12));
+        // Degenerate intervals resolve nothing.
+        let bad = MeanInterval {
+            mean: 1.0,
+            half_width_95: f64::NAN,
+            n: 4,
+        };
+        assert!(!bad.confidently_at_least(0.0) && !bad.confidently_at_most(2.0));
+        let single = MeanInterval {
+            mean: 1.0,
+            half_width_95: 0.0,
+            n: 1,
+        };
+        assert!(!single.confidently_at_least(0.0));
+    }
+
+    #[test]
+    fn t_quantile_matches_table_and_tail() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(4) - 2.776).abs() < 1e-9);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_quantile_975(31) - 1.96).abs() < 1e-9);
+        // Monotone decreasing toward the normal quantile.
+        for df in 1..40 {
+            assert!(t_quantile_975(df) >= t_quantile_975(df + 1));
+        }
+    }
+
+    #[test]
+    fn confidently_fails_is_the_dual_of_meets() {
+        let tunnel = WindTunnel::new();
+        let mut sc = small();
+        // Guarantee real unavailability so the interval sits well below 1.
+        sc.topology.node.ttf = wt_dist::Dist::weibull_mean(0.8, 10.0 * 86_400.0);
+        sc.repair.detection_delay_s = 5.0 * 86_400.0;
+        let r = tunnel.run_availability_replicated(&sc, 4);
+        // An unreachable floor is confidently failed, a trivial one is not.
+        assert!(r.confidently_fails(1.0 - 1e-12) || r.mean_availability >= 1.0 - 1e-9);
+        assert!(!r.confidently_fails(0.0));
+        // meets and fails can never both hold for the same floor.
+        for floor in [0.0, 0.9, 0.99, 0.999, 1.0] {
+            assert!(!(r.confidently_meets(floor) && r.confidently_fails(floor)));
+        }
     }
 
     #[test]

@@ -94,6 +94,44 @@ impl SlaSet {
         self.clauses.iter().any(Sla::needs_perf)
     }
 
+    /// The strictest availability floor in the set, if any — the number
+    /// the guided planner's analytic screens and replication early-stop
+    /// compare against (DESIGN.md §12).
+    pub fn availability_floor(&self) -> Option<f64> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                Sla::Availability { min } => Some(*min),
+                _ => None,
+            })
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+    }
+
+    /// The tightest latency bound per tenant at each quantile:
+    /// `(tenant, quantile, max_s)` triples, deduplicated to the strictest
+    /// bound. Screens iterate these to test each against the analytic
+    /// wait-quantile floor.
+    pub fn latency_bounds(&self) -> Vec<(&str, f64, f64)> {
+        let mut out: Vec<(&str, f64, f64)> = Vec::new();
+        for c in &self.clauses {
+            if let Sla::Latency {
+                tenant,
+                quantile,
+                max_s,
+            } = c
+            {
+                match out
+                    .iter_mut()
+                    .find(|(t, q, _)| *t == tenant.as_str() && *q == *quantile)
+                {
+                    Some(entry) => entry.2 = entry.2.min(*max_s),
+                    None => out.push((tenant.as_str(), *quantile, *max_s)),
+                }
+            }
+        }
+        out
+    }
+
     /// Evaluates every clause against the available results; clauses whose
     /// required result is missing are reported as violations (the caller
     /// didn't run the needed engine). Returns human-readable violations;
@@ -263,5 +301,31 @@ mod tests {
         let s = SlaSet::new().availability(0.999).durability(0.01);
         let v = s.violations(Some(&avail(0.99, 5)), None, 100);
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn availability_floor_is_the_strictest() {
+        assert_eq!(SlaSet::new().availability_floor(), None);
+        assert_eq!(
+            SlaSet::new().durability(0.0).availability_floor(),
+            None,
+            "durability is not an availability floor"
+        );
+        let s = SlaSet::new().availability(0.99).availability(0.9999);
+        assert_eq!(s.availability_floor(), Some(0.9999));
+    }
+
+    #[test]
+    fn latency_bounds_dedupe_to_strictest() {
+        let s = SlaSet::new()
+            .latency("shop", 0.95, 0.050)
+            .latency("shop", 0.95, 0.030)
+            .latency("shop", 0.99, 0.200)
+            .latency("reports", 0.95, 1.0);
+        let b = s.latency_bounds();
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(&("shop", 0.95, 0.030)));
+        assert!(b.contains(&("shop", 0.99, 0.200)));
+        assert!(b.contains(&("reports", 0.95, 1.0)));
     }
 }

@@ -1,0 +1,257 @@
+//! A cheap deterministic surrogate model for guided sweeps.
+//!
+//! Regularized least squares (ridge regression) over the sweep's numeric
+//! axes, fit on the grid points already simulated and used to *rank* the
+//! remaining frontier — nothing more. Predictions never touch a verdict:
+//! the guided planner only reorders work with them (DESIGN.md §12), so a
+//! terrible fit costs wall-clock, not correctness. That contract is why
+//! this can be a 100-line pure-Rust solver instead of a real learner.
+//!
+//! Determinism: the fit is a closed-form solve of the normal equations
+//! `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial pivoting —
+//! no RNG, no iteration-order dependence — so the same completed-point
+//! set always yields the same ranking.
+
+/// A fitted ridge-regression surrogate over standardized features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Surrogate {
+    /// Per-feature means (for standardization).
+    means: Vec<f64>,
+    /// Per-feature scales (std dev, floored to 1 when degenerate).
+    scales: Vec<f64>,
+    /// Weights over `[1, x̃_1, …, x̃_d]` (intercept first).
+    weights: Vec<f64>,
+}
+
+impl Surrogate {
+    /// Fits `y ≈ w·[1, x̃]` with ridge penalty `lambda > 0` on the
+    /// non-intercept weights. Returns `None` when there are no samples,
+    /// no features, ragged rows, or non-finite inputs — callers fall
+    /// back to their default ordering.
+    pub fn fit(xs: &[&[f64]], ys: &[f64], lambda: f64) -> Option<Surrogate> {
+        let n = xs.len();
+        if n == 0 || n != ys.len() || lambda <= 0.0 {
+            return None;
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|x| x.len() != d) {
+            return None;
+        }
+        if xs.iter().any(|x| x.iter().any(|v| !v.is_finite())) || ys.iter().any(|y| !y.is_finite())
+        {
+            return None;
+        }
+
+        // Standardize features: sweeps mix axes spanning 10⁰ to 10¹²
+        // (replication counts vs byte sizes), and the normal equations
+        // square those magnitudes.
+        let mut means = vec![0.0f64; d];
+        let mut scales = vec![0.0f64; d];
+        for x in xs {
+            for (j, v) in x.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        for x in xs {
+            for (j, v) in x.iter().enumerate() {
+                scales[j] += (v - means[j]).powi(2);
+            }
+        }
+        for s in &mut scales {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: ridge zeroes its weight
+            }
+        }
+        let feat = |x: &[f64], j: usize| (x[j] - means[j]) / scales[j];
+
+        // Normal equations over [1, x̃]: A = XᵀX + λI (intercept
+        // unpenalized), b = Xᵀy.
+        let k = d + 1;
+        let mut a = vec![0.0f64; k * k];
+        let mut b = vec![0.0f64; k];
+        for (x, &y) in xs.iter().zip(ys) {
+            for r in 0..k {
+                let xr = if r == 0 { 1.0 } else { feat(x, r - 1) };
+                b[r] += xr * y;
+                for c in 0..k {
+                    let xc = if c == 0 { 1.0 } else { feat(x, c - 1) };
+                    a[r * k + c] += xr * xc;
+                }
+            }
+        }
+        for j in 1..k {
+            a[j * k + j] += lambda;
+        }
+
+        let weights = solve(&mut a, &mut b, k)?;
+        Some(Surrogate {
+            means,
+            scales,
+            weights,
+        })
+    }
+
+    /// Predicted response at `x` (must have the fitted dimensionality).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.means.len(), "feature dimension mismatch");
+        let mut y = self.weights[0];
+        for (j, xj) in x.iter().enumerate() {
+            y += self.weights[j + 1] * (xj - self.means[j]) / self.scales[j];
+        }
+        y
+    }
+}
+
+/// Solves the dense symmetric system `A w = b` (row-major `k×k`) in place
+/// by Gaussian elimination with partial pivoting. `None` on a (numerically)
+/// singular matrix — can't happen once the ridge term is added, but the
+/// guard keeps a pathological fit from poisoning the planner with NaNs.
+fn solve(a: &mut [f64], b: &mut [f64], k: usize) -> Option<Vec<f64>> {
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&r1, &r2| {
+            a[r1 * k + col]
+                .abs()
+                .partial_cmp(&a[r2 * k + col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot * k + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for j in 0..k {
+                a.swap(col * k + j, pivot * k + j);
+            }
+            b.swap(col, pivot);
+        }
+        for row in (col + 1)..k {
+            let f = a[row * k + col] / a[col * k + col];
+            for j in col..k {
+                a[row * k + j] -= f * a[col * k + j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0f64; k];
+    for row in (0..k).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..k {
+            acc -= a[row * k + j] * w[j];
+        }
+        w[row] = acc / a[row * k + row];
+    }
+    if w.iter().all(|v| v.is_finite()) {
+        Some(w)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 1e-3;
+
+    #[test]
+    fn recovers_a_linear_function() {
+        // y = 2 + 3a − b on a small grid.
+        let grid: Vec<[f64; 2]> = (0..5)
+            .flat_map(|a| (0..5).map(move |b| [a as f64, b as f64]))
+            .collect();
+        let xs: Vec<&[f64]> = grid.iter().map(|g| &g[..]).collect();
+        let ys: Vec<f64> = grid.iter().map(|g| 2.0 + 3.0 * g[0] - g[1]).collect();
+        let s = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        for (x, y) in grid.iter().zip(&ys) {
+            assert!(
+                (s.predict(x) - y).abs() < 1e-3,
+                "{x:?}: {} vs {y}",
+                s.predict(x)
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_risk() {
+        // Fit on a monotone response; the surrogate must rank unseen
+        // points in the same order.
+        let xs_own: Vec<[f64; 1]> = (0..6).map(|i| [i as f64]).collect();
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        let ys: Vec<f64> = (0..6).map(|i| 10.0 - i as f64).collect();
+        let s = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        assert!(s.predict(&[0.5]) > s.predict(&[2.5]));
+        assert!(s.predict(&[2.5]) > s.predict(&[4.5]));
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let xs_own: Vec<[f64; 2]> = vec![[1.0, 9.0], [2.0, 4.0], [3.0, 1.0], [5.0, 7.0]];
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        let ys = [0.5, 0.2, 0.9, 0.4];
+        let a = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        let b = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.predict(&[4.0, 4.0]).to_bits(),
+            b.predict(&[4.0, 4.0]).to_bits()
+        );
+    }
+
+    #[test]
+    fn wildly_scaled_features_stay_finite() {
+        // Axis magnitudes mimic object_bytes vs replication.
+        let xs_own: Vec<[f64; 2]> = vec![
+            [2.0, 4.0e12],
+            [3.0, 4.0e12],
+            [2.0, 8.0e12],
+            [5.0, 8.0e12],
+            [4.0, 1.6e13],
+        ];
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        let ys = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let s = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        for x in &xs_own {
+            assert!(s.predict(x).is_finite());
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_refuse_to_fit() {
+        assert!(Surrogate::fit(&[], &[], LAMBDA).is_none(), "no samples");
+        let xs_own = [[1.0f64, 2.0]];
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        assert!(
+            Surrogate::fit(&xs, &[1.0, 2.0], LAMBDA).is_none(),
+            "ragged y"
+        );
+        assert!(Surrogate::fit(&xs, &[f64::NAN], LAMBDA).is_none(), "NaN y");
+        let bad_own = [[f64::INFINITY, 2.0]];
+        let bad: Vec<&[f64]> = bad_own.iter().map(|g| &g[..]).collect();
+        assert!(Surrogate::fit(&bad, &[1.0], LAMBDA).is_none(), "inf x");
+        assert!(Surrogate::fit(&xs, &[1.0], 0.0).is_none(), "no ridge");
+    }
+
+    #[test]
+    fn constant_features_fit_the_mean() {
+        // All-identical feature rows: the ridge zeroes the slope and the
+        // intercept carries the mean.
+        let xs_own: Vec<[f64; 1]> = vec![[3.0]; 4];
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let s = Surrogate::fit(&xs, &ys, LAMBDA).unwrap();
+        assert!((s.predict(&[3.0]) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_fits_without_blowing_up() {
+        // One completed point is enough to start ranking (constant model).
+        let xs_own = [[2.0f64, 7.0]];
+        let xs: Vec<&[f64]> = xs_own.iter().map(|g| &g[..]).collect();
+        let s = Surrogate::fit(&xs, &[0.7], LAMBDA).unwrap();
+        assert!((s.predict(&[2.0, 7.0]) - 0.7).abs() < 1e-6);
+        assert!(s.predict(&[9.0, 9.0]).is_finite());
+    }
+}

@@ -161,7 +161,7 @@ impl<E> PartCtx<'_, E> {
     /// Sends `ev` to partition `to`, arriving `delay` from now. `delay`
     /// must honor the lookahead contract (`delay >= lookahead`); `tag`
     /// identifies the sending shard and orders simultaneous deliveries
-    /// (see [`Mail`]). Self-sends are allowed — a shard-decomposed model
+    /// (see `Mail`). Self-sends are allowed — a shard-decomposed model
     /// routes *all* cross-shard traffic here so grouping shards into
     /// fewer partitions cannot change delivery semantics.
     pub fn send(&mut self, to: usize, delay: SimDuration, tag: u64, ev: E) {

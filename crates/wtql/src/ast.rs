@@ -134,6 +134,10 @@ pub struct Query {
     pub constraints: Vec<Constraint>,
     /// Optional objective.
     pub objective: Option<Objective>,
+    /// Guided execution requested (`GUIDED` clause): enable analytic
+    /// screening, surrogate ranking, sketch-driven aborts and replication
+    /// early-stop. Individual stages can still be toggled via OPTIONS.
+    pub guided: bool,
     /// Free-form options (`OPTIONS trials = 3`).
     pub options: Vec<(String, ParamValue)>,
 }
@@ -212,6 +216,7 @@ mod tests {
             filters: vec![],
             constraints: vec![],
             objective: None,
+            guided: false,
             options: vec![],
         };
         assert_eq!(q.grid_size(), 6);

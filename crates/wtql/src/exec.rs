@@ -1,5 +1,5 @@
 //! The query executor: parallel run dispatch, dominance pruning, early
-//! abort (§4.2).
+//! abort (§4.2), and the guided execution mode (DESIGN.md §12).
 //!
 //! Since the declarative-sweep refactor, dispatch is not bespoke: the
 //! planned configuration order becomes an explicit
@@ -8,19 +8,40 @@
 //! binaries use. This module adds only what queries need on top:
 //! dominance pruning, probe-and-abort, replication averaging, and the
 //! constraint/objective verdicts.
+//!
+//! The `GUIDED` clause (or `OPTIONS guided = TRUE`) switches dispatch to
+//! [`windtunnel::sweep::SweepRunner::run_points_guided`] and arms three
+//! cooperating stages, each individually toggleable and each off by
+//! default:
+//!
+//! 1. **Analytic screening** — conservative closed-form bounds
+//!    (`wt-analytic` via `wt-cluster`'s extraction) resolve a point's
+//!    verdict without simulating it; such rows are marked `screened` and
+//!    record a synthetic `verdict_source = "screened"` provenance record.
+//! 2. **Surrogate ranking** — a ridge-regression surrogate over the
+//!    numeric axes re-ranks the unexecuted frontier toward
+//!    likely-infeasible points so dominance pruning fires sooner.
+//!    Ranking only reorders work; it never touches a verdict.
+//! 3. **Early stopping** — a short sketch probe aborts hopeless perf
+//!    runs at the probe horizon, and per-constraint confidence intervals
+//!    stop replication loops once the verdict is already confident
+//!    (never below two recorded replications).
 
-use crate::ast::{Constraint, Query};
+use crate::ast::{Comparison, Constraint, Query};
 use crate::bind::{apply_assignment, is_known_axis, resolve_injection};
 use crate::error::WtqlError;
 use crate::plan::{Assignment, Plan};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
+use windtunnel::analytic::screen::{Rel, ScreenVerdict};
+use windtunnel::cluster::screen::{availability_screen, perf_screen};
 use windtunnel::cluster::Scenario;
 use windtunnel::des::time::SimDuration;
+use windtunnel::des::Tally;
 use windtunnel::farm::Farm;
-use windtunnel::sweep::{SweepGrid, SweepRunner};
-use windtunnel::WindTunnel;
-use wt_store::RecordSink;
+use windtunnel::sweep::{GuidedCounters, SweepGrid, SweepRunner};
+use windtunnel::{MeanInterval, Surrogate, WindTunnel};
+use wt_store::{ParamValue, RecordSink};
 
 /// Execution knobs (overridable from the query's OPTIONS clause).
 #[derive(Debug, Clone)]
@@ -40,6 +61,30 @@ pub struct ExecOptions {
     /// averaged over seeds (variance reduction for the bursty availability
     /// metrics). 1 = single run.
     pub replications: usize,
+    /// Guided execution: dispatch through the guided sweep runner. Set
+    /// by the `GUIDED` clause, which also arms the four stage toggles
+    /// below; each can then be disabled individually via OPTIONS.
+    pub guided: bool,
+    /// Analytic screening (guided stage 1): resolve points whose verdict
+    /// a conservative closed-form bound already decides, without DES.
+    pub screen: bool,
+    /// Surrogate ranking (guided stage 2): visit likely-infeasible
+    /// points first so dominance pruning fires sooner. Reorders only.
+    pub rank: bool,
+    /// Replication early-stop (guided stage 3): stop a replication loop
+    /// once every constraint is confidently resolved (≥ 2 reps always).
+    pub early_stop: bool,
+    /// Sketch-driven probe abort (guided stage 3): abort a perf run
+    /// whose probe-horizon sketch quantile already violates a latency
+    /// ceiling by more than `abort_margin`.
+    pub sketch_abort: bool,
+    /// Extra margin an analytic bound must clear beyond the constraint
+    /// threshold before a screen may decide (widens the Unknown band).
+    pub screen_guard: f64,
+    /// Minimum expected node failures over the horizon before
+    /// availability screens arm (below it the DES may measure exactly
+    /// 1.0 and an analytic Fail would be unsound).
+    pub screen_min_failures: f64,
 }
 
 impl Default for ExecOptions {
@@ -51,6 +96,13 @@ impl Default for ExecOptions {
             probe_fraction: 0.1,
             abort_margin: 0.01,
             replications: 1,
+            guided: false,
+            screen: false,
+            rank: false,
+            early_stop: false,
+            sketch_abort: false,
+            screen_guard: 0.0,
+            screen_min_failures: 10.0,
         }
     }
 }
@@ -60,6 +112,13 @@ impl ExecOptions {
     /// (`OPTIONS threads = 4, prune = FALSE, early_abort = TRUE`).
     pub fn from_query(query: &Query) -> Self {
         let mut o = ExecOptions::default();
+        if query.guided {
+            o.guided = true;
+            o.screen = true;
+            o.rank = true;
+            o.early_stop = true;
+            o.sketch_abort = true;
+        }
         for (key, value) in &query.options {
             match key.as_str() {
                 "threads" => {
@@ -92,6 +151,48 @@ impl ExecOptions {
                         o.replications = (x as usize).max(1);
                     }
                 }
+                // The master switch mirrors the GUIDED clause: it arms
+                // every stage. Options apply in source order, so a later
+                // `screen = FALSE` can still disable one stage.
+                "guided" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.guided = *b;
+                        o.screen = *b;
+                        o.rank = *b;
+                        o.early_stop = *b;
+                        o.sketch_abort = *b;
+                    }
+                }
+                "screen" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.screen = *b;
+                    }
+                }
+                "rank" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.rank = *b;
+                    }
+                }
+                "early_stop" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.early_stop = *b;
+                    }
+                }
+                "sketch_abort" => {
+                    if let wt_store::ParamValue::Bool(b) = value {
+                        o.sketch_abort = *b;
+                    }
+                }
+                "screen_guard" => {
+                    if let Some(x) = value.as_num() {
+                        o.screen_guard = x.max(0.0);
+                    }
+                }
+                "screen_min_failures" => {
+                    if let Some(x) = value.as_num() {
+                        o.screen_min_failures = x.max(0.0);
+                    }
+                }
                 _ => {} // unknown options are ignored, like SQL hints
             }
         }
@@ -112,6 +213,17 @@ pub struct RunRow {
     pub pruned: bool,
     /// Aborted on the probe horizon.
     pub aborted: bool,
+    /// Resolved analytically without simulation (guided screening).
+    /// Screened rows carry only the exact cost metrics.
+    pub screened: bool,
+    /// The replication loop stopped early once every constraint was
+    /// confidently resolved (guided early-stop; ≥ 2 reps always ran).
+    pub early_stopped: bool,
+    /// Discrete events this row actually executed, summed across every
+    /// replication and probe. Unlike the averaged `sim_events` metric,
+    /// this is the row's true simulation cost — zero for pruned and
+    /// screened rows.
+    pub sim_events_executed: u64,
 }
 
 /// The result of executing a query.
@@ -127,7 +239,13 @@ pub struct QueryOutcome {
     pub pruned: usize,
     /// Runs aborted on the probe.
     pub aborted: usize,
-    /// Total discrete events simulated (cost proxy).
+    /// Points resolved by analytic screening, without simulation.
+    pub screened: usize,
+    /// Points whose replication loop early-stopped.
+    pub early_stopped: usize,
+    /// Total discrete events actually simulated, summed across every
+    /// row's replications and probes (cost proxy — what guided execution
+    /// tries to shrink).
     pub total_sim_events: u64,
 }
 
@@ -243,6 +361,25 @@ pub fn store_stats(store: &wt_store::SharedStore) -> String {
                 out.push_str(&format!("    {label}: ~{}\n", h.estimate().round() as u64));
             }
         }
+        // Verdict provenance: guided execution writes records whose
+        // `verdict_source` param says how the verdict was reached
+        // ("screened", "aborted"); everything else was fully simulated.
+        // Shown only when a guided run has actually contributed.
+        let mut provenance: BTreeMap<String, usize> = BTreeMap::new();
+        for rec in s.records() {
+            let source = rec
+                .params
+                .get("verdict_source")
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "simulated".into());
+            *provenance.entry(source).or_insert(0) += 1;
+        }
+        if provenance.keys().any(|k| k != "simulated") {
+            out.push_str("  verdict sources:\n");
+            for (source, count) in &provenance {
+                out.push_str(&format!("    {source}: {count} record(s)\n"));
+            }
+        }
         out
     })
 }
@@ -257,33 +394,41 @@ fn fmt_stat(x: f64) -> String {
     }
 }
 
+/// Which simulation engines the query's metrics require.
+fn needed_engines(query: &Query) -> (bool, bool) {
+    let mentioned = || {
+        query
+            .explore
+            .iter()
+            .map(String::as_str)
+            .chain(query.constraints.iter().map(|c| c.metric.as_str()))
+            .chain(query.objective.iter().map(|o| o.metric.as_str()))
+    };
+    (
+        mentioned().any(is_avail_metric),
+        mentioned().any(is_perf_metric),
+    )
+}
+
 /// Executes a query against a base scenario through a wind tunnel.
 ///
 /// Every fully-simulated run also lands in the tunnel's result store.
+/// With `opts.guided` set (the `GUIDED` clause), dispatch goes through
+/// the guided runner instead — same verdicts, fewer simulated events.
 pub fn run_query(
     query: &Query,
     base: &Scenario,
     tunnel: &WindTunnel,
     opts: &ExecOptions,
 ) -> Result<QueryOutcome, WtqlError> {
+    if opts.guided {
+        return run_query_guided(query, base, tunnel, opts);
+    }
     validate_metrics(query)?;
     let plan = Plan::build(query)?;
     let n = plan.len();
 
-    let needs_avail = query
-        .explore
-        .iter()
-        .map(String::as_str)
-        .chain(query.constraints.iter().map(|c| c.metric.as_str()))
-        .chain(query.objective.iter().map(|o| o.metric.as_str()))
-        .any(is_avail_metric);
-    let needs_perf = query
-        .explore
-        .iter()
-        .map(String::as_str)
-        .chain(query.constraints.iter().map(|c| c.metric.as_str()))
-        .chain(query.objective.iter().map(|o| o.metric.as_str()))
-        .any(is_perf_metric);
+    let (needs_avail, needs_perf) = needed_engines(query);
 
     // EXPLORE grids execute through the same declarative sweep engine
     // as the experiment binaries: the planned configuration order
@@ -333,13 +478,7 @@ pub fn run_query(
                 table[point.index] = Some(Verdict::Pruned);
                 decided.notify_all();
                 drop(table);
-                return RunRow {
-                    assignment: assignment.clone(),
-                    metrics: BTreeMap::new(),
-                    passes: false,
-                    pruned: true,
-                    aborted: false,
-                };
+                return pruned_row(assignment);
             }
         }
 
@@ -353,16 +492,7 @@ pub fn run_query(
             opts,
             sink,
         );
-        let row = match row {
-            Ok(r) => r,
-            Err(_) => RunRow {
-                assignment: assignment.clone(),
-                metrics: BTreeMap::new(),
-                passes: false,
-                pruned: false,
-                aborted: false,
-            },
-        };
+        let row = row.unwrap_or_else(|_| failed_row(assignment));
         if opts.prune {
             let verdict = if !row.passes && !query.constraints.is_empty() {
                 Verdict::Failed
@@ -375,13 +505,22 @@ pub fn run_query(
         }
         row
     });
-    let executed = rows.iter().filter(|r| !r.pruned && !r.aborted).count();
+    Ok(summarize(query, rows))
+}
+
+/// Folds per-configuration rows into the query outcome: counters,
+/// event totals, and the objective-best passing row. Shared verbatim by
+/// the exhaustive and guided paths so their summaries cannot diverge.
+fn summarize(query: &Query, rows: Vec<RunRow>) -> QueryOutcome {
+    let executed = rows
+        .iter()
+        .filter(|r| !r.pruned && !r.aborted && !r.screened)
+        .count();
     let pruned = rows.iter().filter(|r| r.pruned).count();
     let aborted = rows.iter().filter(|r| r.aborted).count();
-    let total_sim_events = rows
-        .iter()
-        .filter_map(|r| r.metrics.get("sim_events"))
-        .sum::<f64>() as u64;
+    let screened = rows.iter().filter(|r| r.screened).count();
+    let early_stopped = rows.iter().filter(|r| r.early_stopped).count();
+    let total_sim_events = rows.iter().map(|r| r.sim_events_executed).sum();
 
     let best = query.objective.as_ref().and_then(|obj| {
         rows.iter()
@@ -399,14 +538,45 @@ pub fn run_query(
             .map(|(i, _)| i)
     });
 
-    Ok(QueryOutcome {
+    QueryOutcome {
         rows,
         best,
         executed,
         pruned,
         aborted,
+        screened,
+        early_stopped,
         total_sim_events,
-    })
+    }
+}
+
+/// A row for a configuration skipped by dominance pruning.
+fn pruned_row(assignment: &Assignment) -> RunRow {
+    RunRow {
+        assignment: assignment.clone(),
+        metrics: BTreeMap::new(),
+        passes: false,
+        pruned: true,
+        aborted: false,
+        screened: false,
+        early_stopped: false,
+        sim_events_executed: 0,
+    }
+}
+
+/// A row for a configuration whose evaluation errored: no metrics, no
+/// pass — but not pruned, so it still shows in the table.
+fn failed_row(assignment: &Assignment) -> RunRow {
+    RunRow {
+        assignment: assignment.clone(),
+        metrics: BTreeMap::new(),
+        passes: false,
+        pruned: false,
+        aborted: false,
+        screened: false,
+        early_stopped: false,
+        sim_events_executed: 0,
+    }
 }
 
 /// A configuration's pruning verdict. `Passed` covers any fully-evaluated
@@ -419,20 +589,306 @@ enum Verdict {
     Pruned,
 }
 
-/// Simulates one configuration and evaluates the constraints. Every
-/// fully-simulated run records into `sink` — the caller's per-config
-/// shard during parallel execution.
-#[allow(clippy::too_many_arguments)]
-fn evaluate(
+/// The guided executor (DESIGN.md §12): same verdicts as [`run_query`],
+/// fewer simulated events.
+///
+/// Dispatch goes through
+/// [`run_points_guided`](SweepRunner::run_points_guided) with the
+/// dominance relation as explicit dependency edges: a point starts only
+/// after every configuration that could prune it has a verdict, so the
+/// prune check is a plain table read — no waiting, no ordering races —
+/// and the runner is free to execute the rest of the frontier in any
+/// order. That freedom is what the surrogate spends: it re-ranks
+/// eligible points toward likely constraint violators so failures (and
+/// the prunes they unlock) surface early. Screening resolves points
+/// analytically before any DES runs; the per-point evaluation is the
+/// shared [`evaluate`], so sketch aborts and replication early-stop
+/// behave identically to the exhaustive path with the same options.
+///
+/// Verdict equivalence: per-point pass/fail/prune flags and the winning
+/// row match the exhaustive run on the same options, because screens are
+/// conservative (they only decide what the DES would also decide),
+/// ranking only reorders, and pass-screening is restricted to queries
+/// whose objective needs no simulated metric.
+fn run_query_guided(
     query: &Query,
     base: &Scenario,
     tunnel: &WindTunnel,
-    assignment: &Assignment,
-    needs_avail: bool,
-    needs_perf: bool,
     opts: &ExecOptions,
-    sink: &dyn RecordSink,
-) -> Result<RunRow, WtqlError> {
+) -> Result<QueryOutcome, WtqlError> {
+    validate_metrics(query)?;
+    let plan = Plan::build(query)?;
+    let n = plan.len();
+    let (needs_avail, needs_perf) = needed_engines(query);
+
+    // Dominance edges: point i waits on every earlier-planned point that
+    // could prune it. Strictly-earlier by plan construction (the plan
+    // sorts best-first on the monotone axes, and domination points
+    // "down" that order), which is exactly what the runner requires.
+    let deps: Vec<Vec<usize>> = if opts.prune {
+        (0..n)
+            .map(|i| {
+                (0..i)
+                    .filter(|&j| plan.dominated_by_failure(&plan.configs[i], &plan.configs[j]))
+                    .collect()
+            })
+            .collect()
+    } else {
+        vec![Vec::new(); n]
+    };
+    let verdicts: Mutex<Vec<Option<Verdict>>> = Mutex::new(vec![None; n]);
+    let counters = GuidedCounters::new();
+
+    // Surrogate features: the axes that are numeric across the whole
+    // grid. Categorical axes are invisible to the model — acceptable,
+    // since a bad fit only costs ordering, never verdicts.
+    let axes = plan.configs.first().map_or(0, |c| c.len());
+    let feat_idx: Vec<usize> = (0..axes)
+        .filter(|&k| {
+            plan.configs
+                .iter()
+                .all(|c| matches!(c[k].1, ParamValue::Num(_)))
+        })
+        .collect();
+    let features = |i: usize| -> Vec<f64> {
+        feat_idx
+            .iter()
+            .map(|&k| plan.configs[i][k].1.as_num().expect("numeric axis"))
+            .collect()
+    };
+    struct RankState {
+        samples: Vec<(Vec<f64>, f64)>,
+        model: Option<Surrogate>,
+    }
+    let rank_state: Mutex<RankState> = Mutex::new(RankState {
+        samples: Vec::new(),
+        model: None,
+    });
+    // Rank = predicted constraint risk; highest runs first. Until a
+    // model exists (or with ranking off), `-index` preserves plan order.
+    let rank = |i: usize| -> f64 {
+        if opts.rank && !feat_idx.is_empty() {
+            if let Some(model) = &rank_state.lock().model {
+                return model.predict(&features(i));
+            }
+        }
+        -(i as f64)
+    };
+    // Feed one decided row back into the surrogate: the response is the
+    // worst signed constraint violation, normalized per-constraint so
+    // availability gaps and latency overshoots share a scale. Screened
+    // failures and aborts count as full violations.
+    let observe = |i: usize, row: &RunRow| {
+        if !opts.rank || feat_idx.is_empty() || row.pruned {
+            return;
+        }
+        let y = if row.aborted || (row.screened && !row.passes) {
+            1.0
+        } else {
+            guided_risk(query, row)
+        };
+        let mut st = rank_state.lock();
+        st.samples.push((features(i), y));
+        let xs: Vec<&[f64]> = st.samples.iter().map(|(x, _)| &x[..]).collect();
+        let ys: Vec<f64> = st.samples.iter().map(|(_, y)| *y).collect();
+        st.model = Surrogate::fit(&xs, &ys, 1e-3);
+    };
+
+    let grid = SweepGrid::explicit("wtql-explore", base.seed, plan.configs.clone());
+    debug_assert_eq!(grid.len(), n);
+    let runner = SweepRunner::new(Farm::new(opts.threads));
+    let rows: Vec<RunRow> = runner.run_points_guided(
+        &grid,
+        tunnel.store(),
+        &deps,
+        &rank,
+        &counters,
+        |point, _ctx, sink| {
+            let assignment = &point.assignment;
+
+            // Dominance check. Every dependency finished before this
+            // point was released, so its verdict is present — no wait.
+            if opts.prune {
+                let dominated = {
+                    let table = verdicts.lock();
+                    deps[point.index]
+                        .iter()
+                        .any(|&j| table[j] == Some(Verdict::Failed))
+                };
+                if dominated {
+                    verdicts.lock()[point.index] = Some(Verdict::Pruned);
+                    return pruned_row(assignment);
+                }
+            }
+
+            let row = match build_scenario(query, base, assignment) {
+                Ok(scenario) => {
+                    let screened = if opts.screen && !query.constraints.is_empty() {
+                        screen_point(query, &scenario, opts)
+                    } else {
+                        None
+                    };
+                    match screened {
+                        // A screen may settle "pass" only when the
+                        // objective needs no simulated metric — otherwise
+                        // the row could never win and the best row would
+                        // diverge from the exhaustive run's.
+                        Some(passes) if !passes || objective_is_exact(query) => {
+                            let metrics = cost_metrics(tunnel, &scenario);
+                            let mut rec = point
+                                .record("screened", scenario.seed)
+                                .param("verdict_source", "screened");
+                            for (k, v) in &metrics {
+                                rec = rec.metric(k.clone(), *v);
+                            }
+                            sink.record(rec);
+                            RunRow {
+                                assignment: assignment.clone(),
+                                metrics,
+                                passes,
+                                pruned: false,
+                                aborted: false,
+                                screened: true,
+                                early_stopped: false,
+                                sim_events_executed: 0,
+                            }
+                        }
+                        _ => evaluate(
+                            query,
+                            base,
+                            tunnel,
+                            assignment,
+                            needs_avail,
+                            needs_perf,
+                            opts,
+                            sink,
+                        )
+                        .unwrap_or_else(|_| failed_row(assignment)),
+                    }
+                }
+                Err(_) => failed_row(assignment),
+            };
+
+            let verdict = if !row.passes && !query.constraints.is_empty() {
+                Verdict::Failed
+            } else {
+                Verdict::Passed
+            };
+            verdicts.lock()[point.index] = Some(verdict);
+            if row.screened {
+                counters.note_screened();
+            }
+            if row.aborted {
+                counters.note_aborted();
+            }
+            if row.early_stopped {
+                counters.note_early_stopped();
+            }
+            observe(point.index, &row);
+            row
+        },
+    );
+
+    Ok(summarize(query, rows))
+}
+
+/// True when the query's objective can be computed without simulation
+/// (absent, or one of the exact cost metrics) — the precondition for
+/// letting a screen settle a *pass* verdict.
+fn objective_is_exact(query: &Query) -> bool {
+    query
+        .objective
+        .as_ref()
+        .is_none_or(|o| o.metric == "tco_usd_per_year" || o.metric == "usd_per_usable_gb_year")
+}
+
+/// The worst signed, per-constraint-normalized violation in a decided
+/// row: positive = violated, negative = satisfied with margin. This is
+/// the surrogate's response variable — only an ordering signal.
+fn guided_risk(query: &Query, row: &RunRow) -> f64 {
+    let worst = query
+        .constraints
+        .iter()
+        .filter_map(|c| {
+            let v = *row.metrics.get(&c.metric)?;
+            let scale = c.bound.abs().max(1e-9);
+            Some(match c.cmp {
+                Comparison::Ge | Comparison::Gt => (c.bound - v) / scale,
+                Comparison::Le | Comparison::Lt => (v - c.bound) / scale,
+                Comparison::Eq => 0.0,
+            })
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst.is_finite() {
+        worst
+    } else {
+        0.0
+    }
+}
+
+/// Screens every constraint analytically. `Some(false)` = some
+/// constraint provably violated (the DES would fail this row too);
+/// `Some(true)` = every constraint provably satisfied; `None` = at
+/// least one constraint undecided, simulate. Conservatism is inherited
+/// from the bounds: a screen decides only what the simulation would
+/// also decide, so verdicts match the exhaustive path.
+fn screen_point(query: &Query, scenario: &Scenario, opts: &ExecOptions) -> Option<bool> {
+    let mut all_pass = true;
+    let mut any_fail = false;
+    for c in &query.constraints {
+        match screen_constraint(c, scenario, opts) {
+            ScreenVerdict::Fail => any_fail = true,
+            ScreenVerdict::Pass => {}
+            ScreenVerdict::Unknown => all_pass = false,
+        }
+    }
+    if any_fail {
+        Some(false)
+    } else if all_pass {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+/// One constraint through the closed-form screens: availability bounds
+/// from the birth–death model, latency-quantile floors from M/M/c.
+/// Anything else — including quantiles of tenants the scenario does not
+/// run, whose exhaustive verdict is fail-by-missing-metric, not a model
+/// question — is `Unknown`.
+fn screen_constraint(c: &Constraint, scenario: &Scenario, opts: &ExecOptions) -> ScreenVerdict {
+    let rel = match c.cmp {
+        Comparison::Ge => Rel::Ge,
+        Comparison::Gt => Rel::Gt,
+        Comparison::Le => Rel::Le,
+        Comparison::Lt => Rel::Lt,
+        Comparison::Eq => return ScreenVerdict::Unknown,
+    };
+    if c.metric == "availability" {
+        return availability_screen(scenario, opts.screen_min_failures).screen(
+            rel,
+            c.bound,
+            opts.screen_guard,
+        );
+    }
+    if let Some((tenant, q)) = quantile_metric(&c.metric) {
+        if scenario.tenants.iter().any(|t| t.name == tenant) {
+            if let Some(p) = perf_screen(scenario) {
+                return p.screen(q, rel, c.bound, opts.screen_guard);
+            }
+        }
+    }
+    ScreenVerdict::Unknown
+}
+
+/// Builds one grid point's scenario: the base with the assignment's
+/// known axes applied, the query's injections appended to any base fault
+/// schedule, and the assignment itself as the scenario name.
+fn build_scenario(
+    query: &Query,
+    base: &Scenario,
+    assignment: &Assignment,
+) -> Result<Scenario, WtqlError> {
     let mut scenario = base.clone();
     for (axis, value) in assignment {
         // Chaos-only axes (swept but referenced solely from INJECT
@@ -454,8 +910,12 @@ fn evaluate(
         .map(|(k, v)| format!("{k}={v}"))
         .collect::<Vec<_>>()
         .join(",");
+    Ok(scenario)
+}
 
-    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+/// The exact (simulation-free) cost metrics every row carries.
+fn cost_metrics(tunnel: &WindTunnel, scenario: &Scenario) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
     let breakdown = tunnel.cost_model().cost(&scenario.topology);
     metrics.insert("tco_usd_per_year".into(), breakdown.tco_usd_per_year);
     // Cost per GB a customer can actually store: redundancy overhead eats
@@ -465,8 +925,28 @@ fn evaluate(
         "usd_per_usable_gb_year".into(),
         breakdown.tco_usd_per_year / usable_gb,
     );
+    metrics
+}
+
+/// Simulates one configuration and evaluates the constraints. Every
+/// fully-simulated run records into `sink` — the caller's per-config
+/// shard during parallel execution.
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    query: &Query,
+    base: &Scenario,
+    tunnel: &WindTunnel,
+    assignment: &Assignment,
+    needs_avail: bool,
+    needs_perf: bool,
+    opts: &ExecOptions,
+    sink: &dyn RecordSink,
+) -> Result<RunRow, WtqlError> {
+    let scenario = build_scenario(query, base, assignment)?;
+    let mut metrics = cost_metrics(tunnel, &scenario);
 
     let mut aborted = false;
+    let mut events_executed: u64 = 0;
     // Probe phase (first replication only): abort hopeless runs early.
     if needs_avail && opts.early_abort {
         let model = WindTunnel::availability_model(&scenario);
@@ -477,13 +957,31 @@ fn evaluate(
         });
         if hopeless {
             record_avail_metrics(&mut metrics, &probe);
+            events_executed += probe.sim_events;
             aborted = true;
         }
     }
+    // Sketch probe (guided stage 3a): run the perf model over a fraction
+    // of the horizon and abort when a streaming-sketch latency quantile
+    // already violates a latency ceiling by more than the margin.
+    if !aborted && needs_perf && opts.sketch_abort {
+        aborted = sketch_probe_aborts(query, &scenario, opts, sink);
+    }
+    let mut early_stopped = false;
     if !aborted {
-        // Accumulate metric sums over replications, then average.
+        // Accumulate metric sums over replications, then average. With
+        // early-stop armed, the loop ends once every constraint is
+        // confidently resolved — but never before two recorded
+        // replications, so confidence intervals always have support.
         let reps = opts.replications.max(1);
+        let stop_eligible = opts.early_stop && reps >= 2 && !query.constraints.is_empty();
         let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut tallies: BTreeMap<&str, Tally> = query
+            .constraints
+            .iter()
+            .map(|c| (c.metric.as_str(), Tally::new()))
+            .collect();
+        let mut used = 0usize;
         let base_seed = scenario.seed;
         for rep in 0..reps {
             let mut rep_scenario = scenario.clone();
@@ -492,6 +990,7 @@ fn evaluate(
             if needs_avail {
                 let (result, telemetry) =
                     tunnel.run_availability_observed_into(&rep_scenario, sink, None);
+                events_executed += result.sim_events;
                 record_avail_metrics(&mut rep_metrics, &result);
                 rep_metrics.insert("peak_queue_depth".into(), telemetry.peak_queue_depth as f64);
                 rep_metrics.insert("mean_queue_depth".into(), telemetry.mean_queue_depth);
@@ -508,11 +1007,23 @@ fn evaluate(
                 }
             }
             for (k, v) in rep_metrics {
+                if let Some(t) = tallies.get_mut(k.as_str()) {
+                    t.record(v);
+                }
                 *sums.entry(k).or_insert(0.0) += v;
+            }
+            used += 1;
+            if stop_eligible
+                && used >= 2
+                && used < reps
+                && verdict_confident(query, &metrics, &tallies)
+            {
+                early_stopped = true;
+                break;
             }
         }
         for (k, v) in sums {
-            metrics.insert(k, v / reps as f64);
+            metrics.insert(k, v / used as f64);
         }
     }
 
@@ -528,7 +1039,128 @@ fn evaluate(
         passes,
         pruned: false,
         aborted,
+        screened: false,
+        early_stopped,
+        sim_events_executed: events_executed,
     })
+}
+
+/// True when every constraint's verdict is already confident: either
+/// some constraint is confidently violated (the row will fail no matter
+/// what later replications say) or every constraint is confidently
+/// satisfied. Exact (simulation-free) metrics decide outright; sampled
+/// metrics need a resolved 95% confidence interval clear of the bound.
+fn verdict_confident(
+    query: &Query,
+    exact: &BTreeMap<String, f64>,
+    tallies: &BTreeMap<&str, Tally>,
+) -> bool {
+    let mut all_satisfied = !query.constraints.is_empty();
+    for c in &query.constraints {
+        let (violated, satisfied) = if let Some(&v) = exact.get(&c.metric) {
+            (!c.satisfied(v), c.satisfied(v))
+        } else {
+            let Some(tally) = tallies.get(c.metric.as_str()) else {
+                return false;
+            };
+            if tally.count() < 2 {
+                return false; // metric absent from replications
+            }
+            let iv = MeanInterval::from_tally(tally);
+            match c.cmp {
+                Comparison::Ge => (
+                    iv.confidently_below(c.bound),
+                    iv.confidently_at_least(c.bound),
+                ),
+                Comparison::Gt => (
+                    iv.confidently_at_most(c.bound),
+                    iv.confidently_above(c.bound),
+                ),
+                Comparison::Le => (
+                    iv.confidently_above(c.bound),
+                    iv.confidently_at_most(c.bound),
+                ),
+                Comparison::Lt => (
+                    iv.confidently_at_least(c.bound),
+                    iv.confidently_below(c.bound),
+                ),
+                Comparison::Eq => (false, false),
+            }
+        };
+        if violated {
+            return true; // one certain violation decides the whole row
+        }
+        all_satisfied &= satisfied;
+    }
+    all_satisfied
+}
+
+/// Runs the perf model over `probe_fraction` of its horizon and returns
+/// true when some streaming-sketch latency quantile already violates a
+/// `≤`/`<` constraint by more than `abort_margin`. On abort, the probe
+/// is recorded with `verdict_source = "aborted"` provenance and an
+/// `abort_sketch_p99` telemetry mark; a clean probe leaves no trace.
+fn sketch_probe_aborts(
+    query: &Query,
+    scenario: &Scenario,
+    opts: &ExecOptions,
+    sink: &dyn RecordSink,
+) -> bool {
+    // Latency ceilings on quantiles of tenants this scenario actually
+    // runs; anything else the probe cannot judge.
+    let ceilings: Vec<(&Constraint, &str, f64)> = query
+        .constraints
+        .iter()
+        .filter(|c| matches!(c.cmp, Comparison::Le | Comparison::Lt))
+        .filter_map(|c| quantile_metric(&c.metric).map(|(t, q)| (c, t, q)))
+        .filter(|(_, tenant, _)| scenario.tenants.iter().any(|t| t.name == *tenant))
+        .collect();
+    if ceilings.is_empty() || scenario.tenants.is_empty() {
+        return false;
+    }
+    let mut model = WindTunnel::perf_model(scenario, false);
+    model.horizon_s *= opts.probe_fraction;
+    let (probe, mut telemetry) = model.run_observed(scenario.seed, None);
+    let hopeless = ceilings.iter().any(|(c, tenant, q)| {
+        probe
+            .tenant(tenant)
+            .and_then(|t| {
+                if *q == 0.50 {
+                    t.sketch_p50_s
+                } else if *q == 0.95 {
+                    t.sketch_p95_s
+                } else {
+                    t.sketch_p99_s
+                }
+            })
+            .is_some_and(|sketch_q| sketch_q > c.bound + opts.abort_margin)
+    });
+    if hopeless {
+        telemetry.marks.insert("abort_sketch_p99".into(), 1);
+        let mut rec = wt_store::RunRecord::new("perf-probe", scenario.seed)
+            .param("scenario", scenario.name.clone())
+            .param("verdict_source", "aborted")
+            .metric("probe_horizon_s", model.horizon_s);
+        for t in &probe.tenants {
+            if let Some(p99) = t.sketch_p99_s {
+                rec = rec.metric(format!("{}_sketch_p99_s", t.name), p99);
+            }
+        }
+        sink.record(rec.telemetry(telemetry));
+    }
+    hopeless
+}
+
+/// Parses `<tenant>_pXX_s` into the tenant name and quantile.
+fn quantile_metric(name: &str) -> Option<(&str, f64)> {
+    for (suffix, q) in [("_p50_s", 0.50), ("_p95_s", 0.95), ("_p99_s", 0.99)] {
+        if let Some(tenant) = name.strip_suffix(suffix) {
+            if !tenant.is_empty() {
+                return Some((tenant, q));
+            }
+        }
+    }
+    None
 }
 
 fn record_avail_metrics(
@@ -1001,6 +1633,256 @@ mod tests {
         let tunnel = WindTunnel::new();
         let e = run_query(&q, &base(), &tunnel, &ExecOptions::default()).unwrap_err();
         assert!(e.to_string().contains("unknown metric"));
+    }
+
+    /// A failure-heavy cluster the analytic screens can reason about:
+    /// 30 nodes with ~40-day lifetimes over a quarter year (≈ 68 expected
+    /// failures) and a 5-day failure-detection delay.
+    fn stress_base() -> Scenario {
+        let mut sc = ScenarioBuilder::new("stress")
+            .racks(3)
+            .nodes_per_rack(10)
+            .objects(300)
+            .horizon_years(0.25)
+            .seed(42)
+            .build();
+        sc.topology.node.ttf = windtunnel::dist::Dist::weibull_mean(0.8, 40.0 * 86_400.0);
+        sc.repair.detection_delay_s = 5.0 * 86_400.0;
+        sc
+    }
+
+    #[test]
+    fn guided_clause_arms_all_stages_and_options_override() {
+        let q = parse("EXPLORE availability SWEEP replication IN [3] GUIDED").unwrap();
+        let o = ExecOptions::from_query(&q);
+        assert!(o.guided && o.screen && o.rank && o.early_stop && o.sketch_abort);
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] GUIDED \
+             OPTIONS rank = FALSE, screen_guard = 0.001, screen_min_failures = 25",
+        )
+        .unwrap();
+        let o = ExecOptions::from_query(&q);
+        assert!(o.guided && o.screen && !o.rank && o.early_stop && o.sketch_abort);
+        assert_eq!(o.screen_guard, 0.001);
+        assert_eq!(o.screen_min_failures, 25.0);
+        // The OPTIONS master switch mirrors the clause, in source order.
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] \
+             OPTIONS guided = TRUE, sketch_abort = FALSE",
+        )
+        .unwrap();
+        let o = ExecOptions::from_query(&q);
+        assert!(o.guided && o.screen && o.rank && o.early_stop && !o.sketch_abort);
+        assert!(!ExecOptions::from_query(&parse("EXPLORE a SWEEP x IN [1]").unwrap()).guided);
+    }
+
+    #[test]
+    fn guided_matches_exhaustive_verdicts_and_metrics() {
+        // Ranking + guided dispatch only (screens off): every verdict,
+        // metric, and the pruned set must match the exhaustive run at
+        // any worker count — ranking may only reorder execution.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [1, 2, 3], repair_parallel IN [1, 2] \
+             SUBJECT TO availability >= 1.0 AND unavailability_events <= 0 \
+             OPTIONS guided = TRUE, screen = FALSE, sketch_abort = FALSE, early_stop = FALSE",
+        )
+        .unwrap();
+        let mut sc = base();
+        sc.topology.node.ttf = windtunnel::dist::Dist::exponential_mean(10.0 * 86_400.0);
+        sc.repair.detection_delay_s = 24.0 * 3600.0;
+        let run = |threads: usize, guided: bool| {
+            let tunnel = WindTunnel::new();
+            let mut opts = ExecOptions::from_query(&q);
+            opts.threads = threads;
+            if !guided {
+                opts.guided = false;
+                opts.rank = false;
+            }
+            run_query(&q, &sc, &tunnel, &opts).unwrap()
+        };
+        let exhaustive = run(1, false);
+        assert!(exhaustive.pruned >= 1, "{exhaustive:?}");
+        let rows = |out: &QueryOutcome| {
+            out.rows
+                .iter()
+                .map(|r| (r.assignment.clone(), r.metrics.clone(), r.passes, r.pruned))
+                .collect::<Vec<_>>()
+        };
+        for threads in [1, 4] {
+            let guided = run(threads, true);
+            assert_eq!(rows(&exhaustive), rows(&guided), "threads = {threads}");
+            assert_eq!(guided.screened, 0);
+            assert_eq!(exhaustive.total_sim_events, guided.total_sim_events);
+        }
+    }
+
+    #[test]
+    fn guided_screens_cut_simulation_and_record_provenance() {
+        // With a 5-day detection delay, replication 2 and 3 provably miss
+        // a 0.99985 availability floor — the screen resolves them without
+        // simulation; replication 5 is undecided and simulates. Pruning
+        // is off so every point gets its own verdict.
+        let q = parse(
+            "EXPLORE availability \
+             SWEEP replication IN [2, 3, 5] \
+             SUBJECT TO availability >= 0.99985 \
+             GUIDED OPTIONS prune = FALSE",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let guided = run_query(&q, &stress_base(), &tunnel, &ExecOptions::from_query(&q)).unwrap();
+        assert_eq!(guided.screened, 2, "{guided:?}");
+        let exhaustive_tunnel = WindTunnel::new();
+        let opts = ExecOptions {
+            prune: false,
+            ..ExecOptions::default()
+        };
+        let exhaustive = run_query(&q, &stress_base(), &exhaustive_tunnel, &opts).unwrap();
+        // Same pass/fail verdicts on every point, and the screen's calls
+        // agree with what the simulation measured.
+        let flags = |out: &QueryOutcome| {
+            out.rows
+                .iter()
+                .map(|r| (r.assignment.clone(), r.passes, r.pruned))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(flags(&guided), flags(&exhaustive));
+        // Screening saves real simulation work: the guided run only paid
+        // for the one undecided point (replication 5).
+        let rep5_events = exhaustive
+            .rows
+            .iter()
+            .find(|r| {
+                r.assignment
+                    .contains(&("replication".to_string(), ParamValue::Num(5.0)))
+            })
+            .and_then(|r| r.metrics.get("sim_events").copied())
+            .unwrap() as u64;
+        assert_eq!(guided.total_sim_events, rep5_events);
+        assert!(guided.total_sim_events < exhaustive.total_sim_events);
+        // Screened rows still carry the exact cost metrics (so cost
+        // objectives keep working) but no simulated ones.
+        let screened: Vec<_> = guided.rows.iter().filter(|r| r.screened).collect();
+        assert_eq!(screened.len(), 2);
+        for r in &screened {
+            assert!(r.metrics.contains_key("tco_usd_per_year"));
+            assert!(!r.metrics.contains_key("availability"));
+            assert!(!r.passes);
+        }
+        // Provenance landed in the store and surfaces through STATS.
+        tunnel.store().with(|s| {
+            let screened_recs = s
+                .records()
+                .filter(|r| {
+                    r.params.get("verdict_source")
+                        == Some(&wt_store::ParamValue::Str("screened".into()))
+                })
+                .count();
+            assert_eq!(screened_recs, 2);
+        });
+        let stats = store_stats(tunnel.store());
+        assert!(stats.contains("verdict sources:"), "{stats}");
+        assert!(stats.contains("screened: 2 record(s)"), "{stats}");
+        assert!(stats.contains("simulated:"), "{stats}");
+        // An exhaustive store shows no provenance section at all.
+        let stats = store_stats(exhaustive_tunnel.store());
+        assert!(!stats.contains("verdict sources:"), "{stats}");
+    }
+
+    #[test]
+    fn early_stop_floors_at_two_replications() {
+        // A trivially-met floor: the interval resolves after two
+        // replications and the loop stops — but never below two recorded
+        // runs, the confidence floor the guided planner guarantees.
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] \
+             SUBJECT TO availability >= 0.5 \
+             OPTIONS early_stop = TRUE, replications = 6",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::from_query(&q)).unwrap();
+        assert_eq!(out.early_stopped, 1, "{out:?}");
+        assert!(out.rows[0].early_stopped);
+        assert!(out.rows[0].passes);
+        assert_eq!(
+            tunnel.store().len(),
+            2,
+            "early stop must leave exactly the two-replication floor"
+        );
+
+        // The violated direction stops just as early.
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] \
+             SUBJECT TO availability >= 2.0 \
+             OPTIONS early_stop = TRUE, replications = 6",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::from_query(&q)).unwrap();
+        assert!(out.rows[0].early_stopped && !out.rows[0].passes, "{out:?}");
+        assert_eq!(tunnel.store().len(), 2);
+
+        // Without the option the full replication budget runs.
+        let q = parse(
+            "EXPLORE availability SWEEP replication IN [3] \
+             SUBJECT TO availability >= 0.5 \
+             OPTIONS replications = 6",
+        )
+        .unwrap();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &base(), &tunnel, &ExecOptions::from_query(&q)).unwrap();
+        assert!(!out.rows[0].early_stopped);
+        assert_eq!(tunnel.store().len(), 6);
+    }
+
+    #[test]
+    fn sketch_abort_stops_hopeless_latency_runs() {
+        // One HDD serving ~300 uncacheable req/s is hopelessly
+        // overloaded: the probe's sketch p99 blows through the ceiling
+        // and the full-horizon run is skipped.
+        let q = parse(
+            "EXPLORE shop_p99_s SWEEP replication IN [1] \
+             SUBJECT TO shop_p99_s <= 0.05 \
+             OPTIONS sketch_abort = TRUE",
+        )
+        .unwrap();
+        let sc = ScenarioBuilder::new("hopeless")
+            .racks(1)
+            .nodes_per_rack(1)
+            .disks_per_node(1)
+            .replication(1)
+            .objects(100)
+            .tenant(windtunnel::workload::TenantWorkload::oltp(
+                "shop", 300.0, 10_000,
+            ))
+            .horizon_years(0.0001)
+            .seed(11)
+            .build();
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::from_query(&q)).unwrap();
+        assert_eq!(out.aborted, 1, "{out:?}");
+        assert!(out.rows[0].aborted && !out.rows[0].passes);
+        // The probe recorded its evidence: aborted provenance plus the
+        // telemetry mark naming the trigger.
+        tunnel.store().with(|s| {
+            let probe = s
+                .records()
+                .find(|r| r.experiment == "perf-probe")
+                .expect("probe record present");
+            assert_eq!(
+                probe.params.get("verdict_source"),
+                Some(&wt_store::ParamValue::Str("aborted".into()))
+            );
+            let t = probe.telemetry.as_ref().expect("telemetry attached");
+            assert_eq!(t.marks.get("abort_sketch_p99"), Some(&1));
+            assert!(probe.get_metric("shop_sketch_p99_s").unwrap() > 0.05);
+        });
+        // Conservatism: the full run fails the same constraint.
+        let tunnel = WindTunnel::new();
+        let out = run_query(&q, &sc, &tunnel, &ExecOptions::default()).unwrap();
+        assert!(!out.rows[0].passes && !out.rows[0].aborted, "{out:?}");
     }
 
     #[test]

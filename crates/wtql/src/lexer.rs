@@ -40,7 +40,7 @@ pub enum TokenKind {
 
 const KEYWORDS: &[&str] = &[
     "EXPLORE", "SWEEP", "IN", "INJECT", "WHERE", "SUBJECT", "TO", "MINIMIZE", "MAXIMIZE", "AND",
-    "OPTIONS", "TRUE", "FALSE", "STATS",
+    "OPTIONS", "TRUE", "FALSE", "STATS", "GUIDED",
 ];
 
 /// Tokenizes WTQL source text.

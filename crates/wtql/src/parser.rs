@@ -3,7 +3,7 @@
 //! Grammar (clauses in order; all but EXPLORE and SWEEP optional):
 //!
 //! ```text
-//! query      := explore sweep inject? where? subject? objective? options?
+//! query      := explore sweep inject? where? subject? objective? guided? options?
 //! explore    := EXPLORE ident ("," ident)*
 //! sweep      := SWEEP axis ("," axis)*
 //! axis       := ident IN "[" value ("," value)* "]"
@@ -15,6 +15,7 @@
 //! subject    := SUBJECT TO constraint ("," constraint | AND constraint)*
 //! constraint := ident cmp number
 //! objective  := (MINIMIZE | MAXIMIZE) ident
+//! guided     := GUIDED
 //! options    := OPTIONS ident "=" value ("," ident "=" value)*
 //! value      := number | string | TRUE | FALSE
 //! ```
@@ -233,11 +234,20 @@ impl Parser {
             None
         };
 
+        // GUIDED — opt into screen/rank/early-stop execution.
+        let guided = self.eat_keyword("GUIDED");
+
         // OPTIONS k = v, ...
         let mut options = Vec::new();
         if self.eat_keyword("OPTIONS") {
             loop {
-                let key = self.ident()?;
+                // `guided` doubles as a keyword (the GUIDED clause) and an
+                // option key (`OPTIONS guided = TRUE`); accept both here.
+                let key = if self.eat_keyword("GUIDED") {
+                    "guided".to_string()
+                } else {
+                    self.ident()?
+                };
                 match self.cmp()? {
                     Comparison::Eq => {}
                     _ => return Err(self.err("'=' in OPTIONS")),
@@ -265,6 +275,7 @@ impl Parser {
             filters,
             constraints,
             objective,
+            guided,
             options,
         })
     }
@@ -447,6 +458,22 @@ mod tests {
             q.sweeps[0].values,
             vec![ParamValue::Bool(true), ParamValue::Bool(false)]
         );
+    }
+
+    #[test]
+    fn guided_clause_parses_in_position() {
+        let q = parse(
+            "EXPLORE a SWEEP x IN [1] SUBJECT TO a >= 1 MINIMIZE a GUIDED OPTIONS trials = 2",
+        )
+        .unwrap();
+        assert!(q.guided);
+        assert_eq!(q.option_num("trials"), Some(2.0));
+        // Without the clause the flag stays off.
+        assert!(!parse("EXPLORE a SWEEP x IN [1]").unwrap().guided);
+        // GUIDED with no OPTIONS also terminates cleanly.
+        assert!(parse("EXPLORE a SWEEP x IN [1] GUIDED").unwrap().guided);
+        // GUIDED must come after the objective, before OPTIONS.
+        assert!(parse("EXPLORE a GUIDED SWEEP x IN [1]").is_err());
     }
 
     #[test]
